@@ -1,0 +1,173 @@
+// Command dcsim runs the synthetic datacenter and exports its datasets:
+// a port-mirror packet-header trace for one monitored host (the §3.3.2
+// collection path) and/or a summary of the fleet-wide Fbflow view (the
+// §3.3.1 path).
+//
+// Usage:
+//
+//	dcsim -mirror web -seconds 30 -out web.fbm     # write a binary trace
+//	dcsim -fleet                                   # print the fleet view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fbdcnet/internal/core"
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/mirror"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/services"
+	"fbdcnet/internal/topology"
+	"fbdcnet/internal/workload"
+)
+
+var roleNames = map[string]topology.Role{
+	"web":     topology.RoleWeb,
+	"cache-f": topology.RoleCacheFollower,
+	"cache-l": topology.RoleCacheLeader,
+	"hadoop":  topology.RoleHadoop,
+	"mf":      topology.RoleMultifeed,
+	"slb":     topology.RoleSLB,
+	"db":      topology.RoleDB,
+	"misc":    topology.RoleMisc,
+}
+
+func main() {
+	mirrorRole := flag.String("mirror", "", "write a mirror trace for this role (web|cache-f|cache-l|hadoop|mf|slb|db|misc)")
+	seconds := flag.Int("seconds", 30, "trace duration in seconds")
+	out := flag.String("out", "trace.fbm", "output trace file")
+	pcapOut := flag.String("pcap", "", "also export the mirror trace as a pcap file")
+	fleet := flag.Bool("fleet", false, "run the fleet-wide Fbflow view and print its summary")
+	saveDS := flag.String("save", "", "with -fleet: archive the Fbflow dataset to this file")
+	loadDS := flag.String("load", "", "print the summary of a previously archived Fbflow dataset")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	cfg := core.QuickConfig()
+	cfg.Seed = *seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	did := false
+	if *mirrorRole != "" {
+		role, ok := roleNames[*mirrorRole]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown role %q\n", *mirrorRole)
+			os.Exit(2)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w, err := mirror.NewWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sink := workload.Fanout{w}
+		var pw *mirror.PcapWriter
+		var pf *os.File
+		if *pcapOut != "" {
+			pf, err = os.Create(*pcapOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pw, err = mirror.NewPcapWriter(pf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sink = append(sink, pw)
+		}
+		host := sys.Monitored(role)
+		tr := services.NewTrace(sys.Pick, host, *seed, cfg.Params, sink)
+		tr.Run(netsim.Time(*seconds) * netsim.Second)
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if pw != nil {
+			if err := pw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "writing pcap:", err)
+				os.Exit(1)
+			}
+			if err := pf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote pcap export to %s\n", *pcapOut)
+		}
+		fmt.Printf("wrote %d packet headers for %s host %d to %s\n",
+			w.Count(), role, host, *out)
+		did = true
+	}
+	if *fleet {
+		fmt.Print(sys.Table3().Render())
+		fmt.Println()
+		fmt.Print(sys.Section41().Render())
+		if *saveDS != "" {
+			f, err := os.Create(*saveDS)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := sys.FleetDataset().Save(f); err != nil {
+				fmt.Fprintln(os.Stderr, "archiving dataset:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("archived Fbflow dataset to %s\n", *saveDS)
+		}
+		did = true
+	}
+	if *loadDS != "" {
+		f, err := os.Open(*loadDS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ds, err := fbflow.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loading dataset:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("archived dataset: %s total bytes, %d minutes\n",
+			renderSI(ds.TotalBytes()), len(ds.PerMinute()))
+		for _, l := range topology.Localities {
+			fmt.Printf("  %-17s %5.1f%%\n", l, 100*ds.LocalityShareAll()[l])
+		}
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// renderSI formats bytes with an SI suffix.
+func renderSI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

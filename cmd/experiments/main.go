@@ -1,0 +1,121 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic datacenter and prints them in the paper's
+// layout, one section per experiment.
+//
+// Usage:
+//
+//	experiments [-scale tiny|small|medium] [-seed N]
+//	            [-short SECONDS] [-long SECONDS] [-only NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fbdcnet/internal/core"
+	"fbdcnet/internal/topology"
+)
+
+func parseScale(s string) (topology.Scale, error) {
+	switch s {
+	case "tiny":
+		return topology.ScaleTiny, nil
+	case "small":
+		return topology.ScaleSmall, nil
+	case "medium":
+		return topology.ScaleMedium, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (tiny|small|medium)", s)
+	}
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "tiny", "fleet scale: tiny|small|medium")
+	seed := flag.Uint64("seed", 42, "deterministic experiment seed")
+	short := flag.Int("short", 30, "short (sub-second analyses) trace seconds")
+	long := flag.Int("long", 60, "long (flow analyses) trace seconds")
+	only := flag.String("only", "", "run a single experiment (e.g. table3, figure12, ablations)")
+	jsonOut := flag.Bool("json", false, "print a machine-readable summary instead of rendered tables")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = *seed
+	cfg.ShortTraceSec = *short
+	cfg.LongTraceSec = *long
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "building system:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		out, err := sys.Summarize().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("fbdcnet experiment harness: %d hosts, %d racks, %d clusters, %d datacenters (seed %d)\n\n",
+		sys.Topo.NumHosts(), len(sys.Topo.Racks), len(sys.Topo.Clusters), len(sys.Topo.Datacenters), *seed)
+
+	experiments := []struct {
+		name string
+		run  func() string
+	}{
+		{"table2", func() string { return sys.Table2().Render() }},
+		{"table3", func() string { return sys.Table3().Render() }},
+		{"table4", func() string { return sys.Table4().Render() }},
+		{"section41", func() string { return sys.Section41().Render() }},
+		{"figure4", func() string { return sys.Figure4().Render() }},
+		{"figure5", func() string { return sys.Figure5().Render() }},
+		{"figure6", func() string { return sys.Figure6().Render() }},
+		{"figure7", func() string { return sys.Figure7().Render() }},
+		{"figure8", func() string { return sys.Figure8().Render() }},
+		{"figure9", func() string { return sys.Figure9().Render() }},
+		{"figure10-11", func() string { return sys.Figure10And11().Render() }},
+		{"figure12", func() string { return sys.Figure12().Render() }},
+		{"figure13", func() string { return sys.Figure13().Render() }},
+		{"figure14", func() string { return sys.Figure14().Render() }},
+		{"figure15", func() string { return sys.Figure15(core.DefaultFigure15Config()).Render() }},
+		{"figure16-17", func() string { return sys.Figure16And17().Render() }},
+		{"ablations", func() string { return core.RenderAblations(sys.Ablations()) }},
+		{"ext-incast", func() string {
+			return sys.ExtensionIncast([]int{1, 2, 4, 8, 12}, 64<<10, 256<<10).Render()
+		}},
+		{"ext-oversub", func() string {
+			factors := []float64{1, 2, 4, 10, 20, 40}
+			return sys.ExtensionOversubscription(topology.RoleHadoop, factors, 3).Render() +
+				sys.ExtensionOversubscription(topology.RoleWeb, factors, 3).Render() +
+				sys.ExtensionOversubAllToAll(factors, 3).Render()
+		}},
+		{"ext-fabric", func() string { return sys.ExtensionFabric().Render() }},
+		{"section52", func() string { return sys.Section52().Render() }},
+		{"ext-dayoverday", func() string { return sys.DayOverDay().Render() }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && !strings.Contains(e.name, *only) {
+			continue
+		}
+		start := time.Now()
+		out := e.run()
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
+		os.Exit(2)
+	}
+}

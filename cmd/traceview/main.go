@@ -1,0 +1,102 @@
+// Command traceview inspects a packet-header trace: either the native
+// binary mirror format produced by dcsim, or a header-only pcap (detected
+// by magic). It prints packet and byte totals, the packet size
+// distribution, top flows by bytes, and SYN counts — a minimal
+// tcpdump-style triage tool.
+//
+// Usage:
+//
+//	traceview trace.fbm
+//	traceview capture.pcap
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"fbdcnet/internal/mirror"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/render"
+	"fbdcnet/internal/stats"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceview <trace.fbm>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	forEach, err := openTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sizes := stats.NewSample(0)
+	flows := stats.NewCounter()
+	var pkts, bytes, syns int64
+	var first, last int64
+	err = forEach(func(h packet.Header) {
+		if pkts == 0 {
+			first = h.Time
+		}
+		last = h.Time
+		pkts++
+		bytes += int64(h.Size)
+		sizes.Add(float64(h.Size))
+		flows.Add(h.Key.String(), float64(h.Size))
+		if h.SYN() && h.Flags&packet.FlagACK == 0 {
+			syns++
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reading trace:", err)
+		os.Exit(1)
+	}
+	durSec := float64(last-first) / 1e9
+	fmt.Printf("packets: %d  bytes: %s  flows: %d  SYNs: %d  span: %.2fs\n",
+		pkts, render.SI(float64(bytes)), flows.Len(), syns, durSec)
+	fmt.Printf("packet sizes: %s\n\n", render.Quantiles(sizes))
+	fmt.Print(render.CDF("packet size CDF (bytes)", sizes, 60, 8, false))
+
+	fmt.Println("\ntop flows by bytes:")
+	top := flows.Sorted()
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].Val > top[j].Val })
+	for _, kv := range top {
+		fmt.Printf("  %-48s %s\n", kv.Key, render.SI(kv.Val))
+	}
+}
+
+// openTrace sniffs the file's magic and returns an iterator over either
+// the native mirror format or pcap.
+func openTrace(f *os.File) (func(func(packet.Header)) error, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if magic[0] == 'F' && magic[1] == 'B' && magic[2] == 'M' {
+		r, err := mirror.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		return r.ForEach, nil
+	}
+	r, err := mirror.NewPcapReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return r.ForEach, nil
+}

@@ -1,0 +1,15 @@
+// Package fbdcnet is a reproduction of "Inside the Social Network's
+// (Datacenter) Network" (Roy, Zeng, Bagga, Porter, Snoeren — SIGCOMM
+// 2015) as a synthetic datacenter: a 4-post Clos topology populated with
+// behavioural models of Facebook's services (Web, cache followers and
+// leaders, Hadoop, Multifeed, SLB, MySQL), observed through faithful
+// reimplementations of the paper's two collection systems (Fbflow-style
+// fleet sampling and per-host port mirroring) and analyzed by the paper's
+// measurement code (locality, flows, heavy hitters, arrival processes,
+// buffer occupancy, concurrency).
+//
+// The entry point is internal/core: build a System, then run the
+// Table*/Figure* experiments. bench_test.go in this directory regenerates
+// every table and figure in the paper's evaluation; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package fbdcnet

@@ -1,0 +1,58 @@
+// Hadoopsort watches a Hadoop node across job phases: quiet computation
+// with only control traffic, then busy shuffle/output periods of short
+// heavy-tailed transfers that stay inside the rack and cluster — the one
+// workload in the paper that matches the prior literature (§4.2, Figs.
+// 4a, 6c, 12, 13).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/core"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/render"
+	"fbdcnet/internal/services"
+	"fbdcnet/internal/topology"
+	"fbdcnet/internal/workload"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	host := sys.Monitored(topology.RoleHadoop)
+
+	loc := analysis.NewLocalitySeries(sys.Topo, host)
+	flows := analysis.NewFlows(sys.Topo, host)
+	sizes := analysis.NewPacketSizes()
+	arr := analysis.NewArrivals(sys.Topo.Hosts[host].Addr, 100*netsim.Millisecond)
+
+	p := services.DefaultParams()
+	// Shorter phases so a 40-second run shows several busy/quiet cycles.
+	p.HadoopBusyMeanSec, p.HadoopQuietMeanSec = 5, 7
+	tr := services.NewTrace(sys.Pick, host, 3, p, workload.Fanout{loc, flows, sizes, arr})
+	tr.Run(40 * netsim.Second)
+	fmt.Printf("hadoop host %d: %d packets, %d flows over 40s\n\n", host, tr.Emitted(), flows.Count())
+
+	fmt.Println("per-100ms packet arrivals (phases visible as quiet stretches):")
+	fmt.Printf("  %s\n\n", render.Sparkline(arr.Bins(100*netsim.Millisecond)))
+
+	fmt.Println("outbound locality (the paper's only rack-heavy service):")
+	for _, l := range topology.Localities {
+		fmt.Printf("  %-17s %5s%%\n", l, render.Pct(loc.Share()[l]))
+	}
+
+	_, sizeAll := flows.SizeCDF()
+	_, durAll := flows.DurationCDF()
+	fmt.Printf("\nflow sizes (KB):     %s\n", render.Quantiles(sizeAll))
+	fmt.Printf("flow durations (ms): %s\n", render.Quantiles(durAll))
+	fmt.Printf("flows under 10 KB: %.0f%% (paper: ≈70%%)\n", 100*sizeAll.FracBelow(10))
+
+	s := sizes.Sample()
+	bimodal := s.FracBelow(100) + (1 - s.FracBelow(1400))
+	fmt.Printf("packet sizes: %.0f%% are ACK- or MTU-sized (the paper's bimodal Fig. 12)\n",
+		100*bimodal)
+}

@@ -1,0 +1,74 @@
+// Trafficeng asks the question of §5: can a traffic engineering system
+// that identifies heavy hitters and treats them specially work on this
+// workload? It measures heavy-hitter persistence at three aggregation
+// levels and bin widths on a cache follower, compares against the
+// literature's on/off workload where heavy hitters ARE stable, and prints
+// the §5.4 verdict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/baseline"
+	"fbdcnet/internal/core"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/services"
+	"fbdcnet/internal/topology"
+	"fbdcnet/internal/workload"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	host := sys.Monitored(topology.RoleCacheFollower)
+	const seconds = 20
+
+	// Heavy-hitter trackers at every (level, bin) pair.
+	levels := []analysis.Level{analysis.LevelFlow, analysis.LevelHost, analysis.LevelRack}
+	bins := []netsim.Time{netsim.Millisecond, 10 * netsim.Millisecond, 100 * netsim.Millisecond}
+	hh := map[analysis.Level]map[netsim.Time]*analysis.HeavyHitters{}
+	var sinks workload.Fanout
+	for _, lvl := range levels {
+		hh[lvl] = map[netsim.Time]*analysis.HeavyHitters{}
+		for _, bin := range bins {
+			tr := analysis.NewHeavyHitters(sys.Topo, host, lvl, bin)
+			hh[lvl][bin] = tr
+			sinks = append(sinks, tr)
+		}
+	}
+	services.NewTrace(sys.Pick, host, 11, services.DefaultParams(), sinks).
+		Run(seconds * netsim.Second)
+
+	fmt.Println("cache follower: median % of heavy hitters persisting into the next interval")
+	fmt.Printf("%-8s %10s %10s %10s\n", "level", "1ms", "10ms", "100ms")
+	for _, lvl := range levels {
+		fmt.Printf("%-8s", lvl)
+		for _, bin := range bins {
+			t := hh[lvl][bin]
+			t.Finish()
+			fmt.Printf(" %9.0f%%", t.Persistence().Quantile(0.5))
+		}
+		fmt.Println()
+	}
+
+	rack100 := hh[analysis.LevelRack][100*netsim.Millisecond].Persistence().Quantile(0.5)
+	flow1 := hh[analysis.LevelFlow][netsim.Millisecond].Persistence().Quantile(0.5)
+	fmt.Printf("\nonly rack-level 100-ms heavy hitters (%.0f%%) clear the 35%% predictability\n", rack100)
+	fmt.Printf("bar prior work set for TE; flow-level 1-ms heavy hitters (%.0f%%) do not.\n\n", flow1)
+
+	// Contrast: the literature's workload, where a handful of large
+	// stable flows make heavy hitters trivially predictable.
+	bl := analysis.NewHeavyHitters(sys.Topo, host, analysis.LevelFlow, 100*netsim.Millisecond)
+	baseline.Generate(sys.Topo, host, 11, baseline.DefaultOnOffParams(),
+		seconds/2*netsim.Second, workload.CollectorFunc(bl.Packet))
+	bl.Finish()
+	fmt.Printf("literature baseline flow-level persistence @100ms: %.0f%% — the regime\n",
+		bl.Persistence().Quantile(0.5))
+	fmt.Println("Hedera/MicroTE-style schemes were designed for. Facebook's load-balanced")
+	fmt.Println("cache traffic removes that signal: heavy hitters are barely heavier than")
+	fmt.Println("the median flow and churn every interval (§5.4).")
+}

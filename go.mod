@@ -1,0 +1,3 @@
+module fbdcnet
+
+go 1.22

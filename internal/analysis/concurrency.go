@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/stats"
+	"fbdcnet/internal/topology"
+)
+
+// ConcurrencyWindow is the paper's definition of "concurrent": within the
+// same 5-ms interval (§6.4).
+const ConcurrencyWindow = 5 * netsim.Millisecond
+
+// Concurrency counts, per window, the distinct destination racks a
+// monitored host sends to (Fig. 16) and the subset that are heavy-hitter
+// racks covering half the window's bytes (Fig. 17), split by locality.
+//
+// Packets must arrive in non-decreasing time order; call Finish at end of
+// trace.
+type Concurrency struct {
+	topo *topology.Topology
+	host topology.HostID
+	addr packet.Addr
+	win  netsim.Time
+
+	curWin int64
+	racks  map[int]float64
+
+	counts   map[topology.Locality]*stats.Sample
+	countAll *stats.Sample
+	hh       map[topology.Locality]*stats.Sample
+	hhAll    *stats.Sample
+	// distinct 5-tuples and hosts per window, for the §6.4 connection
+	// concurrency numbers.
+	flows   map[packet.FlowKey]struct{}
+	hosts   map[packet.Addr]struct{}
+	flowCnt *stats.Sample
+	hostCnt *stats.Sample
+}
+
+// NewConcurrency creates a tracker with the given window (use
+// ConcurrencyWindow for the paper's setting).
+func NewConcurrency(topo *topology.Topology, host topology.HostID, win netsim.Time) *Concurrency {
+	if win <= 0 {
+		panic("analysis: concurrency window must be positive")
+	}
+	c := &Concurrency{
+		topo:     topo,
+		host:     host,
+		addr:     topo.Hosts[host].Addr,
+		win:      win,
+		racks:    make(map[int]float64),
+		counts:   make(map[topology.Locality]*stats.Sample),
+		countAll: stats.NewSample(0),
+		hh:       make(map[topology.Locality]*stats.Sample),
+		hhAll:    stats.NewSample(0),
+		flows:    make(map[packet.FlowKey]struct{}),
+		hosts:    make(map[packet.Addr]struct{}),
+		flowCnt:  stats.NewSample(0),
+		hostCnt:  stats.NewSample(0),
+	}
+	for _, l := range topology.Localities {
+		c.counts[l] = stats.NewSample(0)
+		c.hh[l] = stats.NewSample(0)
+	}
+	return c
+}
+
+// Packet implements the collector interface.
+func (c *Concurrency) Packet(h packet.Header) {
+	if h.Key.Src != c.addr {
+		return
+	}
+	w := h.Time / int64(c.win)
+	if w != c.curWin {
+		c.roll(w)
+	}
+	dst := c.topo.HostByAddr(h.Key.Dst)
+	if dst == nil {
+		return
+	}
+	c.racks[dst.Rack] += float64(h.Size)
+	c.flows[h.Key] = struct{}{}
+	c.hosts[h.Key.Dst] = struct{}{}
+}
+
+// rackLocality classifies a destination rack relative to the monitored
+// host.
+func (c *Concurrency) rackLocality(rack int) topology.Locality {
+	self := &c.topo.Hosts[c.host]
+	r := &c.topo.Racks[rack]
+	switch {
+	case r.ID == self.Rack:
+		return topology.IntraRack
+	case r.Cluster == self.Cluster:
+		return topology.IntraCluster
+	case c.topo.Clusters[r.Cluster].Datacenter == self.Datacenter:
+		return topology.IntraDatacenter
+	default:
+		return topology.InterDatacenter
+	}
+}
+
+// roll finalizes the current window.
+func (c *Concurrency) roll(next int64) {
+	if len(c.racks) > 0 {
+		perLoc := make(map[topology.Locality]int)
+		for rack := range c.racks {
+			perLoc[c.rackLocality(rack)]++
+		}
+		c.countAll.Add(float64(len(c.racks)))
+		for _, l := range topology.Localities {
+			c.counts[l].Add(float64(perLoc[l]))
+		}
+
+		// Heavy-hitter racks of the window: minimum set covering half
+		// the bytes.
+		total := 0.0
+		for _, b := range c.racks {
+			total += b
+		}
+		type kv struct {
+			rack int
+			b    float64
+		}
+		items := make([]kv, 0, len(c.racks))
+		for r, b := range c.racks {
+			items = append(items, kv{r, b})
+		}
+		// insertion sort by bytes desc, rack asc (windows are small)
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && (items[j].b > items[j-1].b ||
+				(items[j].b == items[j-1].b && items[j].rack < items[j-1].rack)); j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+		acc := 0.0
+		hhPerLoc := make(map[topology.Locality]int)
+		hhN := 0
+		for _, it := range items {
+			acc += it.b
+			hhN++
+			hhPerLoc[c.rackLocality(it.rack)]++
+			if acc >= HeavyFrac*total {
+				break
+			}
+		}
+		c.hhAll.Add(float64(hhN))
+		for _, l := range topology.Localities {
+			c.hh[l].Add(float64(hhPerLoc[l]))
+		}
+		c.flowCnt.Add(float64(len(c.flows)))
+		c.hostCnt.Add(float64(len(c.hosts)))
+
+		c.racks = make(map[int]float64)
+		c.flows = make(map[packet.FlowKey]struct{})
+		c.hosts = make(map[packet.Addr]struct{})
+	}
+	c.curWin = next
+}
+
+// Finish flushes the last open window.
+func (c *Concurrency) Finish() { c.roll(c.curWin + 1) }
+
+// Racks returns the distribution of distinct destination racks per window
+// for one locality tier (Fig. 16 series).
+func (c *Concurrency) Racks(l topology.Locality) *stats.Sample { return c.counts[l] }
+
+// RacksAll returns the distribution of total distinct destination racks
+// per window.
+func (c *Concurrency) RacksAll() *stats.Sample { return c.countAll }
+
+// HHRacks returns the per-window heavy-hitter rack count for one tier
+// (Fig. 17 series).
+func (c *Concurrency) HHRacks(l topology.Locality) *stats.Sample { return c.hh[l] }
+
+// HHRacksAll returns the per-window total heavy-hitter rack count.
+func (c *Concurrency) HHRacksAll() *stats.Sample { return c.hhAll }
+
+// Flows returns the distribution of distinct concurrent 5-tuples per
+// window (§6.4).
+func (c *Concurrency) Flows() *stats.Sample { return c.flowCnt }
+
+// Hosts returns the distribution of distinct concurrent destination
+// hosts per window (§6.4).
+func (c *Concurrency) Hosts() *stats.Sample { return c.hostCnt }

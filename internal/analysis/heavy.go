@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"sort"
+
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/stats"
+	"fbdcnet/internal/topology"
+)
+
+// HeavyFrac is the paper's heavy-hitter definition (§5.3): the minimum
+// set of flows (or hosts, or racks) responsible for this fraction of
+// observed bytes in an interval.
+const HeavyFrac = 0.5
+
+// hhKey identifies a traffic aggregate at some level. For LevelFlow the
+// full 5-tuple is set; for LevelHost only Dst; for LevelRack, Dst holds
+// the destination rack ID.
+type hhKey struct {
+	k packet.FlowKey
+}
+
+// HeavyHitters computes windowed heavy-hitter statistics for one
+// monitored host at one (aggregation level, bin width) pair: per-bin set
+// sizes and rates (Table 4), persistence into the following bin
+// (Fig. 10), and the intersection of subinterval heavy hitters with the
+// enclosing second's (Fig. 11). Only outbound traffic is considered.
+//
+// Packets must arrive in non-decreasing time order.
+type HeavyHitters struct {
+	topo  *topology.Topology
+	addr  packet.Addr
+	level Level
+	bin   netsim.Time
+
+	cur    map[hhKey]float64
+	curBin int64
+	prevHH map[hhKey]struct{}
+	prevNo int64 // bin index of prevHH
+
+	// Enclosing-second tracking for the intersection metric.
+	sec    map[hhKey]float64
+	secNo  int64
+	subHHs []map[hhKey]struct{}
+
+	counts    *stats.Sample // |HH| per bin
+	rates     *stats.Sample // per-member rate, Mbps
+	persist   *stats.Sample // |HH_t ∩ HH_t+1| / |HH_t| per consecutive pair
+	intersect *stats.Sample // |HH_sub ∩ HH_sec| / |HH_sub| per subinterval
+}
+
+// NewHeavyHitters creates a tracker at the given level and bin width.
+func NewHeavyHitters(topo *topology.Topology, host topology.HostID, level Level, bin netsim.Time) *HeavyHitters {
+	if bin <= 0 {
+		panic("analysis: heavy-hitter bin width must be positive")
+	}
+	return &HeavyHitters{
+		topo:      topo,
+		addr:      topo.Hosts[host].Addr,
+		level:     level,
+		bin:       bin,
+		cur:       make(map[hhKey]float64),
+		sec:       make(map[hhKey]float64),
+		counts:    stats.NewSample(0),
+		rates:     stats.NewSample(0),
+		persist:   stats.NewSample(0),
+		intersect: stats.NewSample(0),
+	}
+}
+
+// keyFor maps a header to its aggregate identity at the tracker's level.
+func (hh *HeavyHitters) keyFor(h packet.Header) hhKey {
+	switch hh.level {
+	case LevelFlow:
+		return hhKey{h.Key}
+	case LevelHost:
+		return hhKey{packet.FlowKey{Dst: h.Key.Dst}}
+	default:
+		rack := 0
+		if d := hh.topo.HostByAddr(h.Key.Dst); d != nil {
+			rack = d.Rack
+		}
+		return hhKey{packet.FlowKey{Dst: packet.Addr(rack)}}
+	}
+}
+
+// Packet implements the collector interface.
+func (hh *HeavyHitters) Packet(h packet.Header) {
+	if h.Key.Src != hh.addr {
+		return
+	}
+	binNo := h.Time / int64(hh.bin)
+	if binNo != hh.curBin {
+		hh.rollBin(binNo)
+	}
+	secNo := h.Time / int64(netsim.Second)
+	if secNo != hh.secNo {
+		hh.rollSecond(secNo)
+	}
+	k := hh.keyFor(h)
+	hh.cur[k] += float64(h.Size)
+	hh.sec[k] += float64(h.Size)
+}
+
+// heavySet extracts the minimum covering set from a byte-count map.
+func heavySet(counts map[hhKey]float64, frac float64) map[hhKey]struct{} {
+	if len(counts) == 0 {
+		return nil
+	}
+	type kv struct {
+		k hhKey
+		v float64
+	}
+	items := make([]kv, 0, len(counts))
+	total := 0.0
+	for k, v := range counts {
+		items = append(items, kv{k, v})
+		total += v
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		return items[i].k.k.String() < items[j].k.k.String()
+	})
+	set := make(map[hhKey]struct{})
+	acc := 0.0
+	for _, it := range items {
+		set[it.k] = struct{}{}
+		acc += it.v
+		if acc >= frac*total {
+			break
+		}
+	}
+	return set
+}
+
+// rollBin finalizes the current bin: record Table 4 statistics, the
+// persistence fraction versus the previous bin, and stash the set for the
+// enclosing-second intersection.
+func (hh *HeavyHitters) rollBin(next int64) {
+	if len(hh.cur) > 0 {
+		set := heavySet(hh.cur, HeavyFrac)
+		hh.counts.Add(float64(len(set)))
+		binSec := float64(hh.bin) / float64(netsim.Second)
+		for k := range set {
+			hh.rates.Add(hh.cur[k] * 8 / binSec / 1e6) // Mbps
+		}
+		if hh.prevHH != nil && hh.prevNo == hh.curBin-1 {
+			hh.persist.Add(overlap(hh.prevHH, set))
+		}
+		hh.prevHH, hh.prevNo = set, hh.curBin
+		hh.subHHs = append(hh.subHHs, set)
+		hh.cur = make(map[hhKey]float64)
+	}
+	hh.curBin = next
+}
+
+// rollSecond finalizes the enclosing second: intersect each stored
+// subinterval set with the second-level heavy hitters.
+func (hh *HeavyHitters) rollSecond(next int64) {
+	if len(hh.sec) > 0 && len(hh.subHHs) > 0 {
+		secSet := heavySet(hh.sec, HeavyFrac)
+		for _, sub := range hh.subHHs {
+			if len(sub) > 0 {
+				hh.intersect.Add(overlap(sub, secSet))
+			}
+		}
+	}
+	hh.sec = make(map[hhKey]float64)
+	hh.subHHs = hh.subHHs[:0]
+	hh.secNo = next
+}
+
+// overlap returns |a ∩ b| / |a| as a percentage.
+func overlap(a, b map[hhKey]struct{}) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(a))
+}
+
+// Finish flushes the last open bin and second. Call once, after the trace
+// ends.
+func (hh *HeavyHitters) Finish() {
+	hh.rollBin(hh.curBin + 1)
+	hh.rollSecond(hh.secNo + 1)
+}
+
+// Counts returns the per-bin heavy-hitter set sizes (Table 4 "Number").
+func (hh *HeavyHitters) Counts() *stats.Sample { return hh.counts }
+
+// Rates returns the per-member rates in Mbps (Table 4 "Size").
+func (hh *HeavyHitters) Rates() *stats.Sample { return hh.rates }
+
+// Persistence returns the distribution of the fraction (in percent) of a
+// bin's heavy hitters that remain heavy in the next bin (Fig. 10).
+func (hh *HeavyHitters) Persistence() *stats.Sample { return hh.persist }
+
+// Intersection returns the distribution of the fraction (in percent) of a
+// subinterval's heavy hitters that are also heavy over the enclosing
+// second (Fig. 11).
+func (hh *HeavyHitters) Intersection() *stats.Sample { return hh.intersect }

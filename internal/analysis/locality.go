@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/stats"
+	"fbdcnet/internal/topology"
+)
+
+// LocalitySeries bins a monitored host's outbound bytes per second by
+// destination locality — the stacked per-second series of Figure 4.
+type LocalitySeries struct {
+	topo *topology.Topology
+	host topology.HostID
+	addr packet.Addr
+	bins map[topology.Locality]*stats.TimeSeries
+}
+
+// NewLocalitySeries creates the per-second locality series for host.
+func NewLocalitySeries(topo *topology.Topology, host topology.HostID) *LocalitySeries {
+	ls := &LocalitySeries{
+		topo: topo,
+		host: host,
+		addr: topo.Hosts[host].Addr,
+		bins: make(map[topology.Locality]*stats.TimeSeries),
+	}
+	for _, l := range topology.Localities {
+		ls.bins[l] = stats.NewTimeSeries(0, 1.0)
+	}
+	return ls
+}
+
+// Packet implements the collector interface; only outbound packets count.
+func (ls *LocalitySeries) Packet(h packet.Header) {
+	if h.Key.Src != ls.addr {
+		return
+	}
+	dst := ls.topo.HostByAddr(h.Key.Dst)
+	if dst == nil {
+		return
+	}
+	loc := ls.topo.Locality(ls.host, dst.ID)
+	if loc == topology.SameHost {
+		return
+	}
+	ls.bins[loc].Add(float64(h.Time)/float64(netsim.Second), float64(h.Size))
+}
+
+// Series returns the per-second byte series for one locality tier.
+func (ls *LocalitySeries) Series(l topology.Locality) []float64 {
+	return ls.bins[l].Bins()
+}
+
+// Share returns the overall byte fraction per locality tier.
+func (ls *LocalitySeries) Share() map[topology.Locality]float64 {
+	totals := make(map[topology.Locality]float64)
+	grand := 0.0
+	for l, ts := range ls.bins {
+		for _, v := range ts.Bins() {
+			totals[l] += v
+			grand += v
+		}
+	}
+	if grand == 0 {
+		return map[topology.Locality]float64{}
+	}
+	for l := range totals {
+		totals[l] /= grand
+	}
+	return totals
+}
+
+// Stability returns the per-second coefficient of variation of each
+// tier's share — low values are the "essentially flat and unchanging"
+// pattern of §4.2. Seconds with no traffic are skipped; tiers carrying
+// under 1% of bytes are omitted.
+func (ls *LocalitySeries) Stability() map[topology.Locality]float64 {
+	share := ls.Share()
+	out := make(map[topology.Locality]float64)
+	n := 0
+	for _, ts := range ls.bins {
+		if len(ts.Bins()) > n {
+			n = len(ts.Bins())
+		}
+	}
+	for l, frac := range share {
+		if frac < 0.01 {
+			continue
+		}
+		var m stats.Moments
+		series := ls.bins[l].Bins()
+		for i := 0; i < n; i++ {
+			total := 0.0
+			for _, ts := range ls.bins {
+				if i < len(ts.Bins()) {
+					total += ts.Bins()[i]
+				}
+			}
+			if total == 0 {
+				continue
+			}
+			v := 0.0
+			if i < len(series) {
+				v = series[i]
+			}
+			m.Add(v / total)
+		}
+		if m.Mean() > 0 {
+			out[l] = m.Std() / m.Mean()
+		}
+	}
+	return out
+}
+
+// ServiceMix accumulates a monitored host's outbound bytes by destination
+// role — one row of Table 2.
+type ServiceMix struct {
+	topo  *topology.Topology
+	addr  packet.Addr
+	bytes map[topology.Role]float64
+	total float64
+}
+
+// NewServiceMix creates the Table 2 accumulator for host.
+func NewServiceMix(topo *topology.Topology, host topology.HostID) *ServiceMix {
+	return &ServiceMix{
+		topo:  topo,
+		addr:  topo.Hosts[host].Addr,
+		bytes: make(map[topology.Role]float64),
+	}
+}
+
+// Packet implements the collector interface.
+func (sm *ServiceMix) Packet(h packet.Header) {
+	if h.Key.Src != sm.addr {
+		return
+	}
+	dst := sm.topo.HostByAddr(h.Key.Dst)
+	if dst == nil {
+		return
+	}
+	sm.bytes[dst.Role] += float64(h.Size)
+	sm.total += float64(h.Size)
+}
+
+// Share returns the outbound byte fraction per destination role.
+func (sm *ServiceMix) Share() map[topology.Role]float64 {
+	out := make(map[topology.Role]float64, len(sm.bytes))
+	if sm.total == 0 {
+		return out
+	}
+	for r, b := range sm.bytes {
+		out[r] = b / sm.total
+	}
+	return out
+}

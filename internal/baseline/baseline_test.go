@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"testing"
+
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/topology"
+)
+
+func run(t *testing.T, seconds int64) (*topology.Topology, topology.HostID, []packet.Header) {
+	t.Helper()
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	host := topo.HostsByRole(topology.RoleHadoop)[0]
+	var hdrs []packet.Header
+	n := Generate(topo, host, 99, DefaultOnOffParams(),
+		netsim.Time(seconds)*netsim.Second,
+		collector(func(h packet.Header) { hdrs = append(hdrs, h) }))
+	if n == 0 || len(hdrs) == 0 {
+		t.Fatal("baseline generated no packets")
+	}
+	return topo, host, hdrs
+}
+
+type collector func(packet.Header)
+
+func (c collector) Packet(h packet.Header) { c(h) }
+
+func TestBimodalSizes(t *testing.T) {
+	_, _, hdrs := run(t, 2)
+	var ack, mtu, other int
+	for _, h := range hdrs {
+		switch h.Size {
+		case packet.ACKSize:
+			ack++
+		case packet.MTUSize:
+			mtu++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("non-bimodal packets: %d", other)
+	}
+	frac := float64(mtu) / float64(ack+mtu)
+	if frac < 0.45 || frac > 0.65 {
+		t.Fatalf("MTU fraction %.2f, want ≈0.55", frac)
+	}
+}
+
+func TestRackHeavyLocality(t *testing.T) {
+	// Sticky elephants make short-window locality high-variance; ten
+	// seconds spans several hot epochs.
+	topo, host, hdrs := run(t, 10)
+	rackBytes, total := 0.0, 0.0
+	addr := topo.Hosts[host].Addr
+	for _, h := range hdrs {
+		if h.Key.Src != addr {
+			continue
+		}
+		dst := topo.HostByAddr(h.Key.Dst)
+		total += float64(h.Size)
+		if dst != nil && dst.Rack == topo.Hosts[host].Rack {
+			rackBytes += float64(h.Size)
+		}
+	}
+	frac := rackBytes / total
+	if frac < 0.35 || frac > 0.95 {
+		t.Fatalf("rack-local fraction %.2f, want rack-heavy ≈0.65 (literature range)", frac)
+	}
+}
+
+func TestOnOffBehaviour(t *testing.T) {
+	topo, host, hdrs := run(t, 2)
+	a := analysis.NewArrivals(topo.Hosts[host].Addr, 5*netsim.Millisecond)
+	for _, h := range hdrs {
+		a.Packet(h)
+	}
+	// Literature traffic must show silent gaps at small bin widths —
+	// the opposite of the paper's Fig. 13 finding for Facebook hosts.
+	if score := a.OnOffScore(5 * netsim.Millisecond); score < 0.2 {
+		t.Fatalf("on/off score %.2f, want clearly on/off (≥0.2)", score)
+	}
+}
+
+func TestFewConcurrentPeers(t *testing.T) {
+	topo, host, hdrs := run(t, 2)
+	c := analysis.NewConcurrency(topo, host, analysis.ConcurrencyWindow)
+	for _, h := range hdrs {
+		c.Packet(h)
+	}
+	c.Finish()
+	if med := c.Hosts().Quantile(0.5); med > 5 {
+		t.Fatalf("median concurrent hosts %.0f, literature reports <5", med)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	host := topo.HostsByRole(topology.RoleHadoop)[0]
+	gen := func() []packet.Header {
+		var hdrs []packet.Header
+		Generate(topo, host, 7, DefaultOnOffParams(), netsim.Second,
+			collector(func(h packet.Header) { hdrs = append(hdrs, h) }))
+		return hdrs
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestAllToAllUniformity(t *testing.T) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	host := topo.HostsByRole(topology.RoleWeb)[0]
+	counts := map[packet.Addr]int{}
+	var total int
+	n := GenerateAllToAll(topo, host, 3, DefaultAllToAllParams(), netsim.Second,
+		collector(func(h packet.Header) {
+			counts[h.Key.Dst]++
+			total++
+		}))
+	if n == 0 || total == 0 {
+		t.Fatal("no packets")
+	}
+	// Coverage: a second of uniform traffic should touch most of the fleet.
+	if len(counts) < topo.NumHosts()/2 {
+		t.Fatalf("touched %d of %d hosts", len(counts), topo.NumHosts())
+	}
+	// No destination should dominate.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(total) / float64(len(counts))
+	if float64(max) > mean*4 {
+		t.Fatalf("max per-host count %d vs mean %.1f: not uniform", max, mean)
+	}
+}
+
+func TestAllToAllNoSelfTraffic(t *testing.T) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	host := topo.HostsByRole(topology.RoleWeb)[0]
+	self := topo.Hosts[host].Addr
+	GenerateAllToAll(topo, host, 5, DefaultAllToAllParams(), netsim.Second/4,
+		collector(func(h packet.Header) {
+			if h.Key.Dst == self {
+				t.Fatal("packet to self")
+			}
+		}))
+}

@@ -1,0 +1,223 @@
+// Package core orchestrates the full reproduction: it builds a datacenter
+// (topology + services), runs the two collection systems over it, and
+// executes one experiment per table and figure of the paper's evaluation,
+// returning structured results the bench harness and cmd/experiments
+// render.
+//
+// The package is the reproduction's public surface: construct a System,
+// then call the Table*/Figure* methods. Every experiment is deterministic
+// in (Config.Seed, Config.Scale).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/services"
+	"fbdcnet/internal/topology"
+	"fbdcnet/internal/workload"
+)
+
+// Config selects the scale, seed, service parameters, and experiment
+// durations.
+type Config struct {
+	Scale  topology.Scale
+	Seed   uint64
+	Params services.Params
+
+	// ShortTraceSec is used by sub-second analyses (heavy hitters,
+	// concurrency, rates): the paper's two-minute captures, scaled.
+	ShortTraceSec int
+	// LongTraceSec is used by flow size/duration analyses: the paper's
+	// ten-minute captures, scaled.
+	LongTraceSec int
+	// FleetWindows and FleetWindowSec define the Fbflow observation: the
+	// paper's 24-hour day is FleetWindows windows of FleetWindowSec
+	// seconds each, diurnally modulated.
+	FleetWindows   int
+	FleetWindowSec float64
+	// FleetSamples is the per-component flow sampling resolution.
+	FleetSamples int
+}
+
+// DefaultConfig returns the standard experiment configuration: small
+// scale, two-minute short traces, ten-minute long traces, and a 24-window
+// synthetic day.
+func DefaultConfig() Config {
+	return Config{
+		Scale:          topology.ScaleSmall,
+		Seed:           42,
+		Params:         services.DefaultParams(),
+		ShortTraceSec:  120,
+		LongTraceSec:   600,
+		FleetWindows:   24,
+		FleetWindowSec: 60,
+		FleetSamples:   8,
+	}
+}
+
+// QuickConfig returns a configuration sized for unit tests and smoke
+// runs: tiny fleet, seconds-long traces.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Scale = topology.ScaleTiny
+	c.ShortTraceSec = 10
+	c.LongTraceSec = 20
+	c.FleetWindows = 6
+	c.FleetWindowSec = 10
+	return c
+}
+
+// MonitoredRoles are the four server classes the paper's port-mirror
+// study covers (§3.3.2).
+var MonitoredRoles = []topology.Role{
+	topology.RoleWeb,
+	topology.RoleCacheFollower,
+	topology.RoleCacheLeader,
+	topology.RoleHadoop,
+}
+
+// System is a built datacenter ready to run experiments.
+type System struct {
+	Cfg  Config
+	Topo *topology.Topology
+	Pick *services.Picker
+
+	bundles map[bundleKey]*TraceBundle
+	fleet   *fbflow.Dataset
+}
+
+type bundleKey struct {
+	role topology.Role
+	sec  int
+}
+
+// NewSystem builds the topology and validates that the service models can
+// run on it.
+func NewSystem(cfg Config) (*System, error) {
+	topo, err := topology.Build(topology.Preset(cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	pick := services.NewPicker(topo)
+	if err := pick.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{Cfg: cfg, Topo: topo, Pick: pick, bundles: make(map[bundleKey]*TraceBundle)}, nil
+}
+
+// MustNewSystem is NewSystem that panics on error.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Monitored returns the representative monitored host for a role: the
+// first host of that role (within the first cluster hosting it), matching
+// the paper's single-host mirror methodology.
+func (s *System) Monitored(role topology.Role) topology.HostID {
+	hs := s.Topo.HostsByRole(role)
+	if len(hs) == 0 {
+		panic(fmt.Sprintf("core: no hosts of role %v", role))
+	}
+	return hs[0]
+}
+
+// TraceBundle holds every streaming analysis attached to one monitored
+// host's mirror capture, so each (role, duration) trace is generated
+// exactly once per System.
+type TraceBundle struct {
+	Role    topology.Role
+	Host    topology.HostID
+	Seconds int
+
+	Mix     *analysis.ServiceMix
+	Loc     *analysis.LocalitySeries
+	Flows   *analysis.Flows
+	Rates   *analysis.RateSeries
+	Sizes   *analysis.PacketSizes
+	Arr     *analysis.Arrivals
+	Conc    *analysis.Concurrency
+	HH      map[analysis.Level]map[netsim.Time]*analysis.HeavyHitters
+	Packets int64
+}
+
+// HHBins are the sub-second windows the heavy-hitter analyses use
+// (Table 4, Figs. 10–11).
+var HHBins = []netsim.Time{
+	netsim.Millisecond,
+	10 * netsim.Millisecond,
+	100 * netsim.Millisecond,
+}
+
+// Trace returns the analysis bundle for role over seconds of capture,
+// generating it on first use and memoizing per System.
+func (s *System) Trace(role topology.Role, seconds int) *TraceBundle {
+	key := bundleKey{role, seconds}
+	if b, ok := s.bundles[key]; ok {
+		return b
+	}
+	host := s.Monitored(role)
+	b := &TraceBundle{
+		Role:    role,
+		Host:    host,
+		Seconds: seconds,
+		Mix:     analysis.NewServiceMix(s.Topo, host),
+		Loc:     analysis.NewLocalitySeries(s.Topo, host),
+		Flows:   analysis.NewFlows(s.Topo, host),
+		Rates:   analysis.NewRateSeries(s.Topo, host),
+		Sizes:   analysis.NewPacketSizes(),
+		Arr: analysis.NewArrivals(s.Topo.Hosts[host].Addr,
+			15*netsim.Millisecond, 100*netsim.Millisecond),
+		Conc: analysis.NewConcurrency(s.Topo, host, analysis.ConcurrencyWindow),
+		HH:   make(map[analysis.Level]map[netsim.Time]*analysis.HeavyHitters),
+	}
+	// Figure 8 considers the primary peer group's racks: the paper plots
+	// cache responses toward Web-server racks (8b/8c); Hadoop traffic is
+	// effectively all-Hadoop already.
+	switch role {
+	case topology.RoleCacheFollower:
+		b.Rates.Filter = func(d *topology.Host) bool { return d.Role == topology.RoleWeb }
+	case topology.RoleCacheLeader:
+		b.Rates.Filter = func(d *topology.Host) bool {
+			return d.Role == topology.RoleCacheFollower || d.Role == topology.RoleCacheLeader
+		}
+	case topology.RoleWeb:
+		b.Rates.Filter = func(d *topology.Host) bool { return d.Role == topology.RoleCacheFollower }
+	}
+	sinks := workload.Fanout{b.Mix, b.Loc, b.Flows, b.Rates, b.Sizes, b.Arr, b.Conc}
+	for _, lvl := range []analysis.Level{analysis.LevelFlow, analysis.LevelHost, analysis.LevelRack} {
+		b.HH[lvl] = make(map[netsim.Time]*analysis.HeavyHitters)
+		for _, bin := range HHBins {
+			hh := analysis.NewHeavyHitters(s.Topo, host, lvl, bin)
+			b.HH[lvl][bin] = hh
+			sinks = append(sinks, hh)
+		}
+	}
+
+	tr := services.NewTrace(s.Pick, host, s.Cfg.Seed^uint64(role)<<8^uint64(seconds), s.Cfg.Params, sinks)
+	tr.Run(netsim.Time(seconds) * netsim.Second)
+	b.Packets = tr.Emitted()
+
+	b.Conc.Finish()
+	for _, m := range b.HH {
+		for _, hh := range m {
+			hh.Finish()
+		}
+	}
+	s.bundles[key] = b
+	return b
+}
+
+// DiurnalFactor returns the load multiplier at a fraction t∈[0,1) through
+// the synthetic day: a sinusoid with a 2× peak-to-trough swing (§4.1).
+func DiurnalFactor(t float64) float64 {
+	// 1 + A·sin: A = 1/3 gives max/min = (4/3)/(2/3) = 2.
+	return 1 + (1.0/3.0)*math.Sin(2*math.Pi*t)
+}

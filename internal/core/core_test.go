@@ -1,0 +1,407 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/topology"
+)
+
+// sys memoizes one quick system across the package's tests: experiments
+// share trace bundles and the fleet dataset exactly as the real harness
+// does.
+var testSys *System
+
+func quickSys(t *testing.T) *System {
+	t.Helper()
+	if testSys == nil {
+		testSys = MustNewSystem(QuickConfig())
+	}
+	return testSys
+}
+
+func TestNewSystemZeroConfig(t *testing.T) {
+	// The zero config resolves to the tiny preset, which must be a valid
+	// topology for every service model.
+	s, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topo.NumHosts() == 0 {
+		t.Fatal("empty fleet")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Table2()
+	web := res.Share[topology.RoleWeb]
+	if web[topology.RoleCacheFollower] < 0.4 {
+		t.Errorf("web→cache share %.2f", web[topology.RoleCacheFollower])
+	}
+	hadoop := res.Share[topology.RoleHadoop]
+	if hadoop[topology.RoleHadoop] < 0.99 {
+		t.Errorf("hadoop→hadoop share %.3f", hadoop[topology.RoleHadoop])
+	}
+	if !strings.Contains(res.Render(), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Table3()
+	// Headline finding: traffic is neither rack-local nor all-to-all;
+	// fleet-wide, intra-cluster dominates and intra-rack is small.
+	if res.All[topology.IntraCluster] < 0.35 {
+		t.Errorf("fleet intra-cluster %.2f, want dominant", res.All[topology.IntraCluster])
+	}
+	if res.All[topology.IntraRack] > 0.30 {
+		t.Errorf("fleet intra-rack %.2f, want small", res.All[topology.IntraRack])
+	}
+	// Hadoop clusters are the most rack-local; cache clusters the least.
+	h := res.Locality[topology.ClusterHadoop][topology.IntraRack]
+	c := res.Locality[topology.ClusterCache][topology.IntraRack]
+	if h <= c {
+		t.Errorf("hadoop rack share (%.3f) should exceed cache's (%.3f)", h, c)
+	}
+	// DB clusters are the most evenly spread across cluster/DC/inter-DC.
+	db := res.Locality[topology.ClusterDB]
+	if db[topology.InterDatacenter] < 0.15 {
+		t.Errorf("DB inter-DC %.2f, want substantial", db[topology.InterDatacenter])
+	}
+	sum := 0.0
+	for _, ct := range topology.ClusterTypes {
+		sum += res.Share[ct]
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("shares sum to %.3f", sum)
+	}
+	if !strings.Contains(res.Render(), "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Table4()
+	if len(res.Rows) != len(MonitoredRoles)*3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	byKey := make(map[string]Table4Row)
+	for _, r := range res.Rows {
+		byKey[r.Role.String()+"/"+r.Level.String()] = r
+		if r.NumP50 < 1 {
+			t.Errorf("%v/%v median HH count %.1f < 1", r.Role, r.Level, r.NumP50)
+		}
+		if r.NumP10 > r.NumP50 || r.NumP50 > r.NumP90 {
+			t.Errorf("%v/%v percentiles not ordered", r.Role, r.Level)
+		}
+	}
+	// Hadoop has very few heavy hitters (1–3 in the paper).
+	if h := byKey["Hadoop/Flows"]; h.NumP50 > 6 {
+		t.Errorf("hadoop flow HH median %.0f, want small", h.NumP50)
+	}
+	// Cache follower has the most (8–35 in the paper).
+	if byKey["Cache-f/Flows"].NumP50 <= byKey["Hadoop/Flows"].NumP50 {
+		t.Error("cache follower should have more heavy hitters than hadoop")
+	}
+	if !strings.Contains(res.Render(), "Table 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure4()
+	// Web: cluster-dominant, almost no rack-local.
+	web := res.Share[topology.RoleWeb]
+	if web[topology.IntraCluster] < 0.5 || web[topology.IntraRack] > 0.1 {
+		t.Errorf("web locality %v", web)
+	}
+	// Hadoop: rack+cluster ≈ all.
+	h := res.Share[topology.RoleHadoop]
+	if h[topology.IntraRack]+h[topology.IntraCluster] < 0.9 {
+		t.Errorf("hadoop locality %v", h)
+	}
+	// Stability: web's dominant tier should be fairly flat per second.
+	if cv := res.Stability[topology.RoleWeb][topology.IntraCluster]; cv > 0.5 {
+		t.Errorf("web intra-cluster share CV %.2f, want stable", cv)
+	}
+	if !strings.Contains(res.Render(), "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure5()
+	// Hadoop matrix must have a strong diagonal relative to Frontend's.
+	if res.HadoopDiag <= res.FrontendDiag {
+		t.Errorf("hadoop diag %.3f should exceed frontend diag %.3f",
+			res.HadoopDiag, res.FrontendDiag)
+	}
+	if res.FrontendDiag > 0.1 {
+		t.Errorf("frontend diagonal %.3f, want near zero (bipartite)", res.FrontendDiag)
+	}
+	n := len(res.Clusters)
+	if n != len(s.Topo.Clusters) {
+		t.Fatalf("cluster matrix dimension %d", n)
+	}
+	if !strings.Contains(res.Render(), "Figure 5a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure6And7Shapes(t *testing.T) {
+	s := quickSys(t)
+	sizes := s.Figure6()
+	durs := s.Figure7()
+	// Hadoop flows are short and small; cache flows long-lived.
+	hMed := sizes.All[topology.RoleHadoop].Quantile(0.5)
+	if hMed > 2 { // KB
+		t.Errorf("hadoop median flow size %.1f KB, want < 1-2 KB", hMed)
+	}
+	hDur := durs.All[topology.RoleHadoop].Quantile(0.5)
+	cDur := durs.All[topology.RoleCacheFollower].Quantile(0.5)
+	if cDur <= hDur {
+		t.Errorf("cache median duration (%.0f ms) should exceed hadoop's (%.0f ms)", cDur, hDur)
+	}
+	if !strings.Contains(sizes.Render(), "Figure 6") || !strings.Contains(durs.Render(), "Figure 7") {
+		t.Error("render missing titles")
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure8()
+	// Cache per-rack rates tight around median; Hadoop spread much wider.
+	if res.CacheWithin2x < 0.7 {
+		t.Errorf("cache within-2x %.2f, want ≥0.7", res.CacheWithin2x)
+	}
+	if res.SpreadHadoop.N() > 0 && res.SpreadCache.N() > 0 {
+		if res.SpreadHadoop.Quantile(0.5) <= res.SpreadCache.Quantile(0.5) {
+			t.Errorf("hadoop rate spread (%.1f) should exceed cache's (%.1f)",
+				res.SpreadHadoop.Quantile(0.5), res.SpreadCache.Quantile(0.5))
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure9()
+	if res.PerHost.N() == 0 {
+		t.Fatal("no per-host sizes")
+	}
+	// Per-host distribution must be tighter than per-flow.
+	if res.TightnessRatio >= res.FlowP90P10 {
+		t.Errorf("per-host p90/p10 (%.1f) should be tighter than per-flow (%.1f)",
+			res.TightnessRatio, res.FlowP90P10)
+	}
+	if !strings.Contains(res.Render(), "Figure 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure10And11Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure10And11()
+	cf := res.Persistence[topology.RoleCacheFollower]
+	// Rack-level heavy hitters persist more than flow-level ones at
+	// 100 ms (the paper's only ≥35%-predictable aggregation).
+	flow := cf[analysis.LevelFlow][100*netsim.Millisecond]
+	rack := cf[analysis.LevelRack][100*netsim.Millisecond]
+	if rack < flow {
+		t.Errorf("rack persistence (%.0f%%) should be ≥ flow persistence (%.0f%%)", rack, flow)
+	}
+	if !strings.Contains(res.Render(), "Figures 10-11") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure12Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure12()
+	for _, role := range []topology.Role{topology.RoleWeb, topology.RoleCacheFollower, topology.RoleCacheLeader} {
+		if med := res.Sizes[role].Quantile(0.5); med > 400 {
+			t.Errorf("%v median packet %.0f, want small", role, med)
+		}
+	}
+	if res.BimodalFrac[topology.RoleHadoop] < 0.75 {
+		t.Errorf("hadoop bimodal fraction %.2f", res.BimodalFrac[topology.RoleHadoop])
+	}
+	if res.BimodalFrac[topology.RoleHadoop] <= res.BimodalFrac[topology.RoleWeb] {
+		t.Error("hadoop should be more bimodal than web")
+	}
+	if !strings.Contains(res.Render(), "Figure 12") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure13Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure13()
+	// Facebook-style arrivals are continuous; the literature baseline is
+	// on/off. Hadoop quiet phases can blank whole stretches, so compare
+	// against the baseline rather than an absolute.
+	if res.FacebookScore15 >= res.BaselineScore15 {
+		t.Errorf("facebook on/off score %.2f should be below baseline %.2f",
+			res.FacebookScore15, res.BaselineScore15)
+	}
+	if !strings.Contains(res.Render(), "Figure 13") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure14Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure14()
+	for _, role := range MonitoredRoles {
+		if res.Gaps[role].N() == 0 {
+			t.Errorf("%v: no SYN gaps", role)
+		}
+	}
+	// Cache follower opens flows least often (8 ms median in the paper
+	// vs 2 ms for Web).
+	web := res.Gaps[topology.RoleWeb].Quantile(0.5)
+	cf := res.Gaps[topology.RoleCacheFollower].Quantile(0.5)
+	if cf <= web {
+		t.Errorf("cache-f SYN gap (%.0fµs) should exceed web's (%.0fµs)", cf, web)
+	}
+	if !strings.Contains(res.Render(), "Figure 14") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure16And17Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Figure16And17()
+	// Cache follower talks to the most racks; Hadoop to few.
+	cf := res.RacksAll[topology.RoleCacheFollower].Quantile(0.5)
+	h := res.RacksAll[topology.RoleHadoop].Quantile(0.5)
+	if cf <= h {
+		t.Errorf("cache-f concurrent racks (%.0f) should exceed hadoop's (%.0f)", cf, h)
+	}
+	// Heavy-hitter racks are far fewer than total racks for cache.
+	hhCf := res.HHAll[topology.RoleCacheFollower].Quantile(0.5)
+	if hhCf >= cf {
+		t.Errorf("HH racks (%.0f) should be fewer than total (%.0f)", hhCf, cf)
+	}
+	// Web and cache keep 100s-1000s of concurrent flows vs ~25 for
+	// Hadoop (§6.4): verify the ordering.
+	if res.Flows[topology.RoleCacheFollower].Quantile(0.5) <= res.Flows[topology.RoleHadoop].Quantile(0.5) {
+		t.Error("cache concurrent flows should exceed hadoop's")
+	}
+	if !strings.Contains(res.Render(), "Figures 16-17") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSection41Shapes(t *testing.T) {
+	s := quickSys(t)
+	res := s.Section41()
+	edge := res.Tiers[netsim.TierHostRSW]
+	up := res.Tiers[netsim.TierRSWCSW]
+	// Edge links are lightly loaded; aggregation utilization is higher.
+	if edge.Mean() > 0.2 {
+		t.Errorf("edge mean utilization %.3f, want low", edge.Mean())
+	}
+	if up.Mean() <= edge.Mean() {
+		t.Errorf("uplink util (%.4f) should exceed edge util (%.4f)", up.Mean(), edge.Mean())
+	}
+	// Hadoop clusters run hotter than Frontend.
+	if res.EdgeLoadByClusterType[topology.ClusterHadoop] <= res.EdgeLoadByClusterType[topology.ClusterFrontend] {
+		t.Error("hadoop edge load should exceed frontend's")
+	}
+	if res.DiurnalSwing < 1.3 {
+		t.Errorf("diurnal swing %.2f, want ≈2", res.DiurnalSwing)
+	}
+	if !strings.Contains(res.Render(), "Section 4.1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure15Shapes(t *testing.T) {
+	s := quickSys(t)
+	cfg := DefaultFigure15Config()
+	cfg.Windows = 2
+	cfg.LoadBoost = 6
+	res := s.Figure15(cfg)
+	if len(res.WebMax) == 0 || len(res.CacheMax) == 0 {
+		t.Fatal("no occupancy samples")
+	}
+	if MaxOf(res.WebMax) <= 0 {
+		t.Error("web rack buffer never occupied")
+	}
+	if MaxOf(res.WebUtil) <= 0 || MaxOf(res.WebUtil) > 0.5 {
+		t.Errorf("web edge utilization %.4f, want positive and low", MaxOf(res.WebUtil))
+	}
+	if !strings.Contains(res.Render(), "Figure 15") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := quickSys(t)
+	for _, a := range s.Ablations() {
+		txt := a.Render()
+		if strings.Contains(txt, "UNEXPECTED") {
+			t.Errorf("%s", txt)
+		}
+	}
+}
+
+func TestTraceMemoization(t *testing.T) {
+	s := quickSys(t)
+	a := s.Trace(topology.RoleWeb, s.Cfg.ShortTraceSec)
+	b := s.Trace(topology.RoleWeb, s.Cfg.ShortTraceSec)
+	if a != b {
+		t.Fatal("trace bundles not memoized")
+	}
+	if a.Packets == 0 {
+		t.Fatal("bundle has no packets")
+	}
+}
+
+func TestDiurnalFactor(t *testing.T) {
+	maxV, minV := 0.0, 10.0
+	for i := 0; i < 100; i++ {
+		v := DiurnalFactor(float64(i) / 100)
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	ratio := maxV / minV
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("diurnal swing %.2f, want ≈2", ratio)
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	s := quickSys(t)
+	sum := s.Summarize()
+	if sum.Hosts != s.Topo.NumHosts() {
+		t.Fatal("host count wrong")
+	}
+	if len(sum.ServiceMix) != len(MonitoredRoles) {
+		t.Fatalf("service mix roles %d", len(sum.ServiceMix))
+	}
+	data, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"locality_all\"") {
+		t.Fatal("JSON missing expected keys")
+	}
+	if sum.DiurnalSwing <= 1 {
+		t.Fatalf("diurnal swing %v", sum.DiurnalSwing)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/topology"
+)
+
+func TestExtensionIncast(t *testing.T) {
+	s := quickSys(t)
+	res := s.ExtensionIncast([]int{1, 4}, 64<<10, 64<<10)
+	if len(res.Points) != 2 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	a, b := res.Points[0], res.Points[1]
+	if a.Senders >= b.Senders {
+		t.Fatalf("sender counts not increasing: %d %d", a.Senders, b.Senders)
+	}
+	if b.QueuePeak <= a.QueuePeak {
+		t.Errorf("queue peak should grow with fan-in: %.3f vs %.3f", a.QueuePeak, b.QueuePeak)
+	}
+	if a.Delivered == 0 {
+		t.Error("single sender delivered nothing")
+	}
+	if b.LastArrivalMs <= a.LastArrivalMs {
+		t.Errorf("completion time should grow with fan-in: %.2f vs %.2f", a.LastArrivalMs, b.LastArrivalMs)
+	}
+	if !strings.Contains(res.Render(), "incast") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtensionOversubscription(t *testing.T) {
+	s := quickSys(t)
+	res := s.ExtensionOversubscription(topology.RoleHadoop, []float64{1, 40}, 3)
+	if len(res.Points) != 2 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	// Heavier oversubscription must not reduce drops.
+	if res.Points[1].DropFrac < res.Points[0].DropFrac {
+		t.Errorf("drops decreased under oversubscription: %v", res.Points)
+	}
+	if res.Points[1].UplinkUtil <= res.Points[0].UplinkUtil {
+		t.Errorf("uplink utilization should rise when capacity shrinks: %v", res.Points)
+	}
+	if !strings.Contains(res.Render(), "oversubscription") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtensionFabric(t *testing.T) {
+	s := quickSys(t)
+	res := s.ExtensionFabric()
+	if res.Similarity < 0.5 {
+		t.Errorf("fabric/4-post similarity %.3f, want high (same logical behaviour)", res.Similarity)
+	}
+	if res.FourPostDiag > 0.2 || res.FabricDiag > 0.2 {
+		t.Errorf("frontend matrices should be off-diagonal: %.3f %.3f", res.FourPostDiag, res.FabricDiag)
+	}
+	if !strings.Contains(res.Render(), "Fabric") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSection52ObjectChurn(t *testing.T) {
+	s := quickSys(t)
+	res := s.Section52()
+	// "A few minutes": between one and ten minutes at the default epoch.
+	if res.MedianLifespanSec < 60 || res.MedianLifespanSec > 600 {
+		t.Errorf("top-50 lifespan %.0fs, want minutes-scale", res.MedianLifespanSec)
+	}
+	if res.CrossServerSimilarity < 0.9 {
+		t.Errorf("cross-server similarity %.3f, want ≈1", res.CrossServerSimilarity)
+	}
+	if res.TopKShare <= 0 || res.TopKShare >= 1 {
+		t.Errorf("top-K share %.3f out of range", res.TopKShare)
+	}
+	if !strings.Contains(res.Render(), "Section 5.2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtensionOversubAllToAll(t *testing.T) {
+	s := quickSys(t)
+	factors := []float64{1, 20}
+	a2a := s.ExtensionOversubAllToAll(factors, 2)
+	measured := s.ExtensionOversubscription(topology.RoleHadoop, factors, 2)
+	if a2a.Workload == "" || !strings.Contains(a2a.Render(), "all-to-all") {
+		t.Error("workload label missing")
+	}
+	// Uniform traffic sends essentially everything off-rack, so its
+	// uplink utilization at the same factor must exceed the rack-local
+	// Hadoop workload's.
+	if a2a.Points[1].UplinkUtil <= measured.Points[1].UplinkUtil {
+		t.Errorf("all-to-all uplink util (%.4f) should exceed hadoop's (%.4f)",
+			a2a.Points[1].UplinkUtil, measured.Points[1].UplinkUtil)
+	}
+}
+
+func TestDayOverDayStable(t *testing.T) {
+	s := quickSys(t)
+	res := s.DayOverDay()
+	if res.MaxLocalityDelta > 0.05 {
+		t.Errorf("locality delta %.3f, want small (stable day-over-day)", res.MaxLocalityDelta)
+	}
+	if res.MatrixSimilarity < 0.95 {
+		t.Errorf("matrix similarity %.3f, want ≈1", res.MatrixSimilarity)
+	}
+	if !strings.Contains(res.Render(), "day-over-day") {
+		t.Error("render missing title")
+	}
+}
+
+func TestIncastDelayGrowsWithFanIn(t *testing.T) {
+	s := quickSys(t)
+	res := s.ExtensionIncast([]int{1, 8}, 64<<10, 128<<10)
+	if res.Points[1].MaxDelayUs <= res.Points[0].MaxDelayUs {
+		t.Errorf("max delay should grow with fan-in: %.1f vs %.1f µs",
+			res.Points[0].MaxDelayUs, res.Points[1].MaxDelayUs)
+	}
+	if res.Points[0].MeanDelayUs <= 0 {
+		t.Error("no delay recorded")
+	}
+}

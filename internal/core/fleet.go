@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// FleetDataset runs the Fbflow pipeline over the whole fleet for the
+// configured synthetic day and returns the aggregated dataset. The result
+// is memoized: Table 3, Figure 5, and §4.1 share one collection run, as
+// they did in the paper.
+func (s *System) FleetDataset() *fbflow.Dataset {
+	if s.fleet != nil {
+		return s.fleet
+	}
+	ds := fbflow.NewDataset()
+	pipe := fbflow.NewPipeline(s.Topo, 4, ds.Add)
+	r := rng.New(s.Cfg.Seed ^ 0xf1ee7)
+	for w := 0; w < s.Cfg.FleetWindows; w++ {
+		load := DiurnalFactor(float64(w) / float64(s.Cfg.FleetWindows))
+		minute := int64(w)
+		for i := range s.Topo.Hosts {
+			src := topology.HostID(i)
+			srcAddr := s.Topo.Hosts[i].Addr
+			s.Pick.FleetFlows(s.Cfg.Params, r, src, s.Cfg.FleetWindowSec, load, s.Cfg.FleetSamples,
+				func(dst topology.HostID, bytes float64) {
+					pipe.AddFlow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes)
+				})
+		}
+	}
+	pipe.Close()
+	s.fleet = ds
+	return ds
+}
+
+// FleetDurationSec returns the total observed duration of the synthetic
+// day in seconds.
+func (s *System) FleetDurationSec() float64 {
+	return float64(s.Cfg.FleetWindows) * s.Cfg.FleetWindowSec
+}

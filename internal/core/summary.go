@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/netsim"
+)
+
+// Summary is the machine-readable digest of the full reproduction: the
+// headline scalar of every table and figure, keyed the way EXPERIMENTS.md
+// reports them. Marshal it to JSON for regression tracking across
+// versions and seeds.
+type Summary struct {
+	Hosts int    `json:"hosts"`
+	Seed  uint64 `json:"seed"`
+
+	// Table 2: outbound share by destination, per monitored role.
+	ServiceMix map[string]map[string]float64 `json:"service_mix"`
+
+	// Table 3: locality shares and traffic shares by cluster type.
+	LocalityAll  map[string]float64            `json:"locality_all"`
+	LocalityByCT map[string]map[string]float64 `json:"locality_by_cluster_type"`
+	TrafficShare map[string]float64            `json:"traffic_share"`
+
+	// Table 4 and Figures 10–11 medians at flow/rack level.
+	HHCountP50       map[string]float64 `json:"hh_count_p50"`
+	HHPersistRack100 map[string]float64 `json:"hh_persist_rack_100ms"`
+	HHPersistFlow1   map[string]float64 `json:"hh_persist_flow_1ms"`
+	HHIntersectRack  map[string]float64 `json:"hh_intersect_rack_100ms"`
+
+	// Figure 12/14 medians.
+	PacketSizeP50 map[string]float64 `json:"packet_size_p50"`
+	SYNGapP50Us   map[string]float64 `json:"syn_gap_p50_us"`
+
+	// Figure 6/7 medians.
+	FlowSizeP50KB map[string]float64 `json:"flow_size_p50_kb"`
+	FlowDurP50Ms  map[string]float64 `json:"flow_dur_p50_ms"`
+
+	// Figure 8/9 stability.
+	CacheWithin2x   float64 `json:"cache_within_2x"`
+	PerHostTightP90 float64 `json:"per_host_p90_over_p10"`
+
+	// Figure 13 on/off contrast.
+	OnOffFacebook float64 `json:"onoff_facebook"`
+	OnOffBaseline float64 `json:"onoff_baseline"`
+
+	// Figure 16/17 concurrency medians.
+	ConcurrentRacksP50 map[string]float64 `json:"concurrent_racks_p50"`
+
+	// §4.1.
+	EdgeUtilMean float64 `json:"edge_util_mean"`
+	DiurnalSwing float64 `json:"diurnal_swing"`
+
+	// Figure 5 structure.
+	HadoopDiag   float64 `json:"hadoop_matrix_diag"`
+	FrontendDiag float64 `json:"frontend_matrix_diag"`
+}
+
+// Summarize runs every experiment (reusing memoized bundles) and returns
+// the digest.
+func (s *System) Summarize() *Summary {
+	sum := &Summary{
+		Hosts:              s.Topo.NumHosts(),
+		Seed:               s.Cfg.Seed,
+		ServiceMix:         map[string]map[string]float64{},
+		LocalityAll:        map[string]float64{},
+		LocalityByCT:       map[string]map[string]float64{},
+		TrafficShare:       map[string]float64{},
+		HHCountP50:         map[string]float64{},
+		HHPersistRack100:   map[string]float64{},
+		HHPersistFlow1:     map[string]float64{},
+		HHIntersectRack:    map[string]float64{},
+		PacketSizeP50:      map[string]float64{},
+		SYNGapP50Us:        map[string]float64{},
+		FlowSizeP50KB:      map[string]float64{},
+		FlowDurP50Ms:       map[string]float64{},
+		ConcurrentRacksP50: map[string]float64{},
+	}
+
+	t2 := s.Table2()
+	for src, mix := range t2.Share {
+		m := map[string]float64{}
+		for dst, v := range mix {
+			m[dst.String()] = v
+		}
+		sum.ServiceMix[src.String()] = m
+	}
+
+	t3 := s.Table3()
+	for l, v := range t3.All {
+		sum.LocalityAll[l.String()] = v
+	}
+	for ct, locs := range t3.Locality {
+		m := map[string]float64{}
+		for l, v := range locs {
+			m[l.String()] = v
+		}
+		sum.LocalityByCT[ct.String()] = m
+	}
+	for ct, v := range t3.Share {
+		sum.TrafficShare[ct.String()] = v
+	}
+
+	t4 := s.Table4()
+	for _, r := range t4.Rows {
+		if r.Level == analysis.LevelFlow {
+			sum.HHCountP50[r.Role.String()] = r.NumP50
+		}
+	}
+
+	hh := s.Figure10And11()
+	for role, byLvl := range hh.Persistence {
+		sum.HHPersistRack100[role.String()] = byLvl[analysis.LevelRack][100*netsim.Millisecond]
+		sum.HHPersistFlow1[role.String()] = byLvl[analysis.LevelFlow][netsim.Millisecond]
+	}
+	for role, byLvl := range hh.Intersection {
+		sum.HHIntersectRack[role.String()] = byLvl[analysis.LevelRack][100*netsim.Millisecond]
+	}
+
+	f12 := s.Figure12()
+	for role, sample := range f12.Sizes {
+		sum.PacketSizeP50[role.String()] = sample.Quantile(0.5)
+	}
+	f14 := s.Figure14()
+	for role, sample := range f14.Gaps {
+		sum.SYNGapP50Us[role.String()] = sample.Quantile(0.5)
+	}
+	f6 := s.Figure6()
+	for role, sample := range f6.All {
+		sum.FlowSizeP50KB[role.String()] = sample.Quantile(0.5)
+	}
+	f7 := s.Figure7()
+	for role, sample := range f7.All {
+		sum.FlowDurP50Ms[role.String()] = sample.Quantile(0.5)
+	}
+
+	f8 := s.Figure8()
+	sum.CacheWithin2x = f8.CacheWithin2x
+	f9 := s.Figure9()
+	sum.PerHostTightP90 = f9.TightnessRatio
+
+	f13 := s.Figure13()
+	sum.OnOffFacebook = f13.FacebookScore15
+	sum.OnOffBaseline = f13.BaselineScore15
+
+	conc := s.Figure16And17()
+	for role, sample := range conc.RacksAll {
+		sum.ConcurrentRacksP50[role.String()] = sample.Quantile(0.5)
+	}
+
+	s41 := s.Section41()
+	sum.EdgeUtilMean = s41.Tiers[netsim.TierHostRSW].Mean()
+	sum.DiurnalSwing = s41.DiurnalSwing
+
+	f5 := s.Figure5()
+	sum.HadoopDiag = f5.HadoopDiag
+	sum.FrontendDiag = f5.FrontendDiag
+
+	return sum
+}
+
+// JSON renders the summary as indented JSON.
+func (sum *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(sum, "", "  ")
+}

@@ -1,0 +1,47 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/dist"
+	"fbdcnet/internal/rng"
+)
+
+// ExampleLogNormalFromMedian builds the message-size distributions the
+// service models use: parameterized by the median read off the paper's
+// CDFs.
+func ExampleLogNormalFromMedian() {
+	d := dist.LogNormalFromMedian(200, 1.0)
+	r := rng.New(1)
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) < 200 {
+			below++
+		}
+	}
+	fmt.Printf("fraction below the median parameter: %.2f\n", float64(below)/n)
+	// Output: fraction below the median parameter: 0.50
+}
+
+// ExampleNewMixture builds the bimodal ACK-or-MTU packet size model of
+// Hadoop traffic (Fig. 12).
+func ExampleNewMixture() {
+	bimodal := dist.NewMixture(
+		[]float64{0.4, 0.6},
+		[]dist.Dist{dist.Constant{V: 66}, dist.Constant{V: 1514}},
+	)
+	fmt.Printf("mean packet: %.0f bytes\n", bimodal.Mean())
+	// Output: mean packet: 935 bytes
+}
+
+// ExampleEmpirical reproduces a distribution from published quantile
+// knots — the tool for fitting models to a figure.
+func ExampleEmpirical() {
+	flowKB := dist.MustEmpirical(
+		[]float64{0, 0.5, 0.7, 0.95, 1},
+		[]float64{0.1, 1, 10, 1024, 1048576},
+	)
+	fmt.Printf("p70=%.0f KB\n", flowKB.Quantile(0.7))
+	// Output: p70=10 KB
+}

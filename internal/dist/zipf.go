@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+
+	"fbdcnet/internal/rng"
+)
+
+// Zipf samples ranks in [0, N) with probability proportional to
+// 1/(rank+1)^S. It models cache object popularity: a small number of hot
+// objects receive most requests, the mechanism behind the paper's
+// hot-object replication discussion (§5.2).
+//
+// Sampling uses a precomputed cumulative table, which is exact and fast
+// for the catalog sizes the simulator uses (up to a few million entries).
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("dist: Zipf requires n > 0 and s > 0")
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		cum[i] = acc
+	}
+	for i := range cum {
+		cum[i] /= acc
+	}
+	cum[n-1] = 1
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Rank draws a rank in [0, N) with Zipfian probability.
+func (z *Zipf) Rank(r *rng.Source) int {
+	u := r.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}

@@ -1,0 +1,220 @@
+package fbflow
+
+import (
+	"sync"
+
+	"fbdcnet/internal/topology"
+)
+
+// Dataset is the analytics store at the end of the pipeline (the
+// Scuba/Hive stage of Figure 3): thread-safe aggregation of tagged
+// records along the dimensions the paper's fleet analyses query. Raw
+// records are not retained; memory stays bounded at matrix-of-racks
+// scale.
+type Dataset struct {
+	mu sync.Mutex
+
+	totalBytes float64
+
+	// locality[clusterType][locality] accumulates bytes for Table 3.
+	locality map[topology.ClusterType]map[topology.Locality]float64
+	// byClusterType accumulates bytes for Table 3's share row.
+	byClusterType map[topology.ClusterType]float64
+	// rackPair accumulates the Figure 5a/5b matrices.
+	rackPair map[[2]int]float64
+	// clusterPair accumulates the Figure 5c matrix.
+	clusterPair map[[2]int]float64
+	// perMinute accumulates fleet bytes per capture minute (diurnal).
+	perMinute map[int64]float64
+	// hostOut / rackCross / clusterCross feed §4.1 tier utilization:
+	// bytes leaving each host, each rack, and each cluster.
+	hostOut      map[topology.HostID]float64
+	rackCross    map[int]float64
+	clusterCross map[int]float64
+}
+
+// NewDataset returns an empty Dataset.
+func NewDataset() *Dataset {
+	return &Dataset{
+		locality:      make(map[topology.ClusterType]map[topology.Locality]float64),
+		byClusterType: make(map[topology.ClusterType]float64),
+		rackPair:      make(map[[2]int]float64),
+		clusterPair:   make(map[[2]int]float64),
+		perMinute:     make(map[int64]float64),
+		hostOut:       make(map[topology.HostID]float64),
+		rackCross:     make(map[int]float64),
+		clusterCross:  make(map[int]float64),
+	}
+}
+
+// Add ingests one record; safe for concurrent use (it is the pipeline
+// sink).
+func (d *Dataset) Add(r Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.totalBytes += r.Bytes
+	loc := d.locality[r.SrcClusterType]
+	if loc == nil {
+		loc = make(map[topology.Locality]float64)
+		d.locality[r.SrcClusterType] = loc
+	}
+	loc[r.Locality] += r.Bytes
+	d.byClusterType[r.SrcClusterType] += r.Bytes
+	d.rackPair[[2]int{r.SrcRack, r.DstRack}] += r.Bytes
+	d.clusterPair[[2]int{r.SrcCluster, r.DstCluster}] += r.Bytes
+	d.perMinute[r.Minute] += r.Bytes
+	d.hostOut[r.Src] += r.Bytes
+	if r.Locality != topology.SameHost && r.Locality != topology.IntraRack {
+		d.rackCross[r.SrcRack] += r.Bytes
+		if r.Locality != topology.IntraCluster {
+			d.clusterCross[r.SrcCluster] += r.Bytes
+		}
+	}
+}
+
+// TotalBytes returns the estimated fleet-wide bytes ingested.
+func (d *Dataset) TotalBytes() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totalBytes
+}
+
+// LocalityShare returns, for one cluster type, the fraction of its
+// traffic per locality tier — one column of Table 3.
+func (d *Dataset) LocalityShare(ct topology.ClusterType) map[topology.Locality]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[topology.Locality]float64)
+	total := d.byClusterType[ct]
+	if total == 0 {
+		return out
+	}
+	for l, b := range d.locality[ct] {
+		out[l] = b / total
+	}
+	return out
+}
+
+// LocalityShareAll returns the fleet-wide locality fractions — Table 3's
+// "All" column.
+func (d *Dataset) LocalityShareAll() map[topology.Locality]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[topology.Locality]float64)
+	if d.totalBytes == 0 {
+		return out
+	}
+	for _, loc := range d.locality {
+		for l, b := range loc {
+			out[l] += b / d.totalBytes
+		}
+	}
+	return out
+}
+
+// TrafficShare returns each cluster type's share of total traffic —
+// Table 3's last row.
+func (d *Dataset) TrafficShare() map[topology.ClusterType]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[topology.ClusterType]float64)
+	if d.totalBytes == 0 {
+		return out
+	}
+	for ct, b := range d.byClusterType {
+		out[ct] = b / d.totalBytes
+	}
+	return out
+}
+
+// RackMatrix returns the rack-to-rack byte matrix restricted to the racks
+// of one cluster, indexed by rack position within the cluster (Fig 5a/b).
+func (d *Dataset) RackMatrix(topo *topology.Topology, cluster int) [][]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	racks := topo.Clusters[cluster].Racks
+	pos := make(map[int]int, len(racks))
+	for i, r := range racks {
+		pos[r] = i
+	}
+	m := make([][]float64, len(racks))
+	for i := range m {
+		m[i] = make([]float64, len(racks))
+	}
+	for pair, b := range d.rackPair {
+		si, ok1 := pos[pair[0]]
+		di, ok2 := pos[pair[1]]
+		if ok1 && ok2 {
+			m[si][di] += b
+		}
+	}
+	return m
+}
+
+// ClusterMatrix returns the cluster-to-cluster byte matrix over the given
+// clusters (Fig 5c).
+func (d *Dataset) ClusterMatrix(clusters []int) [][]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pos := make(map[int]int, len(clusters))
+	for i, c := range clusters {
+		pos[c] = i
+	}
+	m := make([][]float64, len(clusters))
+	for i := range m {
+		m[i] = make([]float64, len(clusters))
+	}
+	for pair, b := range d.clusterPair {
+		si, ok1 := pos[pair[0]]
+		di, ok2 := pos[pair[1]]
+		if ok1 && ok2 {
+			m[si][di] += b
+		}
+	}
+	return m
+}
+
+// PerMinute returns the fleet byte series by capture minute.
+func (d *Dataset) PerMinute() map[int64]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int64]float64, len(d.perMinute))
+	for k, v := range d.perMinute {
+		out[k] = v
+	}
+	return out
+}
+
+// HostOutBytes returns bytes sent per host (edge-link accounting).
+func (d *Dataset) HostOutBytes() map[topology.HostID]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[topology.HostID]float64, len(d.hostOut))
+	for k, v := range d.hostOut {
+		out[k] = v
+	}
+	return out
+}
+
+// RackCrossBytes returns bytes leaving each rack (RSW uplink accounting).
+func (d *Dataset) RackCrossBytes() map[int]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]float64, len(d.rackCross))
+	for k, v := range d.rackCross {
+		out[k] = v
+	}
+	return out
+}
+
+// ClusterCrossBytes returns bytes leaving each cluster (CSW uplink
+// accounting).
+func (d *Dataset) ClusterCrossBytes() map[int]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]float64, len(d.clusterCross))
+	for k, v := range d.clusterCross {
+		out[k] = v
+	}
+	return out
+}

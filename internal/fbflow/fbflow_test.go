@@ -1,0 +1,310 @@
+package fbflow
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.MustBuild(topology.Preset(topology.ScaleTiny))
+}
+
+func TestAgentSamplingRate(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 2, ds.Add)
+	a := NewAgent(p, 100, 42, func() int64 { return 0 })
+
+	h := packet.Header{
+		Key:  packet.FlowKey{Src: topo.Hosts[0].Addr, Dst: topo.Hosts[5].Addr, Proto: packet.TCP},
+		Size: 200,
+	}
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		a.Packet(h)
+	}
+	p.Close()
+
+	if a.Seen() != n {
+		t.Fatalf("seen %d", a.Seen())
+	}
+	want := float64(n) / 100
+	if got := float64(a.Sampled()); math.Abs(got-want) > want*0.05 {
+		t.Fatalf("sampled %v, want ≈%v", got, want)
+	}
+	// Weighted byte estimate must be unbiased.
+	est := ds.TotalBytes()
+	trueBytes := float64(n) * 200
+	if math.Abs(est-trueBytes) > trueBytes*0.05 {
+		t.Fatalf("byte estimate %v, want ≈%v", est, trueBytes)
+	}
+}
+
+func TestTaggerAnnotation(t *testing.T) {
+	topo := testTopo(t)
+	var mu sync.Mutex
+	var recs []Record
+	p := NewPipeline(topo, 1, func(r Record) {
+		mu.Lock()
+		recs = append(recs, r)
+		mu.Unlock()
+	})
+	src, dst := topo.Hosts[0], topo.Hosts[5]
+	p.AddFlow(7, src.Addr, dst.Addr, 1234)
+	p.Close()
+
+	if len(recs) != 1 {
+		t.Fatalf("records %d", len(recs))
+	}
+	r := recs[0]
+	if r.SrcRack != src.Rack || r.DstRack != dst.Rack {
+		t.Error("rack annotation wrong")
+	}
+	if r.SrcCluster != src.Cluster || r.SrcDC != src.Datacenter {
+		t.Error("cluster/DC annotation wrong")
+	}
+	if r.SrcRole != src.Role || r.DstRole != dst.Role {
+		t.Error("role annotation wrong")
+	}
+	if r.SrcClusterType != topo.Clusters[src.Cluster].Type {
+		t.Error("cluster type annotation wrong")
+	}
+	if r.Locality != topo.Locality(src.ID, dst.ID) {
+		t.Error("locality annotation wrong")
+	}
+	if r.Bytes != 1234 || r.Minute != 7 {
+		t.Errorf("bytes/minute wrong: %+v", r)
+	}
+}
+
+func TestUnknownAddressDropped(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 1, ds.Add)
+	p.AddFlow(0, packet.Addr(1<<30), topo.Hosts[0].Addr, 100)
+	p.Close()
+	if ds.TotalBytes() != 0 {
+		t.Fatal("record with unknown address not dropped")
+	}
+}
+
+func TestDatasetLocalityShares(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 4, ds.Add)
+
+	// One intra-rack and one inter-DC flow from the same Hadoop host.
+	hadoop := topo.HostsByRole(topology.RoleHadoop)[0]
+	rack := topo.Racks[topo.Hosts[hadoop].Rack]
+	same := rack.Hosts[1]
+	far := topo.Hosts[topo.NumHosts()-1] // other site
+	p.AddFlow(0, topo.Hosts[hadoop].Addr, topo.Hosts[same].Addr, 300)
+	p.AddFlow(0, topo.Hosts[hadoop].Addr, far.Addr, 700)
+	p.Close()
+
+	share := ds.LocalityShare(topology.ClusterHadoop)
+	if math.Abs(share[topology.IntraRack]-0.3) > 1e-9 {
+		t.Errorf("intra-rack share %v", share[topology.IntraRack])
+	}
+	if math.Abs(share[topology.InterDatacenter]-0.7) > 1e-9 {
+		t.Errorf("inter-DC share %v", share[topology.InterDatacenter])
+	}
+	all := ds.LocalityShareAll()
+	sum := 0.0
+	for _, v := range all {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("all shares sum to %v", sum)
+	}
+	ts := ds.TrafficShare()
+	if math.Abs(ts[topology.ClusterHadoop]-1) > 1e-9 {
+		t.Errorf("traffic share %v", ts)
+	}
+}
+
+func TestDatasetRackMatrix(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 1, ds.Add)
+
+	cl := topo.ClustersOfType(topology.ClusterHadoop)[0]
+	racks := topo.Clusters[cl].Racks
+	src := topo.Racks[racks[0]].Hosts[0]
+	dst := topo.Racks[racks[1]].Hosts[0]
+	p.AddFlow(0, topo.Hosts[src].Addr, topo.Hosts[dst].Addr, 500)
+	p.Close()
+
+	m := ds.RackMatrix(topo, cl)
+	if m[0][1] != 500 {
+		t.Fatalf("matrix[0][1] = %v", m[0][1])
+	}
+	if m[1][0] != 0 {
+		t.Fatal("matrix should be directional")
+	}
+}
+
+func TestDatasetClusterMatrixAndCrossCounters(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 1, ds.Add)
+
+	dc := topo.Datacenters[0]
+	c0, c1 := dc.Clusters[0], dc.Clusters[1]
+	src := topo.Racks[topo.Clusters[c0].Racks[0]].Hosts[0]
+	dst := topo.Racks[topo.Clusters[c1].Racks[0]].Hosts[0]
+	p.AddFlow(0, topo.Hosts[src].Addr, topo.Hosts[dst].Addr, 800)
+	p.Close()
+
+	m := ds.ClusterMatrix([]int{c0, c1})
+	if m[0][1] != 800 {
+		t.Fatalf("cluster matrix = %v", m)
+	}
+	if got := ds.HostOutBytes()[src]; got != 800 {
+		t.Fatalf("host out = %v", got)
+	}
+	if got := ds.RackCrossBytes()[topo.Hosts[src].Rack]; got != 800 {
+		t.Fatalf("rack cross = %v", got)
+	}
+	if got := ds.ClusterCrossBytes()[c0]; got != 800 {
+		t.Fatalf("cluster cross = %v", got)
+	}
+}
+
+func TestIntraRackNotCountedAsCross(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 1, ds.Add)
+	rack := topo.Racks[0]
+	p.AddFlow(0, topo.Hosts[rack.Hosts[0]].Addr, topo.Hosts[rack.Hosts[1]].Addr, 100)
+	p.Close()
+	if len(ds.RackCrossBytes()) != 0 {
+		t.Fatal("intra-rack traffic counted as rack-crossing")
+	}
+	if len(ds.ClusterCrossBytes()) != 0 {
+		t.Fatal("intra-rack traffic counted as cluster-crossing")
+	}
+}
+
+func TestPerMinuteSeries(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 2, ds.Add)
+	for m := int64(0); m < 5; m++ {
+		p.AddFlow(m, topo.Hosts[0].Addr, topo.Hosts[5].Addr, float64(100*(m+1)))
+	}
+	p.Close()
+	series := ds.PerMinute()
+	if len(series) != 5 {
+		t.Fatalf("minutes %d", len(series))
+	}
+	if series[2] != 300 {
+		t.Fatalf("minute 2 = %v", series[2])
+	}
+}
+
+func TestPipelineConcurrentIngestion(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 4, ds.Add)
+	var wg sync.WaitGroup
+	const writers, per = 8, 1000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.AddFlow(0, topo.Hosts[0].Addr, topo.Hosts[9].Addr, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if got := ds.TotalBytes(); got != writers*per {
+		t.Fatalf("total %v, want %d", got, writers*per)
+	}
+}
+
+func TestEmptyDatasetQueries(t *testing.T) {
+	ds := NewDataset()
+	if len(ds.LocalityShareAll()) != 0 || len(ds.TrafficShare()) != 0 {
+		t.Fatal("empty dataset returned shares")
+	}
+	if len(ds.LocalityShare(topology.ClusterHadoop)) != 0 {
+		t.Fatal("empty dataset returned per-type shares")
+	}
+}
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	topo := testTopo(t)
+	ds := NewDataset()
+	p := NewPipeline(topo, 2, ds.Add)
+	// Build a dataset with every aggregate populated.
+	hadoop := topo.HostsByRole(topology.RoleHadoop)[0]
+	rackPeer := topo.Racks[topo.Hosts[hadoop].Rack].Hosts[1]
+	far := topo.Hosts[topo.NumHosts()-1]
+	for m := int64(0); m < 3; m++ {
+		p.AddFlow(m, topo.Hosts[hadoop].Addr, topo.Hosts[rackPeer].Addr, 100)
+		p.AddFlow(m, topo.Hosts[hadoop].Addr, far.Addr, 900)
+	}
+	p.Close()
+
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalBytes() != ds.TotalBytes() {
+		t.Fatalf("total %v vs %v", got.TotalBytes(), ds.TotalBytes())
+	}
+	a, b := ds.LocalityShareAll(), got.LocalityShareAll()
+	for l, v := range a {
+		if math.Abs(b[l]-v) > 1e-12 {
+			t.Fatalf("locality %v diverged: %v vs %v", l, b[l], v)
+		}
+	}
+	am, bm := ds.PerMinute(), got.PerMinute()
+	if len(am) != len(bm) {
+		t.Fatalf("minutes %d vs %d", len(bm), len(am))
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			t.Fatalf("minute %d: %v vs %v", k, bm[k], v)
+		}
+	}
+	ra, rb := ds.RackMatrix(topo, topo.Hosts[hadoop].Cluster), got.RackMatrix(topo, topo.Hosts[hadoop].Cluster)
+	for i := range ra {
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				t.Fatalf("rack matrix [%d][%d] diverged", i, j)
+			}
+		}
+	}
+	if got.HostOutBytes()[hadoop] != ds.HostOutBytes()[hadoop] {
+		t.Fatal("host out diverged")
+	}
+	if got.RackCrossBytes()[topo.Hosts[hadoop].Rack] != ds.RackCrossBytes()[topo.Hosts[hadoop].Rack] {
+		t.Fatal("rack cross diverged")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"version": 99}`))); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"version":1,"rack_pair":{"bad":1}}`))); err == nil {
+		t.Fatal("bad pair key accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package netsim is a discrete-event, packet-level network simulator: an
+// event engine, rate-limited links, and output-queued switches with a
+// shared egress buffer pool.
+//
+// The simulator exists to reproduce the switching-layer observations in
+// §6 of the paper — buffer occupancy sampled at 10 µs granularity,
+// egress drops, and tiered link utilization (§4.1) — which cannot be
+// derived from packet-header traces alone. Traffic enters via Fabric's
+// Inject, is routed host→RSW→CSW→FC along ECMP paths chosen by flow hash,
+// and exits into host sinks.
+package netsim
+
+import "container/heap"
+
+// Time is simulation time in nanoseconds.
+type Time = int64
+
+// Common durations in simulation time units.
+const (
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so same-time events run FIFO, deterministically
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at time t. Scheduling in the past runs fn at the
+// current time (immediately in event order).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events in time order until the queue is empty or the next
+// event is later than until. It returns the number of events executed.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for len(e.heap) > 0 && e.heap[0].at <= until {
+		ev := heap.Pop(&e.heap).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,336 @@
+package netsim
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/topology"
+)
+
+// Tier names a layer of links in the fabric for utilization reporting
+// (§4.1 reports per-tier utilization distributions).
+type Tier int
+
+// Fabric link tiers, edge outward.
+const (
+	TierHostRSW Tier = iota // access links: host NIC → top-of-rack switch
+	TierRSWCSW              // rack uplinks: RSW → cluster switch
+	TierCSWFC               // cluster uplinks: CSW → Fat Cat
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierHostRSW:
+		return "Host-RSW"
+	case TierRSWCSW:
+		return "RSW-CSW"
+	case TierCSWFC:
+		return "CSW-FC"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// FabricConfig sets link rates, buffer sizes, and propagation delays for
+// a built fabric. Defaults follow §3.1: 10-Gbps edge and rack uplinks,
+// 40-Gbps aggregation.
+type FabricConfig struct {
+	HostLinkBps int64 // host NIC and RSW-to-host ports
+	RSWUpBps    int64 // RSW ↔ CSW
+	CSWUpBps    int64 // CSW ↔ FC
+	CoreBps     int64 // FC ↔ DC router ↔ site agg ↔ backbone
+
+	RSWBufBytes  int64 // shared buffer in each top-of-rack switch
+	CSWBufBytes  int64
+	CoreBufBytes int64
+
+	WireDelay      Time // per-hop delay within a datacenter
+	InterDCDelay   Time // DC router ↔ site aggregator
+	InterSiteDelay Time // site aggregator ↔ backbone
+}
+
+// DefaultFabricConfig returns production-flavored defaults: 10G edge,
+// shallow (a few MB) shared ToR buffers — the combination behind §6.3's
+// high occupancy at ~1% utilization.
+func DefaultFabricConfig() FabricConfig {
+	return FabricConfig{
+		HostLinkBps:    10_000_000_000,
+		RSWUpBps:       10_000_000_000,
+		CSWUpBps:       40_000_000_000,
+		CoreBps:        100_000_000_000,
+		RSWBufBytes:    4 << 20,
+		CSWBufBytes:    16 << 20,
+		CoreBufBytes:   64 << 20,
+		WireDelay:      2 * Microsecond,
+		InterDCDelay:   50 * Microsecond,
+		InterSiteDelay: 5 * Millisecond,
+	}
+}
+
+const postsPerCluster = 4 // the "4-post" in the cluster design
+
+// Fabric is a fully wired 4-post Clos instance over a Topology. Create
+// with NewFabric, drive with Inject, advance with the Engine.
+type Fabric struct {
+	Eng  *Engine
+	Topo *topology.Topology
+	Cfg  FabricConfig
+
+	rsws  []*Switch   // per rack
+	csws  [][]*Switch // per cluster, postsPerCluster each
+	fcs   [][]*Switch // per datacenter, postsPerCluster each
+	dcrs  []*Switch   // per datacenter
+	aggs  []*Switch   // per site
+	bb    *Switch     // global backbone
+	sinks []*Sink     // per host
+
+	hostUp       []*Link // per host access link (edge accounting)
+	hostPort     []int   // port index on the host's RSW leading to it
+	rswUpPort    [][]int // [rack][post] port on RSW toward CSW
+	cswDownPort  [][][]int
+	cswUpPort    [][]int // [cluster][post] port toward FC
+	fcDownPort   [][][]int
+	fcUpPort     [][]int // [dc][post] port toward DC router
+	dcrDownPort  [][]int // [dc][post] port toward FC
+	dcrUpPort    []int   // [dc] port toward site agg
+	aggDownPort  [][]int // [site][dcPos] toward DCR
+	aggUpPort    []int   // [site] toward backbone
+	bbDownPort   []int   // [site] toward agg
+	rackPosInCl  []int   // rack ID → position within its cluster
+	clPosInDC    []int   // cluster ID → position within its datacenter
+	dcPosInSite  []int   // dc ID → position within its site
+	injectedPkts int64
+}
+
+// NewFabric builds and wires the full switch graph for topo.
+func NewFabric(eng *Engine, topo *topology.Topology, cfg FabricConfig) *Fabric {
+	f := &Fabric{Eng: eng, Topo: topo, Cfg: cfg}
+	nRacks, nClusters, nDCs, nSites := len(topo.Racks), len(topo.Clusters), len(topo.Datacenters), len(topo.Sites)
+
+	f.sinks = make([]*Sink, topo.NumHosts())
+	f.hostUp = make([]*Link, topo.NumHosts())
+	f.hostPort = make([]int, topo.NumHosts())
+	for i := range f.sinks {
+		f.sinks[i] = NewSink(fmt.Sprintf("host%d", i))
+		f.sinks[i].AttachEngine(eng)
+		f.hostUp[i] = &Link{RateBps: cfg.HostLinkBps, Delay: cfg.WireDelay}
+	}
+
+	f.rackPosInCl = make([]int, nRacks)
+	f.clPosInDC = make([]int, nClusters)
+	f.dcPosInSite = make([]int, nDCs)
+	for _, cl := range topo.Clusters {
+		for pos, r := range cl.Racks {
+			f.rackPosInCl[r] = pos
+		}
+	}
+	for _, dc := range topo.Datacenters {
+		for pos, c := range dc.Clusters {
+			f.clPosInDC[c] = pos
+		}
+	}
+	for _, s := range topo.Sites {
+		for pos, d := range s.Datacenters {
+			f.dcPosInSite[d] = pos
+		}
+	}
+
+	// Rack switches with host-facing ports.
+	f.rsws = make([]*Switch, nRacks)
+	f.rswUpPort = make([][]int, nRacks)
+	for ri, rack := range topo.Racks {
+		sw := NewSwitch(eng, fmt.Sprintf("rsw%d", ri), cfg.RSWBufBytes)
+		for _, h := range rack.Hosts {
+			f.hostPort[h] = sw.AddPort(&Link{RateBps: cfg.HostLinkBps, Delay: cfg.WireDelay}, f.sinks[h])
+		}
+		f.rsws[ri] = sw
+		f.rswUpPort[ri] = make([]int, postsPerCluster)
+	}
+
+	// Cluster switches; wire RSW ↔ CSW.
+	f.csws = make([][]*Switch, nClusters)
+	f.cswDownPort = make([][][]int, nClusters)
+	f.cswUpPort = make([][]int, nClusters)
+	for ci, cl := range topo.Clusters {
+		f.csws[ci] = make([]*Switch, postsPerCluster)
+		f.cswDownPort[ci] = make([][]int, postsPerCluster)
+		f.cswUpPort[ci] = make([]int, postsPerCluster)
+		for p := 0; p < postsPerCluster; p++ {
+			sw := NewSwitch(eng, fmt.Sprintf("csw%d.%d", ci, p), cfg.CSWBufBytes)
+			f.csws[ci][p] = sw
+			f.cswDownPort[ci][p] = make([]int, len(cl.Racks))
+			for pos, r := range cl.Racks {
+				f.rswUpPort[r][p] = f.rsws[r].AddPort(&Link{RateBps: cfg.RSWUpBps, Delay: cfg.WireDelay}, sw)
+				f.cswDownPort[ci][p][pos] = sw.AddPort(&Link{RateBps: cfg.RSWUpBps, Delay: cfg.WireDelay}, f.rsws[r])
+			}
+		}
+	}
+
+	// Fat Cats per datacenter; wire CSW ↔ FC, FC ↔ DCR.
+	f.fcs = make([][]*Switch, nDCs)
+	f.fcDownPort = make([][][]int, nDCs)
+	f.fcUpPort = make([][]int, nDCs)
+	f.dcrs = make([]*Switch, nDCs)
+	f.dcrDownPort = make([][]int, nDCs)
+	f.dcrUpPort = make([]int, nDCs)
+	for di, dc := range topo.Datacenters {
+		f.dcrs[di] = NewSwitch(eng, fmt.Sprintf("dcr%d", di), cfg.CoreBufBytes)
+		f.fcs[di] = make([]*Switch, postsPerCluster)
+		f.fcDownPort[di] = make([][]int, postsPerCluster)
+		f.fcUpPort[di] = make([]int, postsPerCluster)
+		f.dcrDownPort[di] = make([]int, postsPerCluster)
+		for p := 0; p < postsPerCluster; p++ {
+			sw := NewSwitch(eng, fmt.Sprintf("fc%d.%d", di, p), cfg.CSWBufBytes)
+			f.fcs[di][p] = sw
+			f.fcDownPort[di][p] = make([]int, len(dc.Clusters))
+			for pos, c := range dc.Clusters {
+				f.cswUpPort[c][p] = f.csws[c][p].AddPort(&Link{RateBps: cfg.CSWUpBps, Delay: cfg.WireDelay}, sw)
+				f.fcDownPort[di][p][pos] = sw.AddPort(&Link{RateBps: cfg.CSWUpBps, Delay: cfg.WireDelay}, f.csws[c][p])
+			}
+			f.fcUpPort[di][p] = sw.AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.WireDelay}, f.dcrs[di])
+			f.dcrDownPort[di][p] = f.dcrs[di].AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.WireDelay}, sw)
+		}
+	}
+
+	// Site aggregators and the backbone.
+	f.aggs = make([]*Switch, nSites)
+	f.aggDownPort = make([][]int, nSites)
+	f.aggUpPort = make([]int, nSites)
+	f.bb = NewSwitch(eng, "backbone", cfg.CoreBufBytes)
+	f.bbDownPort = make([]int, nSites)
+	for si, site := range topo.Sites {
+		agg := NewSwitch(eng, fmt.Sprintf("agg%d", si), cfg.CoreBufBytes)
+		f.aggs[si] = agg
+		f.aggDownPort[si] = make([]int, len(site.Datacenters))
+		for pos, d := range site.Datacenters {
+			f.dcrUpPort[d] = f.dcrs[d].AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.InterDCDelay}, agg)
+			f.aggDownPort[si][pos] = agg.AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.InterDCDelay}, f.dcrs[d])
+		}
+		f.aggUpPort[si] = agg.AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.InterSiteDelay}, f.bb)
+		f.bbDownPort[si] = f.bb.AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.InterSiteDelay}, agg)
+	}
+	return f
+}
+
+// Sink returns the receiving endpoint for host h.
+func (f *Fabric) Sink(h topology.HostID) *Sink { return f.sinks[h] }
+
+// RSW returns the top-of-rack switch of rack r.
+func (f *Fabric) RSW(r int) *Switch { return f.rsws[r] }
+
+// RSWOfHost returns the top-of-rack switch serving host h.
+func (f *Fabric) RSWOfHost(h topology.HostID) *Switch {
+	return f.rsws[f.Topo.Hosts[h].Rack]
+}
+
+// Injected returns the number of packets injected so far.
+func (f *Fabric) Injected() int64 { return f.injectedPkts }
+
+// Inject routes one packet from its source host into the fabric at the
+// current engine time, following the ECMP path selected by the flow hash.
+// Packets addressed to the sending host itself are ignored (loopback).
+func (f *Fabric) Inject(hdr packet.Header) {
+	src := f.Topo.HostByAddr(hdr.Key.Src)
+	dst := f.Topo.HostByAddr(hdr.Key.Dst)
+	if src == nil || dst == nil {
+		panic(fmt.Sprintf("netsim: inject with unknown host: %v", hdr.Key))
+	}
+	if src.ID == dst.ID {
+		return
+	}
+	f.injectedPkts++
+	f.hostUp[src.ID].bytesTx += int64(hdr.Size)
+
+	post := int(hdr.Key.FastHash() % postsPerCluster)
+	p := &Packet{Hdr: hdr}
+	rs, rd := src.Rack, dst.Rack
+	cs, cd := src.Cluster, dst.Cluster
+	ds, dd := src.Datacenter, dst.Datacenter
+	ss, sd := src.Site, dst.Site
+
+	var hops []hop
+	push := func(n Node, port int) { hops = append(hops, hop{n, port}) }
+
+	switch {
+	case rs == rd:
+		push(f.rsws[rs], f.hostPort[dst.ID])
+	case cs == cd:
+		push(f.rsws[rs], f.rswUpPort[rs][post])
+		push(f.csws[cs][post], f.cswDownPort[cs][post][f.rackPosInCl[rd]])
+		push(f.rsws[rd], f.hostPort[dst.ID])
+	case ds == dd:
+		push(f.rsws[rs], f.rswUpPort[rs][post])
+		push(f.csws[cs][post], f.cswUpPort[cs][post])
+		push(f.fcs[ds][post], f.fcDownPort[ds][post][f.clPosInDC[cd]])
+		push(f.csws[cd][post], f.cswDownPort[cd][post][f.rackPosInCl[rd]])
+		push(f.rsws[rd], f.hostPort[dst.ID])
+	default:
+		push(f.rsws[rs], f.rswUpPort[rs][post])
+		push(f.csws[cs][post], f.cswUpPort[cs][post])
+		push(f.fcs[ds][post], f.fcUpPort[ds][post])
+		push(f.dcrs[ds], f.dcrUpPort[ds])
+		if ss != sd {
+			push(f.aggs[ss], f.aggUpPort[ss])
+			push(f.bb, f.bbDownPort[sd])
+		}
+		push(f.aggs[sd], f.aggDownPort[sd][f.dcPosInSite[dd]])
+		push(f.dcrs[dd], f.dcrDownPort[dd][post])
+		push(f.fcs[dd][post], f.fcDownPort[dd][post][f.clPosInDC[cd]])
+		push(f.csws[cd][post], f.cswDownPort[cd][post][f.rackPosInCl[rd]])
+		push(f.rsws[rd], f.hostPort[dst.ID])
+	}
+
+	first := hops[0]
+	p.hops = hops[1:]
+	first.node.Receive(p, first.port)
+}
+
+// LinksByTier returns all links in the given tier for utilization
+// reporting. TierHostRSW returns host uplinks (outbound edge traffic);
+// TierRSWCSW and TierCSWFC return the uplink direction of those layers.
+func (f *Fabric) LinksByTier(t Tier) []*Link {
+	var out []*Link
+	switch t {
+	case TierHostRSW:
+		out = append(out, f.hostUp...)
+	case TierRSWCSW:
+		for ri := range f.rsws {
+			for p := 0; p < postsPerCluster; p++ {
+				out = append(out, f.rsws[ri].Port(f.rswUpPort[ri][p]).Link)
+			}
+		}
+	case TierCSWFC:
+		for ci := range f.csws {
+			for p := 0; p < postsPerCluster; p++ {
+				out = append(out, f.csws[ci][p].Port(f.cswUpPort[ci][p]).Link)
+			}
+		}
+	}
+	return out
+}
+
+// ResetLinkCounters zeroes transmit counters on every tiered link,
+// starting a fresh measurement window.
+func (f *Fabric) ResetLinkCounters() {
+	for _, t := range []Tier{TierHostRSW, TierRSWCSW, TierCSWFC} {
+		for _, l := range f.LinksByTier(t) {
+			l.ResetCounters()
+		}
+	}
+}
+
+// SampleOccupancy schedules periodic reads of sw's shared-buffer
+// occupancy every interval until the given time, invoking fn with each
+// (time, occupiedBytes) sample — the §6.3 collection at 10 µs
+// granularity.
+func SampleOccupancy(eng *Engine, sw *Switch, interval, until Time, fn func(t Time, occ int64)) {
+	var tick func()
+	tick = func() {
+		fn(eng.Now(), sw.Occupancy())
+		if eng.Now()+interval <= until {
+			eng.After(interval, tick)
+		}
+	}
+	eng.After(interval, tick)
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/packet"
+)
+
+// Packet is a unit of traffic moving through the simulated network.
+type Packet struct {
+	Hdr packet.Header
+	// hops is the remaining sequence of (node, egress port) steps.
+	hops []hop
+}
+
+type hop struct {
+	node Node
+	port int
+}
+
+// Node receives packets. Implementations: Switch, Sink.
+type Node interface {
+	// Receive delivers p to the node; port is the node-local egress port
+	// the packet should leave through next (ignored by sinks).
+	Receive(p *Packet, port int)
+	// Name identifies the node in counters and errors.
+	Name() string
+}
+
+// Link is a unidirectional wire with a fixed rate and propagation delay.
+type Link struct {
+	RateBps int64 // bits per second
+	Delay   Time  // propagation delay
+
+	bytesTx int64
+}
+
+// TxTime returns the serialization time of size bytes on this link.
+func (l *Link) TxTime(size uint32) Time {
+	return Time(int64(size) * 8 * Second / l.RateBps)
+}
+
+// BytesTx returns cumulative bytes transmitted over the link.
+func (l *Link) BytesTx() int64 { return l.bytesTx }
+
+// Utilization returns the average utilization over a window of length d.
+func (l *Link) Utilization(d Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(l.bytesTx*8) / (float64(l.RateBps) * float64(d) / float64(Second))
+}
+
+// ResetCounters zeroes the transmit counter (e.g. between measurement
+// windows).
+func (l *Link) ResetCounters() { l.bytesTx = 0 }
+
+// Port is one switch egress: a FIFO queue served at the attached link's
+// rate, drawing buffer space from the switch's shared pool.
+type Port struct {
+	Link      *Link
+	Peer      Node // node at the far end
+	PeerPort  int  // egress port the packet uses at the peer (pre-routed)
+	busyUntil Time
+	queued    int64 // bytes currently queued on this port
+	drops     int64
+	forwarded int64
+}
+
+// Drops returns the number of packets dropped at this egress.
+func (p *Port) Drops() int64 { return p.drops }
+
+// Forwarded returns the number of packets transmitted from this egress.
+func (p *Port) Forwarded() int64 { return p.forwarded }
+
+// Switch is an output-queued switch with a shared egress buffer pool:
+// a packet is dropped if the pool cannot hold it, regardless of which
+// port it is queued on. This is the shallow-shared-buffer commodity
+// design whose occupancy §6.3 measures.
+type Switch struct {
+	eng       *Engine
+	name      string
+	BufBytes  int64 // shared pool capacity
+	used      int64 // bytes currently buffered across all ports
+	ports     []*Port
+	dropTotal int64
+
+	// OnDrop, if set, is invoked for each dropped packet.
+	OnDrop func(p *Packet)
+}
+
+// NewSwitch creates a switch with the given shared buffer capacity.
+func NewSwitch(eng *Engine, name string, bufBytes int64) *Switch {
+	return &Switch{eng: eng, name: name, BufBytes: bufBytes}
+}
+
+// Name implements Node.
+func (s *Switch) Name() string { return s.name }
+
+// AddPort attaches an egress port and returns its index.
+func (s *Switch) AddPort(link *Link, peer Node) int {
+	s.ports = append(s.ports, &Port{Link: link, Peer: peer})
+	return len(s.ports) - 1
+}
+
+// Port returns the port at index i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// NumPorts returns the number of egress ports.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Occupancy returns the bytes currently held in the shared buffer.
+func (s *Switch) Occupancy() int64 { return s.used }
+
+// Drops returns the total packets dropped across all ports.
+func (s *Switch) Drops() int64 { return s.dropTotal }
+
+// Receive implements Node: queue the packet on egress port, or drop it if
+// the shared buffer is exhausted.
+func (s *Switch) Receive(p *Packet, port int) {
+	if port < 0 || port >= len(s.ports) {
+		panic(fmt.Sprintf("netsim: %s: bad egress port %d", s.name, port))
+	}
+	pt := s.ports[port]
+	size := int64(p.Hdr.Size)
+	if s.used+size > s.BufBytes {
+		pt.drops++
+		s.dropTotal++
+		if s.OnDrop != nil {
+			s.OnDrop(p)
+		}
+		return
+	}
+	s.used += size
+	pt.queued += size
+	start := s.eng.Now()
+	if pt.busyUntil > start {
+		start = pt.busyUntil
+	}
+	depart := start + pt.Link.TxTime(p.Hdr.Size)
+	pt.busyUntil = depart
+	s.eng.At(depart, func() {
+		s.used -= size
+		pt.queued -= size
+		pt.forwarded++
+		pt.Link.bytesTx += size
+		peer, nextPort := pt.Peer, pt.PeerPort
+		arrive := depart + pt.Link.Delay
+		s.eng.At(arrive, func() { deliver(peer, p, nextPort) })
+	})
+}
+
+// deliver advances a packet along its precomputed hop list if it has one,
+// otherwise uses the port argument.
+func deliver(n Node, p *Packet, port int) {
+	if len(p.hops) > 0 {
+		next := p.hops[0]
+		p.hops = p.hops[1:]
+		next.node.Receive(p, next.port)
+		return
+	}
+	n.Receive(p, port)
+}
+
+// Sink absorbs packets at the edge of the simulated network and counts
+// them; it stands in for the receiving host's NIC.
+type Sink struct {
+	name    string
+	eng     *Engine
+	Packets int64
+	Bytes   int64
+	// Delay accumulates per-packet network delay (delivery time minus
+	// the header's injection timestamp) when an engine is attached.
+	Delay Moments
+	// OnPacket, if set, is invoked for each delivered packet.
+	OnPacket func(p *Packet)
+}
+
+// NewSink creates a named sink.
+func NewSink(name string) *Sink { return &Sink{name: name} }
+
+// AttachEngine enables delay accounting against the engine's clock.
+func (s *Sink) AttachEngine(e *Engine) { s.eng = e }
+
+// Name implements Node.
+func (s *Sink) Name() string { return s.name }
+
+// Receive implements Node.
+func (s *Sink) Receive(p *Packet, _ int) {
+	s.Packets++
+	s.Bytes += int64(p.Hdr.Size)
+	if s.eng != nil {
+		s.Delay.Add(float64(s.eng.Now() - p.Hdr.Time))
+	}
+	if s.OnPacket != nil {
+		s.OnPacket(p)
+	}
+}
+
+// Moments is a minimal online mean/max accumulator for delays (a local
+// copy avoids importing the stats package into the simulator core).
+type Moments struct {
+	N   int64
+	Sum float64
+	Max float64
+}
+
+// Add folds one observation.
+func (m *Moments) Add(x float64) {
+	m.N++
+	m.Sum += x
+	if x > m.Max {
+		m.Max = x
+	}
+}
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.N)
+}

@@ -1,0 +1,32 @@
+package packet_test
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/packet"
+)
+
+// ExampleFlowKey_FastHash shows the symmetric flow hash used for ECMP
+// path selection and load-balanced sharding: both directions of a
+// connection hash identically.
+func ExampleFlowKey_FastHash() {
+	k := packet.FlowKey{Src: 1, Dst: 2, SrcPort: 443, DstPort: 33000, Proto: packet.TCP}
+	fmt.Println(k.FastHash() == k.Reverse().FastHash())
+	// Output: true
+}
+
+// ExampleHeader_MarshalBinary round-trips a header through the fixed-size
+// wire record the mirror trace format stores.
+func ExampleHeader_MarshalBinary() {
+	h := packet.Header{
+		Time: 1_000_000,
+		Key:  packet.FlowKey{Src: 10, Dst: 20, SrcPort: 80, DstPort: 5000, Proto: packet.TCP},
+		Size: 1514,
+	}
+	var got packet.Header
+	if err := got.UnmarshalBinary(h.MarshalBinary()); err != nil {
+		panic(err)
+	}
+	fmt.Println(got == h, packet.EncodedSize, "bytes per record")
+	// Output: true 26 bytes per record
+}

@@ -1,0 +1,199 @@
+// Package render produces the terminal renditions of the paper's tables
+// and figures: aligned text tables, quantile summaries and ASCII CDF
+// plots for the figure reproductions, log-scale heatmaps for the traffic
+// matrices, and sparklines for time series.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fbdcnet/internal/stats"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+
+// SI formats a value with an SI suffix (k, M, G).
+func SI(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// Quantiles summarizes a sample at the standard reporting points.
+func Quantiles(s *stats.Sample) string {
+	if s.N() == 0 {
+		return "(empty)"
+	}
+	return fmt.Sprintf("n=%d p10=%s p50=%s p90=%s p99=%s",
+		s.N(), SI(s.Quantile(0.1)), SI(s.Quantile(0.5)), SI(s.Quantile(0.9)), SI(s.Quantile(0.99)))
+}
+
+// CDF draws an ASCII CDF of a sample: height rows by width columns, with
+// the x axis log-scaled when logX is set (flow sizes and durations span
+// many decades).
+func CDF(title string, s *stats.Sample, width, height int, logX bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %s\n", title, Quantiles(s))
+	if s.N() == 0 || width < 8 || height < 2 {
+		return b.String()
+	}
+	lo, hi := s.Quantile(0), s.Quantile(1)
+	if logX {
+		if lo <= 0 {
+			lo = math.Max(1e-3, lo)
+		}
+		if hi <= lo {
+			hi = lo * 10
+		}
+	} else if hi <= lo {
+		hi = lo + 1
+	}
+	xAt := func(col int) float64 {
+		t := float64(col) / float64(width-1)
+		if logX {
+			return lo * math.Pow(hi/lo, t)
+		}
+		return lo + t*(hi-lo)
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		frac := s.FracBelow(xAt(col))
+		row := int((1 - frac) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	for r, line := range grid {
+		label := "    "
+		if r == 0 {
+			label = "1.0 "
+		} else if r == height-1 {
+			label = "0.0 "
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "    +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "     %-12s%*s\n", SI(lo), width-12, SI(hi))
+	return b.String()
+}
+
+// shades orders heatmap intensity glyphs from empty to full.
+const shades = " .:-=+*#%@"
+
+// Heatmap renders a matrix with log-scaled cell intensity, normalized to
+// the largest cell (the style of Fig. 5).
+func Heatmap(title string, m [][]float64) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	maxV, minPos := 0.0, math.Inf(1)
+	for _, row := range m {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if maxV == 0 {
+		b.WriteString("(empty matrix)\n")
+		return b.String()
+	}
+	span := math.Log(maxV / minPos)
+	for _, row := range m {
+		for _, v := range row {
+			idx := 0
+			if v > 0 {
+				if span <= 0 {
+					idx = len(shades) - 1
+				} else {
+					idx = 1 + int(math.Log(v/minPos)/span*float64(len(shades)-2))
+					if idx >= len(shades) {
+						idx = len(shades) - 1
+					}
+				}
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: min>0 %s  max %s (log shading)\n", SI(minPos), SI(maxV))
+	return b.String()
+}
+
+// Sparkline renders a numeric series as a compact bar string.
+func Sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	maxV := 0.0
+	for _, v := range vs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(bars)-1))
+		}
+		b.WriteRune(bars[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"A", "Long header"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	// All lines equal width (trailing spaces aside) implies alignment.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "Long header") {
+		t.Fatal("header lost")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.123) != "12.3" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1.0"}, {1500, "1.5k"}, {2_000_000, "2.0M"}, {3_100_000_000, "3.1G"},
+		{-1500, "-1.5k"},
+	}
+	for _, c := range cases {
+		if got := SI(c.v); got != c.want {
+			t.Errorf("SI(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	if Quantiles(stats.NewSample(0)) != "(empty)" {
+		t.Fatal("empty sample should render as (empty)")
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	s := stats.NewSample(0)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	out := CDF("test", s, 40, 6, false)
+	if !strings.Contains(out, "1.0 |") || !strings.Contains(out, "0.0 |") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no curve points")
+	}
+	// Log-x variant must also render.
+	outLog := CDF("test", s, 40, 6, true)
+	if !strings.Contains(outLog, "*") {
+		t.Fatal("log CDF has no curve")
+	}
+}
+
+func TestCDFEmptySample(t *testing.T) {
+	out := CDF("empty", stats.NewSample(0), 40, 6, false)
+	if !strings.Contains(out, "(empty)") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestCDFDegenerate(t *testing.T) {
+	s := stats.NewSample(0)
+	s.Add(5)
+	s.Add(5)
+	// Must not panic on zero range, linear or log.
+	_ = CDF("deg", s, 30, 5, false)
+	_ = CDF("deg", s, 30, 5, true)
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]float64{
+		{0, 1},
+		{1000, 1_000_000},
+	}
+	out := Heatmap("hm", m)
+	lines := strings.Split(out, "\n")
+	if lines[0] != "hm" {
+		t.Fatal("title lost")
+	}
+	if len(lines[1]) != 2 || len(lines[2]) != 2 {
+		t.Fatalf("matrix rows wrong: %q %q", lines[1], lines[2])
+	}
+	if lines[1][0] != ' ' {
+		t.Fatal("zero cell should be blank")
+	}
+	// Largest cell gets the densest shade.
+	if lines[2][1] != shades[len(shades)-1] {
+		t.Fatalf("max cell shade %q", string(lines[2][1]))
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	out := Heatmap("e", [][]float64{{0, 0}})
+	if !strings.Contains(out, "empty matrix") {
+		t.Fatal("empty matrix not flagged")
+	}
+}
+
+func TestHeatmapUniform(t *testing.T) {
+	// All positive cells equal: must not divide by zero span.
+	out := Heatmap("u", [][]float64{{5, 5}, {5, 5}})
+	if !strings.Contains(out, "scale:") {
+		t.Fatal("missing scale line")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series should be empty string")
+	}
+	out := Sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(out)) != 4 {
+		t.Fatalf("length %d", len([]rune(out)))
+	}
+	runes := []rune(out)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("extremes wrong: %q", out)
+	}
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	out := []rune(Sparkline([]float64{0, 0}))
+	if out[0] != '▁' || out[1] != '▁' {
+		t.Fatal("zero series should be flat")
+	}
+}

@@ -1,0 +1,226 @@
+package services
+
+import (
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// Fleet mode produces flow-granularity outbound traffic for every host in
+// the fleet over long windows — hours to a day — which is what the
+// Fbflow-based analyses (Table 3, Figure 5, §4.1 utilization) consume.
+// Every packet in the network is outbound from exactly one host, so
+// generating each host's outbound flows covers total traffic exactly once.
+//
+// The destination logic is shared with trace mode through Picker; the
+// byte volumes are derived from the same Params and message-size models,
+// so the two modes describe one workload at two resolutions.
+
+// wireOverhead inflates application bytes to on-wire bytes (headers and
+// ACK traffic).
+const wireOverhead = 1.18
+
+// mixEntry is one component of a role's outbound traffic: a mean byte
+// rate and a destination sampler.
+type mixEntry struct {
+	bytesPerSec float64
+	pickDst     func(r *rng.Source, src topology.HostID) topology.HostID
+}
+
+// fleetMix returns the outbound traffic composition of one role,
+// mirroring the trace-mode loops (and hence Table 2).
+func (pk *Picker) fleetMix(p Params, role topology.Role) []mixEntry {
+	switch role {
+	case topology.RoleWeb:
+		return []mixEntry{
+			{p.WebUserReqPerSec * (p.WebCacheReadsPerReq*cacheReadReqBytes.Mean() + p.WebCacheWritesPerReq*cacheWriteBytes.Mean()),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleCacheFollower)
+				}},
+			{p.WebUserReqPerSec * p.WebMFOpsPerReq * mfReqBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleMultifeed)
+				}},
+			{p.WebUserReqPerSec * slbControlBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleSLB)
+				}},
+			{p.WebUserReqPerSec * egressReplyBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					if r.Bool(0.7) {
+						return pk.RemotePeer(r, src, topology.RoleMisc)
+					}
+					return pk.DCPeer(r, src, topology.RoleMisc)
+				}},
+			{p.WebEphemeralPerSec * miscReqBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.MiscPeer(r, src)
+				}},
+		}
+	case topology.RoleCacheFollower:
+		return []mixEntry{
+			{p.CacheReadPerSec*cacheReadRespBytes.Mean() + p.CacheWritePerSec*cacheWriteAckBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleWeb)
+				}},
+			{p.CacheLeaderSyncPerSec * leaderSyncReqBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.FleetPeer(r, src, topology.RoleCacheLeader, 0.6)
+				}},
+			{p.CacheEphemeralPerSec * miscReqBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.MiscPeer(r, src)
+				}},
+		}
+	case topology.RoleCacheLeader:
+		fillOut := p.LeaderFillPerSec * (0.6*leaderFillBytes.Mean() + 0.4*leaderInvalBytes.Mean())
+		missOut := p.LeaderMissInPerSec * leaderFillBytes.Mean()
+		return []mixEntry{
+			{fillOut + missOut,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.FleetPeer(r, src, topology.RoleCacheFollower, 0.6)
+				}},
+			{p.LeaderPeerSyncPerSec * leaderPeerBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleCacheLeader)
+				}},
+			{p.LeaderDBOpsPerSec * dbQueryBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.FleetPeer(r, src, topology.RoleDB, 0.5)
+				}},
+			{p.LeaderMFPerSec * leaderFillBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.DCPeer(r, src, topology.RoleMultifeed)
+				}},
+			{p.LeaderEphemeralPerSec * miscReqBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.MiscPeer(r, src)
+				}},
+		}
+	case topology.RoleHadoop:
+		duty := p.HadoopBusyMeanSec / (p.HadoopBusyMeanSec + p.HadoopQuietMeanSec)
+		// hadoopFleetDamp converts the busy monitored node of trace mode
+		// into a day-long fleet average: across a production Hadoop
+		// cluster most nodes at any instant are in map/compute phases or
+		// waiting for task assignment, so the fleet mean sits well below
+		// a busy node's rate while still ≈5x a Frontend host's (§4.1).
+		const hadoopFleetDamp = 0.24
+		dataOut := hadoopFleetDamp * duty * p.HadoopBusyFlowPerSec * 0.5 * hadoopFlowBytes.Mean()
+		// Fleet-average rack fraction (Table 3: 13.3% rack, 80.9%
+		// cluster): day-long averages include cross-job HDFS reads with
+		// far less read locality than the busy shuffle a short trace
+		// catches (§4.3).
+		return []mixEntry{
+			{dataOut * 0.14,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.RackPeer(r, src)
+				}},
+			{dataOut * 0.835,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleHadoop)
+				}},
+			{dataOut * 0.017,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.FleetPeer(r, src, topology.RoleMisc, 0.55)
+				}},
+			{p.HadoopQuietFlowPerSec * hadoopControlBytes.Mean() * 0.5,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleHadoop)
+				}},
+		}
+	case topology.RoleMultifeed:
+		return []mixEntry{
+			{p.MFReqPerSec * mfRespBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleWeb)
+				}},
+			{p.MiscFlowPerSec / 4 * miscReqBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.MiscPeer(r, src)
+				}},
+		}
+	case topology.RoleSLB:
+		return []mixEntry{
+			{p.SLBReqPerSec * slbRequestBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleWeb)
+				}},
+			{p.SLBReqPerSec / 2 * slbControlBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.FleetPeer(r, src, topology.RoleMisc, 0.5)
+				}},
+		}
+	case topology.RoleDB:
+		return []mixEntry{
+			{p.DBQueryPerSec * dbResultBytes.Mean(),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.FleetPeer(r, src, topology.RoleCacheLeader, 0.5)
+				}},
+			{p.DBReplPerSec * dbReplBytes.Mean() / 3,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.ClusterPeer(r, src, topology.RoleDB)
+				}},
+			{p.DBReplPerSec * dbReplBytes.Mean() / 3,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.DCPeer(r, src, topology.RoleDB)
+				}},
+			{p.DBReplPerSec * dbReplBytes.Mean() / 3,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.RemotePeer(r, src, topology.RoleDB)
+				}},
+		}
+	case topology.RoleMisc:
+		return []mixEntry{
+			{p.MiscFlowPerSec * 0.5 * (miscReqBytes.Mean() + miscRespBytes.Mean()),
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.MiscPeer(r, src)
+				}},
+			// Bulk service-to-service synchronization (index shards,
+			// feature stores, log shipping): the reason Service clusters
+			// carry the third-largest traffic share in Table 3.
+			{p.MiscBulkBytesPerSec,
+				func(r *rng.Source, src topology.HostID) topology.HostID {
+					return pk.MiscPeer(r, src)
+				}},
+		}
+	default:
+		return nil
+	}
+}
+
+// FleetRate returns the mean outbound on-wire bytes per second for one
+// host of the given role.
+func (pk *Picker) FleetRate(p Params, role topology.Role) float64 {
+	total := 0.0
+	for _, m := range pk.fleetMix(p, role) {
+		total += m.bytesPerSec
+	}
+	return total * wireOverhead
+}
+
+// FleetFlows synthesizes flow-granularity outbound traffic of host src
+// over a window of windowSec seconds with an overall load multiplier
+// (diurnal modulation), invoking emit for each (dst, bytes) flow record.
+// samplesPerComponent controls the dispersion resolution per mix entry.
+func (pk *Picker) FleetFlows(p Params, r *rng.Source, src topology.HostID,
+	windowSec, loadFactor float64, samplesPerComponent int, emit func(dst topology.HostID, bytes float64)) {
+	if samplesPerComponent <= 0 {
+		samplesPerComponent = 8
+	}
+	role := pk.Topo.Hosts[src].Role
+	for _, m := range pk.fleetMix(p, role) {
+		total := m.bytesPerSec * wireOverhead * windowSec * loadFactor
+		// Host-level burst noise: windows are not identical.
+		total *= 0.8 + 0.4*r.Float64()
+		if total <= 0 {
+			continue
+		}
+		per := total / float64(samplesPerComponent)
+		for i := 0; i < samplesPerComponent; i++ {
+			dst := m.pickDst(r, src)
+			if dst == src {
+				continue
+			}
+			emit(dst, per)
+		}
+	}
+}

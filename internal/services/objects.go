@@ -1,0 +1,203 @@
+package services
+
+import (
+	"math"
+	"sort"
+
+	"fbdcnet/internal/dist"
+	"fbdcnet/internal/rng"
+)
+
+// This file models the cache object economy behind §5.2's stability
+// observations: "the request rate distribution for the top-50 most
+// requested objects on a cache server is close across all cache servers,
+// and the median lifespan for objects within this list is on the order of
+// a few minutes."
+//
+// Popularity is Zipfian over popularity slots; objects occupy slots and
+// are replaced over time (stories age, new ones trend), so top-50
+// membership churns at minute scale while the *shape* of the rate
+// distribution — which is what load provisioning sees — stays constant.
+
+// ObjectChurnConfig sizes the popularity simulation.
+type ObjectChurnConfig struct {
+	Servers       int     // cache servers sampled
+	Epochs        int     // observation epochs
+	EpochSec      float64 // epoch length
+	ReadsPerSec   float64 // per-server read rate
+	Slots         int     // popularity slots (catalog truncated to the head)
+	ZipfExponent  float64
+	SlotChurnProb float64 // probability a slot's object is replaced per epoch
+	TopK          int     // the "top-50"
+}
+
+// DefaultObjectChurnConfig matches the paper's setting: minutes-scale
+// epochs, top-50 lists.
+func DefaultObjectChurnConfig(p Params) ObjectChurnConfig {
+	return ObjectChurnConfig{
+		Servers:       8,
+		Epochs:        10,
+		EpochSec:      60,
+		ReadsPerSec:   p.CacheReadPerSec,
+		Slots:         4096,
+		ZipfExponent:  0.99,
+		SlotChurnProb: 0.25,
+		TopK:          50,
+	}
+}
+
+// ObjectChurnResult reports the §5.2 statistics.
+type ObjectChurnResult struct {
+	// MedianLifespanSec is the median time an object stays in a server's
+	// top-K list.
+	MedianLifespanSec float64
+	// CrossServerSimilarity is the mean pairwise cosine similarity of
+	// per-server top-K rate vectors within an epoch (≈1: "close across
+	// all cache servers").
+	CrossServerSimilarity float64
+	// TopKShare is the fraction of requests absorbed by the top-K
+	// objects, the skew that makes hot-object mitigation necessary.
+	TopKShare float64
+}
+
+// SimulateObjectPopularity runs the popularity churn model and returns
+// the §5.2 statistics. Deterministic in r.
+func SimulateObjectPopularity(cfg ObjectChurnConfig, r *rng.Source) ObjectChurnResult {
+	if cfg.Servers < 2 || cfg.Epochs < 2 || cfg.TopK < 1 || cfg.Slots < cfg.TopK {
+		panic("services: degenerate object churn config")
+	}
+	zipf := dist.NewZipf(cfg.Slots, cfg.ZipfExponent)
+
+	// slotObject[slot] identifies the object currently occupying the
+	// popularity slot; replacement churns identity, not popularity shape.
+	slotObject := make([]int, cfg.Slots)
+	nextObject := 0
+	for i := range slotObject {
+		slotObject[i] = nextObject
+		nextObject++
+	}
+
+	// enteredTop[server][object] is the epoch the object entered the
+	// server's current top-K streak.
+	entered := make([]map[int]int, cfg.Servers)
+	inPrev := make([]map[int]bool, cfg.Servers)
+	for s := range entered {
+		entered[s] = make(map[int]int)
+		inPrev[s] = make(map[int]bool)
+	}
+	var lifespans []float64
+	var similarities []float64
+	var topShare []float64
+
+	reads := int(cfg.ReadsPerSec * cfg.EpochSec)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Object replacement at slot granularity.
+		if epoch > 0 {
+			for slot := range slotObject {
+				if r.Bool(cfg.SlotChurnProb) {
+					slotObject[slot] = nextObject
+					nextObject++
+				}
+			}
+		}
+
+		// Each server independently samples the shared popularity.
+		tops := make([][]float64, cfg.Servers)
+		for srv := 0; srv < cfg.Servers; srv++ {
+			counts := make(map[int]int)
+			total := 0
+			for i := 0; i < reads; i++ {
+				obj := slotObject[zipf.Rank(r)]
+				counts[obj]++
+				total++
+			}
+			type kv struct {
+				obj int
+				n   int
+			}
+			items := make([]kv, 0, len(counts))
+			for o, n := range counts {
+				items = append(items, kv{o, n})
+			}
+			sort.Slice(items, func(i, j int) bool {
+				if items[i].n != items[j].n {
+					return items[i].n > items[j].n
+				}
+				return items[i].obj < items[j].obj
+			})
+			k := cfg.TopK
+			if k > len(items) {
+				k = len(items)
+			}
+			vec := make([]float64, k)
+			set := make(map[int]bool, k)
+			topN := 0
+			for i := 0; i < k; i++ {
+				vec[i] = float64(items[i].n) / float64(total)
+				set[items[i].obj] = true
+				topN += items[i].n
+			}
+			tops[srv] = vec
+			topShare = append(topShare, float64(topN)/float64(total))
+
+			// Lifespan bookkeeping: objects leaving the top-K end a streak.
+			for o := range inPrev[srv] {
+				if !set[o] {
+					lifespans = append(lifespans,
+						float64(epoch-entered[srv][o])*cfg.EpochSec)
+					delete(entered[srv], o)
+				}
+			}
+			for o := range set {
+				if !inPrev[srv][o] {
+					entered[srv][o] = epoch
+				}
+			}
+			inPrev[srv] = set
+		}
+
+		// Cross-server similarity of the sorted top-K rate vectors.
+		for a := 0; a < cfg.Servers; a++ {
+			for b := a + 1; b < cfg.Servers; b++ {
+				similarities = append(similarities, cosine(tops[a], tops[b]))
+			}
+		}
+	}
+
+	res := ObjectChurnResult{}
+	if len(lifespans) > 0 {
+		sort.Float64s(lifespans)
+		res.MedianLifespanSec = lifespans[len(lifespans)/2]
+	}
+	res.CrossServerSimilarity = mean(similarities)
+	res.TopKShare = mean(topShare)
+	return res
+}
+
+func cosine(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

@@ -1,0 +1,184 @@
+package services
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// Picker selects communication peers for a given source host following
+// the placement and balancing rules of §3–§4: Web servers talk to the
+// cache followers, Multifeed, and SLB machines of their own cluster; cache
+// followers answer the cluster's Web servers and sync with leaders across
+// datacenters; leaders spread coherency traffic over every cluster;
+// Hadoop prefers its own rack, then its cluster.
+//
+// Peer sets are resolved once per (role, scope) and cached; selection is
+// then O(1) per packet/flow.
+type Picker struct {
+	Topo *topology.Topology
+
+	clusterRole map[scopeKey][]topology.HostID
+	dcRole      map[scopeKey][]topology.HostID
+	fleetRole   map[topology.Role][]topology.HostID
+}
+
+type scopeKey struct {
+	role  topology.Role
+	scope int
+}
+
+// NewPicker builds a Picker over topo.
+func NewPicker(topo *topology.Topology) *Picker {
+	return &Picker{
+		Topo:        topo,
+		clusterRole: make(map[scopeKey][]topology.HostID),
+		dcRole:      make(map[scopeKey][]topology.HostID),
+		fleetRole:   make(map[topology.Role][]topology.HostID),
+	}
+}
+
+// InCluster returns the hosts of the given role within cluster c, cached.
+func (p *Picker) InCluster(r topology.Role, c int) []topology.HostID {
+	k := scopeKey{r, c}
+	if v, ok := p.clusterRole[k]; ok {
+		return v
+	}
+	v := p.Topo.HostsByRoleInCluster(r, c)
+	p.clusterRole[k] = v
+	return v
+}
+
+// InDC returns the hosts of the given role within datacenter dc, cached.
+func (p *Picker) InDC(r topology.Role, dc int) []topology.HostID {
+	k := scopeKey{r, dc}
+	if v, ok := p.dcRole[k]; ok {
+		return v
+	}
+	v := p.Topo.HostsByRoleInDC(r, dc)
+	p.dcRole[k] = v
+	return v
+}
+
+// Fleet returns all hosts of the given role, cached.
+func (p *Picker) Fleet(r topology.Role) []topology.HostID {
+	if v, ok := p.fleetRole[r]; ok {
+		return v
+	}
+	v := p.Topo.HostsByRole(r)
+	p.fleetRole[r] = v
+	return v
+}
+
+// pick returns a uniform element of hosts other than self, falling back
+// to self only if it is the sole member. It panics on an empty set — a
+// topology too small for the requesting service model.
+func pick(r *rng.Source, hosts []topology.HostID, self topology.HostID) topology.HostID {
+	if len(hosts) == 0 {
+		panic("services: empty peer set; topology lacks a required role")
+	}
+	for i := 0; i < 4; i++ {
+		h := hosts[r.Intn(len(hosts))]
+		if h != self {
+			return h
+		}
+	}
+	return hosts[r.Intn(len(hosts))]
+}
+
+// ClusterPeer picks a same-cluster host with the given role, falling back
+// to datacenter scope then fleet scope when the cluster has none.
+func (p *Picker) ClusterPeer(r *rng.Source, self topology.HostID, role topology.Role) topology.HostID {
+	h := &p.Topo.Hosts[self]
+	if set := p.InCluster(role, h.Cluster); len(set) > 0 {
+		return pick(r, set, self)
+	}
+	if set := p.InDC(role, h.Datacenter); len(set) > 0 {
+		return pick(r, set, self)
+	}
+	return pick(r, p.Fleet(role), self)
+}
+
+// DCPeer picks a host of the given role in the same datacenter (any
+// cluster), falling back to fleet scope.
+func (p *Picker) DCPeer(r *rng.Source, self topology.HostID, role topology.Role) topology.HostID {
+	h := &p.Topo.Hosts[self]
+	if set := p.InDC(role, h.Datacenter); len(set) > 0 {
+		return pick(r, set, self)
+	}
+	return pick(r, p.Fleet(role), self)
+}
+
+// FleetPeer picks a host of the given role anywhere, preferring the local
+// datacenter with probability localBias.
+func (p *Picker) FleetPeer(r *rng.Source, self topology.HostID, role topology.Role, localBias float64) topology.HostID {
+	if r.Bool(localBias) {
+		return p.DCPeer(r, self, role)
+	}
+	return pick(r, p.Fleet(role), self)
+}
+
+// RemotePeer picks a host of the given role in a *different* datacenter
+// when one exists, otherwise anywhere.
+func (p *Picker) RemotePeer(r *rng.Source, self topology.HostID, role topology.Role) topology.HostID {
+	set := p.Fleet(role)
+	dc := p.Topo.Hosts[self].Datacenter
+	for i := 0; i < 16; i++ {
+		h := set[r.Intn(len(set))]
+		if p.Topo.Hosts[h].Datacenter != dc {
+			return h
+		}
+	}
+	return pick(r, set, self)
+}
+
+// RackPeer picks a same-rack host, falling back to the cluster when the
+// rack has a single machine.
+func (p *Picker) RackPeer(r *rng.Source, self topology.HostID) topology.HostID {
+	rack := p.Topo.Racks[p.Topo.Hosts[self].Rack]
+	if len(rack.Hosts) > 1 {
+		for {
+			h := rack.Hosts[r.Intn(len(rack.Hosts))]
+			if h != self {
+				return h
+			}
+		}
+	}
+	return p.ClusterPeer(r, self, p.Topo.Hosts[self].Role)
+}
+
+// HadoopPeer picks a transfer peer for a Hadoop node: same rack with
+// probability rackFrac, otherwise elsewhere in the cluster.
+func (p *Picker) HadoopPeer(r *rng.Source, self topology.HostID, rackFrac float64) topology.HostID {
+	if r.Bool(rackFrac) {
+		return p.RackPeer(r, self)
+	}
+	return p.ClusterPeer(r, self, topology.RoleHadoop)
+}
+
+// MiscPeer picks a long-tail service peer with the Service-cluster
+// locality mix of Table 3: mostly cluster-scoped with datacenter and
+// cross-datacenter components.
+func (p *Picker) MiscPeer(r *rng.Source, self topology.HostID) topology.HostID {
+	u := r.Float64()
+	switch {
+	case u < 0.55:
+		return p.ClusterPeer(r, self, topology.RoleMisc)
+	case u < 0.80:
+		return p.DCPeer(r, self, topology.RoleMisc)
+	default:
+		return p.FleetPeer(r, self, topology.RoleMisc, 0)
+	}
+}
+
+// Validate checks that the topology can satisfy every role the service
+// models need.
+func (p *Picker) Validate() error {
+	for _, role := range topology.Roles {
+		if len(p.Fleet(role)) == 0 {
+			return fmt.Errorf("services: topology has no %v hosts", role)
+		}
+	}
+	return nil
+}

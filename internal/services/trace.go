@@ -1,0 +1,459 @@
+package services
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/dist"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/topology"
+	"fbdcnet/internal/workload"
+)
+
+// Well-known destination ports of the simulated services.
+const (
+	PortSLB      = 443
+	PortWeb      = 8080
+	PortCache    = 11211
+	PortLeader   = 11213
+	PortMF       = 8090
+	PortHadoop   = 50010
+	PortDB       = 3306
+	PortMisc     = 9000
+	PortEgress   = 9443
+	PortHadoopIn = 50011
+)
+
+// Trace synthesizes a monitored host's port-mirror capture. Create with
+// NewTrace and drive with Run.
+type Trace struct {
+	G  *workload.Gen
+	P  Params
+	pk *Picker
+
+	conns map[connKey]*workload.Conn
+	// hotMul is the current read-rate multiplier on a cache follower due
+	// to hot objects (§5.2).
+	hotMul float64
+}
+
+type connKey struct {
+	peer topology.HostID
+	port uint16
+	in   bool
+	lane uint8
+}
+
+// poolLanes is the number of pooled connections kept per (peer, port)
+// pair: production connection pools multiplex requests over several
+// transport connections, which is why 5-tuple flow sizes vary while
+// per-host aggregates are tight (Fig. 6b vs Fig. 9).
+const poolLanes = 3
+
+// NewTrace builds a generator for the given monitored host. The host's
+// role determines the behaviour installed. The picker may be shared
+// across traces over the same topology.
+func NewTrace(pk *Picker, host topology.HostID, seed uint64, p Params, sink workload.Collector) *Trace {
+	t := &Trace{
+		G:      workload.NewGen(pk.Topo, host, seed, sink),
+		P:      p,
+		pk:     pk,
+		conns:  make(map[connKey]*workload.Conn),
+		hotMul: 1,
+	}
+	switch pk.Topo.Hosts[host].Role {
+	case topology.RoleWeb:
+		t.installWeb()
+	case topology.RoleCacheFollower:
+		t.installCacheFollower()
+	case topology.RoleCacheLeader:
+		t.installCacheLeader()
+	case topology.RoleHadoop:
+		t.installHadoop()
+	case topology.RoleMultifeed:
+		t.installMultifeed()
+	case topology.RoleSLB:
+		t.installSLB()
+	case topology.RoleDB:
+		t.installDB()
+	case topology.RoleMisc:
+		t.installMisc()
+	default:
+		panic(fmt.Sprintf("services: no model for role %v", pk.Topo.Hosts[host].Role))
+	}
+	return t
+}
+
+// Run generates the trace for the given duration.
+func (t *Trace) Run(dur netsim.Time) { t.G.Run(dur) }
+
+// Emitted returns the number of packets generated so far.
+func (t *Trace) Emitted() int64 { return t.G.Emitted() }
+
+// conn returns a pooled connection to peer on port, creating it
+// pre-established on first use. Each (peer, port) pair keeps poolLanes
+// connections; a random lane is used per transaction. With connection
+// pooling disabled (ablation) every call opens a fresh handshaked
+// connection the caller must Close.
+func (t *Trace) conn(peer topology.HostID, port uint16, inbound bool) *workload.Conn {
+	if t.P.DisableConnectionPooling {
+		if inbound {
+			return t.G.NewInboundConn(peer, port, true)
+		}
+		return t.G.NewConn(peer, port, true)
+	}
+	k := connKey{peer, port, inbound, uint8(t.G.R.Intn(poolLanes))}
+	if c, ok := t.conns[k]; ok {
+		return c
+	}
+	var c *workload.Conn
+	if inbound {
+		c = t.G.NewInboundConn(peer, port, false)
+	} else {
+		c = t.G.NewConn(peer, port, false)
+	}
+	t.conns[k] = c
+	return c
+}
+
+// finish closes c if the pooling ablation made it ephemeral.
+func (t *Trace) finish(c *workload.Conn, after netsim.Time) {
+	if t.P.DisableConnectionPooling {
+		t.G.Eng.After(after, c.Close)
+	}
+}
+
+// rpcOut issues one outbound request/response exchange to peer.
+func (t *Trace) rpcOut(peer topology.HostID, port uint16, req, resp dist.Dist) {
+	c := t.conn(peer, port, false)
+	c.SendMsg(int(req.Sample(t.G.R)))
+	rtt := t.G.RTT(peer)
+	svc := netsim.Time(50*netsim.Microsecond) + netsim.Time(t.G.R.Exp()*float64(100*netsim.Microsecond))
+	t.G.Eng.After(rtt+svc, func() {
+		c.RecvMsg(int(resp.Sample(t.G.R)))
+	})
+	t.finish(c, rtt+svc+netsim.Millisecond)
+}
+
+// rpcIn serves one inbound request/response exchange from peer.
+func (t *Trace) rpcIn(peer topology.HostID, port uint16, req, resp dist.Dist) {
+	c := t.conn(peer, port, true)
+	c.RecvMsg(int(req.Sample(t.G.R)))
+	svc := netsim.Time(40*netsim.Microsecond) + netsim.Time(t.G.R.Exp()*float64(80*netsim.Microsecond))
+	t.G.Eng.After(svc, func() {
+		c.SendMsg(int(resp.Sample(t.G.R)))
+	})
+	t.finish(c, svc+netsim.Millisecond)
+}
+
+// ephemeralRPC opens a short-lived connection to peer, exchanges one
+// request/response, and closes — the non-pooled long tail visible in the
+// SYN interarrival distribution (Fig. 14).
+func (t *Trace) ephemeralRPC(peer topology.HostID, port uint16, req, resp dist.Dist) {
+	c := t.G.NewConn(peer, port, true)
+	rtt := t.G.RTT(peer)
+	t.G.Eng.After(rtt, func() {
+		c.SendMsg(int(req.Sample(t.G.R)))
+		t.G.Eng.After(rtt, func() {
+			c.RecvMsg(int(resp.Sample(t.G.R)))
+			t.G.Eng.After(netsim.Time(t.G.R.Exp()*float64(5*netsim.Millisecond)), c.Close)
+		})
+	})
+}
+
+// Connection-pool lifetime model (§5.1): flows are "long-lived but not
+// very heavy". Pool members idle at heartbeat cadence between requests
+// and are replaced after poolLifetime on average, so SYNs keep arriving
+// every few milliseconds (Fig. 14) while a large share of observed flows
+// spans minutes and outlives the capture (Fig. 7).
+const (
+	poolLifetimeMean  = 45.0 // seconds a pool member lives
+	heartbeatGapMean  = 12.0 // seconds between keepalive exchanges
+	heartbeatMsgBytes = 120
+)
+
+// poolMember runs one pooled connection's life: periodic heartbeats until
+// its exponential lifetime expires, then a FIN.
+func (t *Trace) poolMember(c *workload.Conn, lifetimeSec float64) {
+	g := t.G
+	deadline := g.Eng.Now() + netsim.Time(lifetimeSec*float64(netsim.Second))
+	var beat func()
+	beat = func() {
+		if g.Eng.Now() >= deadline {
+			c.Close()
+			return
+		}
+		c.SendMsg(heartbeatMsgBytes)
+		g.Eng.After(g.RTT(c.Peer), func() { c.RecvMsg(heartbeatMsgBytes) })
+		g.Eng.After(netsim.Time(g.R.Exp()*heartbeatGapMean*float64(netsim.Second)), beat)
+	}
+	g.Eng.After(netsim.Time(g.R.Exp()*heartbeatGapMean*float64(netsim.Second)), beat)
+}
+
+// churnRPC models connection-pool churn: with probability pStay the new
+// connection joins the pool (heartbeats until its lifetime ends);
+// otherwise it behaves like ephemeralRPC.
+func (t *Trace) churnRPC(peer topology.HostID, port uint16, req, resp dist.Dist, pStay float64) {
+	if !t.G.R.Bool(pStay) {
+		t.ephemeralRPC(peer, port, req, resp)
+		return
+	}
+	c := t.G.NewConn(peer, port, true)
+	rtt := t.G.RTT(peer)
+	t.G.Eng.After(rtt, func() {
+		c.SendMsg(int(req.Sample(t.G.R)))
+		t.G.Eng.After(rtt, func() { c.RecvMsg(int(resp.Sample(t.G.R))) })
+	})
+	t.poolMember(c, t.G.R.Exp()*poolLifetimeMean)
+}
+
+// prePool creates the steady-state standing pool a capture would find
+// already open: ratePerSec×pStay×poolLifetime members, pre-established
+// (no SYN), each with a residual exponential lifetime. This is what puts
+// "100s to 1000s of concurrent connections" (§6.4) on Web and cache
+// hosts and the large at-capture-start mass in Fig. 7.
+func (t *Trace) prePool(pickPeer func() topology.HostID, port uint16, ratePerSec, pStay float64) {
+	n := int(ratePerSec * pStay * poolLifetimeMean)
+	const maxPool = 20000
+	if n > maxPool {
+		n = maxPool
+	}
+	for i := 0; i < n; i++ {
+		c := t.G.NewConn(pickPeer(), port, false)
+		// Residual lifetime of a stationary renewal process is again
+		// exponential with the same mean.
+		t.poolMember(c, t.G.R.Exp()*poolLifetimeMean)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Web server (§3.2, Fig. 2): stateless request fan-out.
+
+func (t *Trace) installWeb() {
+	g, p := t.G, t.P
+	self := g.Host
+	caches := t.pk.InCluster(topology.RoleCacheFollower, g.Topo.Hosts[self].Cluster)
+	if len(caches) == 0 {
+		caches = t.pk.Fleet(topology.RoleCacheFollower)
+	}
+	// PartitionUsers ablation: restrict 90% of cache ops to a small
+	// deterministic shard of the cache tier (the §4.3 counterfactual).
+	shard := caches
+	if p.PartitionUsers && len(caches) >= 4 {
+		n := len(caches) / 4
+		start := int(self) % (len(caches) - n + 1)
+		shard = caches[start : start+n]
+	}
+	pickCache := func() topology.HostID {
+		set := caches
+		if p.PartitionUsers && g.R.Float64() < 0.9 {
+			set = shard
+		}
+		return set[g.R.Intn(len(set))]
+	}
+
+	// One user request: SLB in → cache/MF fan-out → reply toward the edge.
+	userRequest := func() {
+		slb := t.pk.ClusterPeer(g.R, self, topology.RoleSLB)
+		slbConn := t.conn(slb, PortWeb, true)
+		slbConn.RecvMsg(int(slbRequestBytes.Sample(g.R)))
+
+		reads := poissonCount(g, p.WebCacheReadsPerReq)
+		for i := 0; i < reads; i++ {
+			d := netsim.Time(g.R.Exp() * float64(2*netsim.Millisecond))
+			g.Eng.After(d, func() {
+				t.rpcOut(pickCache(), PortCache, cacheReadReqBytes, cacheReadRespBytes)
+			})
+		}
+		writes := poissonCount(g, p.WebCacheWritesPerReq)
+		for i := 0; i < writes; i++ {
+			d := netsim.Time(g.R.Exp() * float64(4*netsim.Millisecond))
+			g.Eng.After(d, func() {
+				t.rpcOut(pickCache(), PortCache, cacheWriteBytes, cacheWriteAckBytes)
+			})
+		}
+		mfOps := poissonCount(g, p.WebMFOpsPerReq)
+		for i := 0; i < mfOps; i++ {
+			g.Eng.After(netsim.Time(g.R.Exp()*float64(2*netsim.Millisecond)), func() {
+				t.rpcOut(t.pk.ClusterPeer(g.R, self, topology.RoleMultifeed), PortMF, mfReqBytes, mfRespBytes)
+			})
+		}
+		// Assemble and reply: small control bytes to the SLB, the page
+		// itself toward the edge (misc hosts standing in for egress
+		// routers; half of egress leaves the datacenter).
+		done := netsim.Time(8*netsim.Millisecond) + netsim.Time(g.R.Exp()*float64(8*netsim.Millisecond))
+		g.Eng.After(done, func() {
+			slbConn.SendMsg(int(slbControlBytes.Sample(g.R)))
+			edge := t.pk.DCPeer(g.R, self, topology.RoleMisc)
+			if g.R.Bool(0.7) {
+				edge = t.pk.RemotePeer(g.R, self, topology.RoleMisc)
+			}
+			t.conn(edge, PortEgress, false).SendMsg(int(egressReplyBytes.Sample(g.R)))
+		})
+	}
+	g.Poisson(p.WebUserReqPerSec, userRequest)
+
+	// Service chatter drives the Web SYN arrival rate: a third of new
+	// connections join pools and persist.
+	t.prePool(func() topology.HostID { return t.pk.MiscPeer(g.R, self) },
+		PortMisc, p.WebEphemeralPerSec, 0.35)
+	g.Poisson(p.WebEphemeralPerSec, func() {
+		t.churnRPC(t.pk.MiscPeer(g.R, self), PortMisc, miscReqBytes, miscRespBytes, 0.35)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Cache follower: read-mostly responses to the cluster's Web tier.
+
+func (t *Trace) installCacheFollower() {
+	g, p := t.G, t.P
+	self := g.Host
+	webs := t.pk.InCluster(topology.RoleWeb, g.Topo.Hosts[self].Cluster)
+	if len(webs) == 0 {
+		webs = t.pk.Fleet(topology.RoleWeb)
+	}
+	// Load balancing spreads user requests across all Web servers, so the
+	// follower's per-web request stream is uniform (Fig. 8b/8c, Fig. 9).
+	// The ablation routes requests by session affinity instead: a rotating
+	// hot subset of Web servers concentrates most of the demand, and the
+	// hot set drifts every couple of seconds as sessions come and go —
+	// per-rack rates then swing far from their medians.
+	pickWeb := func() topology.HostID {
+		if p.DisableLoadBalancing && g.R.Bool(0.85) {
+			// Hot block of adjacent Web servers (one rack's worth,
+			// since peer lists are rack-ordered), drifting every 2 s.
+			block := len(webs) / 8
+			if block < 1 {
+				block = 1
+			}
+			epoch := uint64(g.Eng.Now() / (2 * netsim.Second))
+			start := int((epoch*2654435761 + uint64(g.Host)) % uint64(len(webs)-block+1))
+			return webs[start+g.R.Intn(block)]
+		}
+		return webs[g.R.Intn(len(webs))]
+	}
+
+	// Read service loop; rate scaled by the hot-object multiplier.
+	var readLoop func()
+	readLoop = func() {
+		t.rpcIn(pickWeb(), PortCache, cacheReadReqBytes, cacheReadRespBytes)
+		mean := float64(netsim.Second) / (p.CacheReadPerSec * t.hotMul)
+		g.Eng.After(netsim.Time(g.R.Exp()*mean), readLoop)
+	}
+	g.Eng.After(netsim.Time(g.R.Exp()*float64(netsim.Second)/p.CacheReadPerSec), readLoop)
+
+	g.Poisson(p.CacheWritePerSec, func() {
+		t.rpcIn(pickWeb(), PortCache, cacheWriteBytes, cacheWriteAckBytes)
+	})
+
+	// Coherency with leaders: miss fills out-of-cluster (§4.2: leaders
+	// engage in intra- and inter-datacenter traffic).
+	g.Poisson(p.CacheLeaderSyncPerSec, func() {
+		leader := t.pk.FleetPeer(g.R, self, topology.RoleCacheLeader, 0.6)
+		if g.R.Bool(0.7) {
+			t.rpcOut(leader, PortLeader, leaderSyncReqBytes, leaderFillBytes)
+		} else {
+			// Invalidations arrive from the leader.
+			t.rpcIn(leader, PortCache, leaderInvalBytes, cacheWriteAckBytes)
+		}
+	})
+
+	// Hot objects: a burst of demand on this follower. Mitigation
+	// (web-side caching, then replication) clips it within ~200 ms;
+	// the ablation lets it run for tens of seconds (§5.2).
+	g.Poisson(p.HotObjectPerSec, func() {
+		if t.hotMul > 1 {
+			return // already handling one
+		}
+		t.hotMul = p.HotObjectMultiplier
+		hold := netsim.Time(200 * netsim.Millisecond)
+		if p.DisableHotObjectMitigation {
+			hold = netsim.Time((10 + g.R.Float64()*30) * float64(netsim.Second))
+		}
+		g.Eng.After(hold, func() { t.hotMul = 1 })
+	})
+
+	// Cache connection churn is dominated by pool replenishment: most new
+	// connections persist (§5.1: >40% of cache flows outlive the capture).
+	t.prePool(func() topology.HostID { return t.pk.MiscPeer(g.R, self) },
+		PortMisc, p.CacheEphemeralPerSec, 0.7)
+	g.Poisson(p.CacheEphemeralPerSec, func() {
+		t.churnRPC(t.pk.MiscPeer(g.R, self), PortMisc, miscReqBytes, miscRespBytes, 0.7)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Cache leader: the coherency plane of the "single geographically
+// distributed instance" (§4.2) — datacenter- and fleet-wide traffic.
+
+func (t *Trace) installCacheLeader() {
+	g, p := t.G, t.P
+	self := g.Host
+
+	// Fills and invalidations toward followers in Frontend clusters
+	// everywhere: ~60% same datacenter, the rest across the backbone.
+	g.Poisson(p.LeaderFillPerSec, func() {
+		f := t.pk.FleetPeer(g.R, self, topology.RoleCacheFollower, 0.6)
+		if g.R.Bool(0.6) {
+			c := t.conn(f, PortCache, false)
+			c.SendMsg(int(leaderFillBytes.Sample(g.R)))
+		} else {
+			c := t.conn(f, PortCache, false)
+			c.SendMsg(int(leaderInvalBytes.Sample(g.R)))
+		}
+	})
+
+	// Misses arriving from followers; answered with fills.
+	g.Poisson(p.LeaderMissInPerSec, func() {
+		f := t.pk.FleetPeer(g.R, self, topology.RoleCacheFollower, 0.6)
+		t.rpcIn(f, PortLeader, leaderSyncReqBytes, leaderFillBytes)
+	})
+
+	// Database reads and writes behind the misses.
+	g.Poisson(p.LeaderDBOpsPerSec, func() {
+		db := t.pk.FleetPeer(g.R, self, topology.RoleDB, 0.5)
+		t.rpcOut(db, PortDB, dbQueryBytes, dbResultBytes)
+	})
+
+	// Pushes to Multifeed aggregators.
+	g.Poisson(p.LeaderMFPerSec, func() {
+		mf := t.pk.DCPeer(g.R, self, topology.RoleMultifeed)
+		t.conn(mf, PortMF, false).SendMsg(int(leaderFillBytes.Sample(g.R)))
+	})
+
+	// Intra-cluster coordination with sibling leaders.
+	g.Poisson(p.LeaderPeerSyncPerSec, func() {
+		peer := t.pk.ClusterPeer(g.R, self, topology.RoleCacheLeader)
+		t.rpcOut(peer, PortLeader, leaderPeerBytes, leaderPeerBytes)
+	})
+
+	t.prePool(func() topology.HostID { return t.pk.MiscPeer(g.R, self) },
+		PortMisc, p.LeaderEphemeralPerSec, 0.65)
+	g.Poisson(p.LeaderEphemeralPerSec, func() {
+		t.churnRPC(t.pk.MiscPeer(g.R, self), PortMisc, miscReqBytes, miscRespBytes, 0.65)
+	})
+}
+
+// poissonCount draws a Poisson-distributed count with the given mean
+// (inversion by sequential search; means here are small).
+func poissonCount(g *workload.Gen, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := -mean
+	k, lp := 0, 0.0
+	for {
+		lp += logUniform(g)
+		if lp < l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// logUniform returns ln(U) for U uniform in (0,1].
+func logUniform(g *workload.Gen) float64 {
+	return -g.R.Exp()
+}

@@ -1,0 +1,92 @@
+package services
+
+import (
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/topology"
+)
+
+// installHadoop models a Hadoop node's distinct job phases (§4.2): quiet
+// computation periods with only control traffic, and busy shuffle/output
+// periods of many short-but-occasionally-huge transfers, mostly rack- and
+// cluster-local. Every transfer is a fresh connection (no pooling in the
+// data plane), producing the short flows of Fig. 6c/7c and the bimodal
+// ACK/MTU packet sizes of Fig. 12.
+func (t *Trace) installHadoop() {
+	g, p := t.G, t.P
+	self := g.Host
+	busy := false
+
+	// Phase alternation with log-normal-ish durations (exponential keeps
+	// the tail simple; observed variability comes from job mix anyway).
+	var enterBusy, enterQuiet func()
+	enterBusy = func() {
+		busy = true
+		g.Eng.After(netsim.Time(g.R.Exp()*p.HadoopBusyMeanSec*float64(netsim.Second)), enterQuiet)
+	}
+	enterQuiet = func() {
+		busy = false
+		g.Eng.After(netsim.Time(g.R.Exp()*p.HadoopQuietMeanSec*float64(netsim.Second)), enterBusy)
+	}
+	// Start mid-phase, busy with the same duty-cycle probability the
+	// steady state would give.
+	duty := p.HadoopBusyMeanSec / (p.HadoopBusyMeanSec + p.HadoopQuietMeanSec)
+	if g.R.Bool(duty) {
+		enterBusy()
+	} else {
+		enterQuiet()
+	}
+
+	// Data transfers during busy phases.
+	g.Poisson(p.HadoopBusyFlowPerSec, func() {
+		if !busy {
+			return
+		}
+		peer := t.pk.HadoopPeer(g.R, self, p.HadoopRackLocalFrac)
+		t.hadoopTransfer(peer, int(hadoopFlowBytes.Sample(g.R)), g.R.Bool(0.5))
+	})
+
+	// Control/heartbeat traffic runs in every phase.
+	g.Poisson(p.HadoopQuietFlowPerSec, func() {
+		peer := t.pk.HadoopPeer(g.R, self, 0.2)
+		t.hadoopTransfer(peer, int(hadoopControlBytes.Sample(g.R)), g.R.Bool(0.5))
+	})
+}
+
+// hadoopTransfer moves size bytes over a fresh connection in chunked
+// application writes with pauses between chunks, then closes. Outbound
+// and inbound transfers are both synthesized so the mirror sees both
+// shuffle directions.
+func (t *Trace) hadoopTransfer(peer topology.HostID, size int, outbound bool) {
+	g, p := t.G, t.P
+	chunk := p.HadoopChunkBytes
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	gapMean := p.HadoopChunkGapMs * float64(netsim.Millisecond)
+
+	var c = t.G.NewConn(peer, PortHadoop, true)
+	if !outbound {
+		c = t.G.NewInboundConn(peer, PortHadoopIn, true)
+	}
+	remaining := size
+	var step func()
+	step = func() {
+		n := remaining
+		if n > chunk {
+			n = chunk
+		}
+		if outbound {
+			c.SendMsg(n)
+		} else {
+			c.RecvMsg(n)
+		}
+		remaining -= n
+		if remaining > 0 {
+			g.Eng.After(netsim.Time(g.R.Exp()*gapMean), step)
+			return
+		}
+		g.Eng.After(netsim.Time(g.R.Exp()*float64(2*netsim.Millisecond)), c.Close)
+	}
+	// Data begins one RTT after the handshake.
+	g.Eng.After(t.G.RTT(peer), step)
+}

@@ -1,0 +1,346 @@
+// Package stats provides the streaming and batch statistics used by the
+// analysis pipeline: moment accumulators, exact percentile sets, log-bucket
+// histograms for wide-dynamic-range quantities (flow sizes span 9 orders
+// of magnitude in the paper's figures), CDF extraction, time-binned
+// series, and top-k byte counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments accumulates count, mean and variance online (Welford's method).
+// The zero value is ready to use.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the population variance.
+func (m *Moments) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// Std returns the population standard deviation.
+func (m *Moments) Std() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 if empty).
+func (m *Moments) Max() float64 { return m.max }
+
+// Sample collects raw observations for exact quantiles. Use for bounded
+// datasets (per-experiment analyses); use Histogram for unbounded streams.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample with capacity hint n.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	t := 0.0
+	for _, x := range s.xs {
+		t += x
+	}
+	return t
+}
+
+// Mean returns the sample mean, or 0 if empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) using linear interpolation
+// between closest ranks. Returns 0 for an empty sample.
+func (s *Sample) Quantile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := p * float64(len(s.xs)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[i]*(1-frac) + s.xs[i+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Percentiles evaluates Quantile at each of the given percentile points
+// (expressed in [0,1]).
+func (s *Sample) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Quantile(p)
+	}
+	return out
+}
+
+// CDF returns (values, cumulative fractions) suitable for plotting: values
+// are the sorted observations, fractions are (i+1)/n.
+func (s *Sample) CDF() (values, fractions []float64) {
+	s.sort()
+	values = append([]float64(nil), s.xs...)
+	fractions = make([]float64, len(values))
+	n := float64(len(values))
+	for i := range fractions {
+		fractions[i] = float64(i+1) / n
+	}
+	return values, fractions
+}
+
+// FracBelow returns the fraction of observations strictly less than x.
+func (s *Sample) FracBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(i) / float64(len(s.xs))
+}
+
+// Values returns the (sorted) raw observations. The returned slice is
+// owned by the Sample; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+// LogHistogram buckets positive values into logarithmically spaced bins.
+// It provides approximate quantiles over unbounded streams with bounded
+// memory, with relative error bounded by the bucket growth factor.
+type LogHistogram struct {
+	base    float64 // bucket boundary growth factor, e.g. 1.2
+	lnBase  float64
+	min     float64 // left edge of bucket 0
+	counts  []int64
+	total   int64
+	zeroCnt int64 // values <= 0 or < min land here
+}
+
+// NewLogHistogram creates a histogram covering [min, +inf) with bucket
+// boundaries min*base^k. Typical: NewLogHistogram(1, 1.15) for byte sizes.
+func NewLogHistogram(min, base float64) *LogHistogram {
+	if min <= 0 || base <= 1 {
+		panic("stats: LogHistogram needs min > 0 and base > 1")
+	}
+	return &LogHistogram{base: base, lnBase: math.Log(base), min: min}
+}
+
+func (h *LogHistogram) bucket(x float64) int {
+	return int(math.Log(x/h.min) / h.lnBase)
+}
+
+// Add records one observation.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	if x < h.min {
+		h.zeroCnt++
+		return
+	}
+	b := h.bucket(x)
+	if b >= len(h.counts) {
+		grown := make([]int64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+}
+
+// N returns the number of observations recorded.
+func (h *LogHistogram) N() int64 { return h.total }
+
+// Quantile returns an approximate p-quantile (bucket upper edge of the
+// bucket containing the rank).
+func (h *LogHistogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	if rank < h.zeroCnt {
+		return h.min
+	}
+	acc := h.zeroCnt
+	for b, c := range h.counts {
+		acc += c
+		if acc > rank {
+			return h.min * math.Pow(h.base, float64(b+1))
+		}
+	}
+	return h.min * math.Pow(h.base, float64(len(h.counts)))
+}
+
+// Counter tracks per-key byte (or packet) totals; keys are generic strings
+// formatted by the caller (flow/host/rack identifiers).
+type Counter struct {
+	m map[string]float64
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{m: make(map[string]float64)} }
+
+// Add accumulates v against key.
+func (c *Counter) Add(key string, v float64) { c.m[key] += v }
+
+// Get returns the accumulated value for key.
+func (c *Counter) Get(key string) float64 { return c.m[key] }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.m) }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() float64 {
+	t := 0.0
+	for _, v := range c.m {
+		t += v
+	}
+	return t
+}
+
+// KV is one key with its accumulated value.
+type KV struct {
+	Key string
+	Val float64
+}
+
+// Sorted returns all entries in descending value order, ties broken by key
+// for determinism.
+func (c *Counter) Sorted() []KV {
+	out := make([]KV, 0, len(c.m))
+	for k, v := range c.m {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Val != out[j].Val {
+			return out[i].Val > out[j].Val
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// HeavyHitterSet returns the minimum prefix of descending-ordered keys
+// whose values sum to at least frac of the total — the paper's §5.3
+// heavy-hitter definition with frac = 0.5 — along with their values.
+func (c *Counter) HeavyHitterSet(frac float64) []KV {
+	sorted := c.Sorted()
+	target := frac * c.Total()
+	acc := 0.0
+	for i, kv := range sorted {
+		acc += kv.Val
+		if acc >= target {
+			return sorted[:i+1]
+		}
+	}
+	return sorted
+}
+
+// TimeSeries bins (time, value) observations into fixed-width bins,
+// summing values per bin. Times are float64 seconds.
+type TimeSeries struct {
+	binWidth float64
+	start    float64
+	bins     []float64
+}
+
+// NewTimeSeries creates a series starting at start with the given bin
+// width in seconds.
+func NewTimeSeries(start, binWidth float64) *TimeSeries {
+	if binWidth <= 0 {
+		panic("stats: TimeSeries bin width must be positive")
+	}
+	return &TimeSeries{binWidth: binWidth, start: start}
+}
+
+// Add accumulates v into the bin containing t. Times before start are
+// folded into bin 0.
+func (ts *TimeSeries) Add(t, v float64) {
+	i := 0
+	if t > ts.start {
+		i = int((t - ts.start) / ts.binWidth)
+	}
+	if i >= len(ts.bins) {
+		grown := make([]float64, i+1)
+		copy(grown, ts.bins)
+		ts.bins = grown
+	}
+	ts.bins[i] += v
+}
+
+// Bins returns the accumulated per-bin sums.
+func (ts *TimeSeries) Bins() []float64 { return ts.bins }
+
+// BinWidth returns the bin width in seconds.
+func (ts *TimeSeries) BinWidth() float64 { return ts.binWidth }
+
+// String renders a short summary, mainly for debugging.
+func (ts *TimeSeries) String() string {
+	return fmt.Sprintf("TimeSeries{bins=%d, width=%gs}", len(ts.bins), ts.binWidth)
+}

@@ -1,0 +1,54 @@
+package topology
+
+// Scale selects a preset fleet size. All reported statistics in the paper
+// are per-host or per-rack distributions, so the shape of every
+// reproduction is stable across scales; larger scales only sharpen the
+// tails.
+type Scale int
+
+// Preset scales.
+const (
+	// ScaleTiny is for unit tests: 2 sites, minutes-long packet traces in
+	// milliseconds of CPU.
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default for examples and benches.
+	ScaleSmall
+	// ScaleMedium is for the full experiment harness.
+	ScaleMedium
+)
+
+// Preset returns a Config resembling Facebook's layout at the given scale:
+// two sites; the first site has two datacenter buildings. Each datacenter
+// hosts the five Table-3 cluster types. Frontend clusters dominate host
+// count, Hadoop clusters dominate traffic — matching Table 3's last row.
+func Preset(s Scale) Config {
+	var racks, hpr int
+	switch s {
+	case ScaleTiny:
+		racks, hpr = 6, 6
+	case ScaleSmall:
+		racks, hpr = 16, 8
+	case ScaleMedium:
+		racks, hpr = 64, 16
+	default:
+		racks, hpr = 16, 8
+	}
+	// Frontend hosts outnumber Hadoop hosts roughly 4:1, mirroring the
+	// production fleet where Frontend clusters dominate host count while
+	// Hadoop clusters dominate per-host load (§4.1, Table 3): that ratio
+	// is what lets Hadoop run ≈5× hotter per edge link yet contribute a
+	// similar share of total traffic.
+	dc := func(fabric bool) DatacenterSpec {
+		return DatacenterSpec{Clusters: []ClusterSpec{
+			{Type: ClusterFrontend, Racks: 2 * racks, HostsPerRack: hpr, Fabric: fabric},
+			{Type: ClusterHadoop, Racks: (racks + 1) / 2, HostsPerRack: hpr},
+			{Type: ClusterService, Racks: racks, HostsPerRack: hpr},
+			{Type: ClusterCache, Racks: (racks + 1) / 2, HostsPerRack: hpr},
+			{Type: ClusterDB, Racks: (racks + 1) / 2, HostsPerRack: hpr},
+		}}
+	}
+	return Config{Sites: []SiteSpec{
+		{Datacenters: []DatacenterSpec{dc(false), dc(true)}},
+		{Datacenters: []DatacenterSpec{dc(false)}},
+	}}
+}

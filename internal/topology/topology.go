@@ -1,0 +1,425 @@
+// Package topology models the physical organization of Facebook's
+// datacenters as described in §3.1 of the paper: machines in racks behind
+// top-of-rack switches (RSWs), racks grouped into clusters behind four
+// cluster switches (CSWs, the "4-post" design), clusters aggregated by
+// Fat Cat switches (FCs) within a datacenter, and datacenters grouped
+// into sites joined by a backbone.
+//
+// Two properties of the real deployment matter to every analysis and are
+// encoded here: machines have exactly one role (§3.1), and racks contain
+// only servers of the same role — the placement decision behind the
+// bipartite Web↔cache traffic pattern of Figure 5b.
+package topology
+
+import (
+	"fmt"
+
+	"fbdcnet/internal/packet"
+)
+
+// Role is the single function a machine performs (§3.1).
+type Role uint8
+
+// Machine roles. Misc stands in for the long tail of smaller services
+// ("Rest" in Table 2).
+const (
+	RoleWeb Role = iota
+	RoleCacheFollower
+	RoleCacheLeader
+	RoleHadoop
+	RoleMultifeed
+	RoleSLB
+	RoleDB
+	RoleMisc
+	numRoles
+)
+
+// Roles lists every role once, in declaration order.
+var Roles = []Role{
+	RoleWeb, RoleCacheFollower, RoleCacheLeader, RoleHadoop,
+	RoleMultifeed, RoleSLB, RoleDB, RoleMisc,
+}
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleWeb:
+		return "Web"
+	case RoleCacheFollower:
+		return "Cache-f"
+	case RoleCacheLeader:
+		return "Cache-l"
+	case RoleHadoop:
+		return "Hadoop"
+	case RoleMultifeed:
+		return "MF"
+	case RoleSLB:
+		return "SLB"
+	case RoleDB:
+		return "DB"
+	case RoleMisc:
+		return "Rest"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// ClusterType identifies the deployment unit's purpose (Table 3's five
+// top cluster types).
+type ClusterType uint8
+
+// Cluster types, matching Table 3's taxonomy.
+const (
+	ClusterHadoop ClusterType = iota
+	ClusterFrontend
+	ClusterService
+	ClusterCache
+	ClusterDB
+	numClusterTypes
+)
+
+// ClusterTypes lists every cluster type once, in Table 3's column order.
+var ClusterTypes = []ClusterType{
+	ClusterHadoop, ClusterFrontend, ClusterService, ClusterCache, ClusterDB,
+}
+
+// String implements fmt.Stringer.
+func (c ClusterType) String() string {
+	switch c {
+	case ClusterHadoop:
+		return "Hadoop"
+	case ClusterFrontend:
+		return "FE"
+	case ClusterService:
+		return "Svc."
+	case ClusterCache:
+		return "Cache"
+	case ClusterDB:
+		return "DB"
+	default:
+		return fmt.Sprintf("ClusterType(%d)", uint8(c))
+	}
+}
+
+// Locality classifies where a packet's destination lies relative to its
+// source — the unit of every locality analysis in the paper.
+type Locality uint8
+
+// Locality tiers, innermost first.
+const (
+	SameHost Locality = iota
+	IntraRack
+	IntraCluster
+	IntraDatacenter
+	InterDatacenter
+	numLocalities
+)
+
+// Localities lists the four inter-host tiers in the order the paper's
+// tables and figure legends use (SameHost excluded: loopback traffic is
+// not network traffic).
+var Localities = []Locality{IntraRack, IntraCluster, IntraDatacenter, InterDatacenter}
+
+// String implements fmt.Stringer.
+func (l Locality) String() string {
+	switch l {
+	case SameHost:
+		return "Same-Host"
+	case IntraRack:
+		return "Intra-Rack"
+	case IntraCluster:
+		return "Intra-Cluster"
+	case IntraDatacenter:
+		return "Intra-Datacenter"
+	case InterDatacenter:
+		return "Inter-Datacenter"
+	default:
+		return fmt.Sprintf("Locality(%d)", uint8(l))
+	}
+}
+
+// HostID indexes a machine within a Topology.
+type HostID int32
+
+// Host is one machine: exactly one role, one rack.
+type Host struct {
+	ID         HostID
+	Addr       packet.Addr
+	Role       Role
+	Rack       int
+	Cluster    int
+	Datacenter int
+	Site       int
+}
+
+// Rack is a set of same-role machines behind one RSW.
+type Rack struct {
+	ID      int
+	Cluster int
+	Role    Role
+	Hosts   []HostID
+}
+
+// Cluster is the deployment unit: racks behind four CSWs (or a Fabric pod).
+type Cluster struct {
+	ID         int
+	Type       ClusterType
+	Datacenter int
+	Fabric     bool // next-generation Fabric pod rather than 4-post
+	Racks      []int
+}
+
+// Datacenter is one building containing multiple clusters.
+type Datacenter struct {
+	ID       int
+	Site     int
+	Clusters []int
+}
+
+// Site is a datacenter site: one or more buildings on a campus.
+type Site struct {
+	ID          int
+	Datacenters []int
+}
+
+// Topology is the fully wired datacenter model. All cross-references are
+// indices into the exported slices; it is immutable after Build.
+type Topology struct {
+	Hosts       []Host
+	Racks       []Rack
+	Clusters    []Cluster
+	Datacenters []Datacenter
+	Sites       []Site
+
+	byRole [numRoles][]HostID
+}
+
+// HostByAddr resolves an address to its host, or nil if out of range.
+// Addresses are assigned densely: Addr(i) belongs to Hosts[i].
+func (t *Topology) HostByAddr(a packet.Addr) *Host {
+	i := int(a)
+	if i < 0 || i >= len(t.Hosts) {
+		return nil
+	}
+	return &t.Hosts[i]
+}
+
+// Locality classifies dst relative to src.
+func (t *Topology) Locality(src, dst HostID) Locality {
+	if src == dst {
+		return SameHost
+	}
+	a, b := &t.Hosts[src], &t.Hosts[dst]
+	switch {
+	case a.Rack == b.Rack:
+		return IntraRack
+	case a.Cluster == b.Cluster:
+		return IntraCluster
+	case a.Datacenter == b.Datacenter:
+		return IntraDatacenter
+	default:
+		return InterDatacenter
+	}
+}
+
+// HostsByRole returns all hosts with the given role, fleet-wide.
+func (t *Topology) HostsByRole(r Role) []HostID { return t.byRole[r] }
+
+// HostsByRoleInCluster returns hosts with role r inside cluster c.
+func (t *Topology) HostsByRoleInCluster(r Role, c int) []HostID {
+	var out []HostID
+	for _, h := range t.byRole[r] {
+		if t.Hosts[h].Cluster == c {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// HostsByRoleInDC returns hosts with role r inside datacenter dc.
+func (t *Topology) HostsByRoleInDC(r Role, dc int) []HostID {
+	var out []HostID
+	for _, h := range t.byRole[r] {
+		if t.Hosts[h].Datacenter == dc {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ClustersOfType returns the IDs of all clusters with the given type.
+func (t *Topology) ClustersOfType(ct ClusterType) []int {
+	var out []int
+	for _, c := range t.Clusters {
+		if c.Type == ct {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// NumHosts returns the fleet size.
+func (t *Topology) NumHosts() int { return len(t.Hosts) }
+
+// ClusterSpec describes one cluster to build.
+type ClusterSpec struct {
+	Type         ClusterType
+	Racks        int
+	HostsPerRack int
+	Fabric       bool
+}
+
+// DatacenterSpec describes one building.
+type DatacenterSpec struct {
+	Clusters []ClusterSpec
+}
+
+// SiteSpec describes one site.
+type SiteSpec struct {
+	Datacenters []DatacenterSpec
+}
+
+// Config is the whole-network build specification.
+type Config struct {
+	Sites []SiteSpec
+}
+
+// frontendRackRoles reproduces the Frontend cluster composition of
+// Figure 5b: roughly 75% Web server racks, 20% cache-follower racks, and a
+// few Multifeed and SLB racks. Assignment is deterministic in rack index.
+func frontendRackRoles(n int) []Role {
+	roles := make([]Role, n)
+	nCache := n * 20 / 100
+	nMF := n * 3 / 100
+	nSLB := n * 2 / 100
+	if n >= 4 {
+		if nCache == 0 {
+			nCache = 1
+		}
+		if nMF == 0 {
+			nMF = 1
+		}
+		if nSLB == 0 {
+			nSLB = 1
+		}
+	}
+	i := 0
+	for ; i < n-nCache-nMF-nSLB; i++ {
+		roles[i] = RoleWeb
+	}
+	for j := 0; j < nCache && i < n; j++ {
+		roles[i] = RoleCacheFollower
+		i++
+	}
+	for j := 0; j < nMF && i < n; j++ {
+		roles[i] = RoleMultifeed
+		i++
+	}
+	for ; i < n; i++ {
+		roles[i] = RoleSLB
+	}
+	return roles
+}
+
+// serviceRackRoles cycles the long-tail roles through a Service cluster.
+func serviceRackRoles(n int) []Role {
+	roles := make([]Role, n)
+	cycle := []Role{RoleMisc, RoleMisc, RoleMultifeed, RoleMisc}
+	for i := range roles {
+		roles[i] = cycle[i%len(cycle)]
+	}
+	return roles
+}
+
+// rackRoles returns the role of each rack in a cluster of the given type.
+func rackRoles(ct ClusterType, n int) []Role {
+	switch ct {
+	case ClusterHadoop:
+		roles := make([]Role, n)
+		for i := range roles {
+			roles[i] = RoleHadoop
+		}
+		return roles
+	case ClusterFrontend:
+		return frontendRackRoles(n)
+	case ClusterCache:
+		roles := make([]Role, n)
+		for i := range roles {
+			roles[i] = RoleCacheLeader
+		}
+		return roles
+	case ClusterDB:
+		roles := make([]Role, n)
+		for i := range roles {
+			roles[i] = RoleDB
+		}
+		return roles
+	case ClusterService:
+		return serviceRackRoles(n)
+	default:
+		panic(fmt.Sprintf("topology: unknown cluster type %v", ct))
+	}
+}
+
+// Build wires a Topology from cfg. It validates that every cluster has at
+// least one rack and every rack at least one host.
+func Build(cfg Config) (*Topology, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("topology: config has no sites")
+	}
+	t := &Topology{}
+	for si, ss := range cfg.Sites {
+		if len(ss.Datacenters) == 0 {
+			return nil, fmt.Errorf("topology: site %d has no datacenters", si)
+		}
+		site := Site{ID: len(t.Sites)}
+		for _, ds := range ss.Datacenters {
+			if len(ds.Clusters) == 0 {
+				return nil, fmt.Errorf("topology: datacenter in site %d has no clusters", si)
+			}
+			dc := Datacenter{ID: len(t.Datacenters), Site: site.ID}
+			for _, cs := range ds.Clusters {
+				if cs.Racks <= 0 || cs.HostsPerRack <= 0 {
+					return nil, fmt.Errorf("topology: cluster spec needs positive racks and hosts, got %+v", cs)
+				}
+				cl := Cluster{ID: len(t.Clusters), Type: cs.Type, Datacenter: dc.ID, Fabric: cs.Fabric}
+				roles := rackRoles(cs.Type, cs.Racks)
+				for ri := 0; ri < cs.Racks; ri++ {
+					rack := Rack{ID: len(t.Racks), Cluster: cl.ID, Role: roles[ri]}
+					for hi := 0; hi < cs.HostsPerRack; hi++ {
+						id := HostID(len(t.Hosts))
+						h := Host{
+							ID:         id,
+							Addr:       packet.Addr(id),
+							Role:       roles[ri],
+							Rack:       rack.ID,
+							Cluster:    cl.ID,
+							Datacenter: dc.ID,
+							Site:       site.ID,
+						}
+						t.Hosts = append(t.Hosts, h)
+						rack.Hosts = append(rack.Hosts, id)
+						t.byRole[h.Role] = append(t.byRole[h.Role], id)
+					}
+					cl.Racks = append(cl.Racks, rack.ID)
+					t.Racks = append(t.Racks, rack)
+				}
+				dc.Clusters = append(dc.Clusters, cl.ID)
+				t.Clusters = append(t.Clusters, cl)
+			}
+			site.Datacenters = append(site.Datacenters, dc.ID)
+			t.Datacenters = append(t.Datacenters, dc)
+		}
+		t.Sites = append(t.Sites, site)
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error, for fixed internal configs.
+func MustBuild(cfg Config) *Topology {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

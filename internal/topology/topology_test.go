@@ -1,0 +1,254 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fbdcnet/internal/packet"
+)
+
+func tiny(t *testing.T) *Topology {
+	t.Helper()
+	top, err := Build(Preset(ScaleTiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Build(Config{Sites: []SiteSpec{{}}}); err == nil {
+		t.Error("site without datacenters accepted")
+	}
+	if _, err := Build(Config{Sites: []SiteSpec{{Datacenters: []DatacenterSpec{{}}}}}); err == nil {
+		t.Error("datacenter without clusters accepted")
+	}
+	bad := Config{Sites: []SiteSpec{{Datacenters: []DatacenterSpec{{
+		Clusters: []ClusterSpec{{Type: ClusterHadoop, Racks: 0, HostsPerRack: 4}},
+	}}}}}
+	if _, err := Build(bad); err == nil {
+		t.Error("zero-rack cluster accepted")
+	}
+}
+
+func TestCrossReferencesConsistent(t *testing.T) {
+	top := tiny(t)
+	for _, h := range top.Hosts {
+		rack := top.Racks[h.Rack]
+		if rack.Cluster != h.Cluster {
+			t.Fatalf("host %d: rack cluster %d != host cluster %d", h.ID, rack.Cluster, h.Cluster)
+		}
+		cl := top.Clusters[h.Cluster]
+		if cl.Datacenter != h.Datacenter {
+			t.Fatalf("host %d: cluster dc mismatch", h.ID)
+		}
+		dc := top.Datacenters[h.Datacenter]
+		if dc.Site != h.Site {
+			t.Fatalf("host %d: dc site mismatch", h.ID)
+		}
+		found := false
+		for _, id := range rack.Hosts {
+			if id == h.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("host %d missing from its rack's host list", h.ID)
+		}
+	}
+}
+
+func TestRacksAreRoleHomogeneous(t *testing.T) {
+	top := tiny(t)
+	for _, rack := range top.Racks {
+		for _, id := range rack.Hosts {
+			if top.Hosts[id].Role != rack.Role {
+				t.Fatalf("rack %d declared %v but host %d has %v",
+					rack.ID, rack.Role, id, top.Hosts[id].Role)
+			}
+		}
+	}
+}
+
+func TestHostsHaveExactlyOneRoleEntry(t *testing.T) {
+	top := tiny(t)
+	count := 0
+	for _, r := range Roles {
+		count += len(top.HostsByRole(r))
+	}
+	if count != top.NumHosts() {
+		t.Fatalf("role index covers %d hosts, fleet has %d", count, top.NumHosts())
+	}
+}
+
+func TestAddrAssignmentDense(t *testing.T) {
+	top := tiny(t)
+	for i, h := range top.Hosts {
+		if h.Addr != packet.Addr(i) {
+			t.Fatalf("host %d has addr %d", i, h.Addr)
+		}
+		if got := top.HostByAddr(h.Addr); got == nil || got.ID != h.ID {
+			t.Fatalf("HostByAddr round trip failed for %d", i)
+		}
+	}
+	if top.HostByAddr(packet.Addr(top.NumHosts())) != nil {
+		t.Fatal("out-of-range addr resolved")
+	}
+}
+
+func TestLocalityTiers(t *testing.T) {
+	top := tiny(t)
+	// pick a host and known relatives
+	h := top.Hosts[0]
+	if top.Locality(h.ID, h.ID) != SameHost {
+		t.Error("self locality wrong")
+	}
+	// same rack
+	rack := top.Racks[h.Rack]
+	if len(rack.Hosts) > 1 {
+		other := rack.Hosts[1]
+		if top.Locality(h.ID, other) != IntraRack {
+			t.Error("intra-rack locality wrong")
+		}
+	}
+	// same cluster different rack
+	cl := top.Clusters[h.Cluster]
+	otherRack := top.Racks[cl.Racks[1]]
+	if got := top.Locality(h.ID, otherRack.Hosts[0]); got != IntraCluster {
+		t.Errorf("intra-cluster locality = %v", got)
+	}
+	// same DC different cluster
+	dc := top.Datacenters[h.Datacenter]
+	otherCl := top.Clusters[dc.Clusters[1]]
+	dst := top.Racks[otherCl.Racks[0]].Hosts[0]
+	if got := top.Locality(h.ID, dst); got != IntraDatacenter {
+		t.Errorf("intra-dc locality = %v", got)
+	}
+	// different site
+	lastHost := top.Hosts[len(top.Hosts)-1]
+	if lastHost.Site == h.Site {
+		t.Fatal("preset should span sites")
+	}
+	if got := top.Locality(h.ID, lastHost.ID); got != InterDatacenter {
+		t.Errorf("inter-dc locality = %v", got)
+	}
+}
+
+func TestLocalitySymmetricProperty(t *testing.T) {
+	top := tiny(t)
+	n := top.NumHosts()
+	err := quick.Check(func(a, b uint32) bool {
+		x, y := HostID(int(a)%n), HostID(int(b)%n)
+		return top.Locality(x, y) == top.Locality(y, x)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontendComposition(t *testing.T) {
+	top := tiny(t)
+	fes := top.ClustersOfType(ClusterFrontend)
+	if len(fes) == 0 {
+		t.Fatal("no frontend clusters in preset")
+	}
+	for _, c := range fes {
+		var web, cache, mf, slb int
+		for _, rid := range top.Clusters[c].Racks {
+			switch top.Racks[rid].Role {
+			case RoleWeb:
+				web++
+			case RoleCacheFollower:
+				cache++
+			case RoleMultifeed:
+				mf++
+			case RoleSLB:
+				slb++
+			default:
+				t.Fatalf("unexpected role %v in frontend cluster", top.Racks[rid].Role)
+			}
+		}
+		if web == 0 || cache == 0 || mf == 0 || slb == 0 {
+			t.Fatalf("frontend cluster %d missing a role: web=%d cache=%d mf=%d slb=%d", c, web, cache, mf, slb)
+		}
+		if web <= cache {
+			t.Fatalf("web racks (%d) should dominate cache racks (%d)", web, cache)
+		}
+	}
+}
+
+func TestFrontendRackRoleFractions(t *testing.T) {
+	roles := frontendRackRoles(100)
+	counts := map[Role]int{}
+	for _, r := range roles {
+		counts[r]++
+	}
+	if counts[RoleWeb] != 75 || counts[RoleCacheFollower] != 20 {
+		t.Fatalf("100-rack frontend: web=%d cache=%d", counts[RoleWeb], counts[RoleCacheFollower])
+	}
+}
+
+func TestHostsByRoleInClusterAndDC(t *testing.T) {
+	top := tiny(t)
+	fe := top.ClustersOfType(ClusterFrontend)[0]
+	webs := top.HostsByRoleInCluster(RoleWeb, fe)
+	if len(webs) == 0 {
+		t.Fatal("no web hosts in frontend cluster")
+	}
+	for _, h := range webs {
+		if top.Hosts[h].Cluster != fe || top.Hosts[h].Role != RoleWeb {
+			t.Fatal("HostsByRoleInCluster returned a wrong host")
+		}
+	}
+	dc := top.Clusters[fe].Datacenter
+	webDC := top.HostsByRoleInDC(RoleWeb, dc)
+	if len(webDC) < len(webs) {
+		t.Fatal("DC-wide web hosts fewer than cluster's")
+	}
+}
+
+func TestPresetScalesMonotone(t *testing.T) {
+	a := MustBuild(Preset(ScaleTiny)).NumHosts()
+	b := MustBuild(Preset(ScaleSmall)).NumHosts()
+	c := MustBuild(Preset(ScaleMedium)).NumHosts()
+	if !(a < b && b < c) {
+		t.Fatalf("scales not monotone: %d %d %d", a, b, c)
+	}
+}
+
+func TestPresetHasFabricPod(t *testing.T) {
+	top := MustBuild(Preset(ScaleSmall))
+	fabric := false
+	for _, c := range top.Clusters {
+		if c.Fabric {
+			fabric = true
+		}
+	}
+	if !fabric {
+		t.Fatal("preset should include at least one Fabric pod (§4.3)")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, r := range Roles {
+		if r.String() == "" {
+			t.Errorf("role %d has empty string", r)
+		}
+	}
+	for _, c := range ClusterTypes {
+		if c.String() == "" {
+			t.Errorf("cluster type %d has empty string", c)
+		}
+	}
+	for _, l := range Localities {
+		if l.String() == "" {
+			t.Errorf("locality %d has empty string", l)
+		}
+	}
+	if Role(200).String() == "" || ClusterType(200).String() == "" || Locality(200).String() == "" {
+		t.Error("unknown enum values should still render")
+	}
+}

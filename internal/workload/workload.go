@@ -1,0 +1,283 @@
+// Package workload provides the machinery shared by all service traffic
+// generators: the packet collector interface, connection bookkeeping, and
+// message-to-packet translation (segmentation, delayed ACKs, microsecond
+// burst pacing).
+//
+// Generators synthesize what a port mirror of one monitored host would
+// capture (§3.3.2): the complete bidirectional packet-header stream of
+// that host. Remote peers are not simulated end-to-end — their packets
+// toward the monitored host are synthesized locally with realistic
+// timing. This mirrors the paper's methodology, where all per-packet
+// analyses are computed from single-host traces.
+package workload
+
+import (
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// Collector consumes a time-ordered stream of packet headers. Analyses,
+// trace writers, and sampling agents all implement Collector.
+type Collector interface {
+	Packet(h packet.Header)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(h packet.Header)
+
+// Packet implements Collector.
+func (f CollectorFunc) Packet(h packet.Header) { f(h) }
+
+// Fanout duplicates the stream to several collectors.
+type Fanout []Collector
+
+// Packet implements Collector.
+func (f Fanout) Packet(h packet.Header) {
+	for _, c := range f {
+		c.Packet(h)
+	}
+}
+
+// Gen is the per-host trace generation context: a discrete-event engine,
+// a deterministic random source, and an ordered emission path to the
+// collector. Service models schedule application behaviour on it.
+type Gen struct {
+	Eng  *netsim.Engine
+	R    *rng.Source
+	Topo *topology.Topology
+	Host topology.HostID
+
+	sink      Collector
+	nextPort  uint16
+	emitted   int64
+	lastEmit  netsim.Time
+	reordered int64
+}
+
+// NewGen creates a generation context for monitored host h.
+func NewGen(topo *topology.Topology, h topology.HostID, seed uint64, sink Collector) *Gen {
+	return &Gen{
+		Eng:      &netsim.Engine{},
+		R:        rng.New(seed),
+		Topo:     topo,
+		Host:     h,
+		sink:     sink,
+		nextPort: 32768,
+	}
+}
+
+// Run executes the scheduled behaviour until dur.
+func (g *Gen) Run(dur netsim.Time) { g.Eng.Run(dur) }
+
+// Emitted returns the number of packets delivered to the collector.
+func (g *Gen) Emitted() int64 { return g.emitted }
+
+// emit delivers one header at the current engine time. Emission is
+// monotone because the engine executes events in time order; the guard
+// clamps any same-cause microsecond jitter that would run backwards.
+func (g *Gen) emit(h packet.Header) {
+	h.Time = g.Eng.Now()
+	if h.Time < g.lastEmit {
+		h.Time = g.lastEmit
+		g.reordered++
+	}
+	g.lastEmit = h.Time
+	g.emitted++
+	g.sink.Packet(h)
+}
+
+// Emit delivers one raw header at the current engine time, stamping its
+// Time field. Service models normally use Conn helpers; Emit is the
+// low-level path for custom generators (e.g. literature baselines).
+func (g *Gen) Emit(h packet.Header) { g.emit(h) }
+
+// AllocPort returns a fresh ephemeral source port.
+func (g *Gen) AllocPort() uint16 {
+	p := g.nextPort
+	g.nextPort++
+	if g.nextPort < 32768 {
+		g.nextPort = 32768
+	}
+	return p
+}
+
+// Conn is one transport connection between the monitored host and a peer,
+// viewed from the monitored host: Key.Src is always the monitored host.
+type Conn struct {
+	Key    packet.FlowKey
+	Peer   topology.HostID
+	g      *Gen
+	opened bool
+	closed bool
+}
+
+// NewConn creates a connection to peer on the given destination port.
+// If handshake is true a SYN/SYN-ACK exchange is emitted at the current
+// time (an ephemeral flow); otherwise the connection is considered
+// pre-established (a pooled connection from before the capture began).
+func (g *Gen) NewConn(peer topology.HostID, dstPort uint16, handshake bool) *Conn {
+	c := &Conn{
+		Key: packet.FlowKey{
+			Src:     g.Topo.Hosts[g.Host].Addr,
+			Dst:     g.Topo.Hosts[peer].Addr,
+			SrcPort: g.AllocPort(),
+			DstPort: dstPort,
+			Proto:   packet.TCP,
+		},
+		Peer:   peer,
+		g:      g,
+		opened: !handshake,
+	}
+	if handshake {
+		g.emit(packet.Header{Key: c.Key, Size: 74, Flags: packet.FlagSYN})
+		g.Eng.After(g.rtt(peer), func() {
+			g.emit(packet.Header{Key: c.Key.Reverse(), Size: 74, Flags: packet.FlagSYN | packet.FlagACK})
+			g.emit(packet.Header{Key: c.Key, Size: packet.ACKSize, Flags: packet.FlagACK})
+			c.opened = true
+		})
+	}
+	return c
+}
+
+// NewInboundConn creates a connection initiated by the peer (the SYN
+// arrives from the peer). Key.Src remains the monitored host for
+// bookkeeping; emitted packets are direction-correct.
+func (g *Gen) NewInboundConn(peer topology.HostID, dstPort uint16, handshake bool) *Conn {
+	c := &Conn{
+		Key: packet.FlowKey{
+			Src:     g.Topo.Hosts[g.Host].Addr,
+			Dst:     g.Topo.Hosts[peer].Addr,
+			SrcPort: dstPort,
+			DstPort: g.AllocPort(),
+			Proto:   packet.TCP,
+		},
+		Peer:   peer,
+		g:      g,
+		opened: !handshake,
+	}
+	if handshake {
+		g.emit(packet.Header{Key: c.Key.Reverse(), Size: 74, Flags: packet.FlagSYN})
+		g.emit(packet.Header{Key: c.Key, Size: 74, Flags: packet.FlagSYN | packet.FlagACK})
+		g.Eng.After(g.rtt(peer), func() {
+			g.emit(packet.Header{Key: c.Key.Reverse(), Size: packet.ACKSize, Flags: packet.FlagACK})
+			c.opened = true
+		})
+	}
+	return c
+}
+
+// Close emits a FIN exchange at the current time.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	g := c.g
+	g.emit(packet.Header{Key: c.Key, Size: packet.ACKSize, Flags: packet.FlagFIN | packet.FlagACK})
+	g.Eng.After(g.rtt(c.Peer), func() {
+		g.emit(packet.Header{Key: c.Key.Reverse(), Size: packet.ACKSize, Flags: packet.FlagFIN | packet.FlagACK})
+		g.emit(packet.Header{Key: c.Key, Size: packet.ACKSize, Flags: packet.FlagACK})
+	})
+}
+
+// rtt returns a plausible round-trip time to peer based on locality, with
+// jitter.
+func (g *Gen) rtt(peer topology.HostID) netsim.Time {
+	var base netsim.Time
+	switch g.Topo.Locality(g.Host, peer) {
+	case topology.SameHost, topology.IntraRack:
+		base = 40 * netsim.Microsecond
+	case topology.IntraCluster:
+		base = 80 * netsim.Microsecond
+	case topology.IntraDatacenter:
+		base = 150 * netsim.Microsecond
+	default:
+		base = 2 * netsim.Millisecond
+	}
+	jitter := netsim.Time(g.R.Float64() * float64(base) * 0.5)
+	return base + jitter
+}
+
+// RTT exposes the locality-derived round-trip estimate for service models
+// that schedule responses.
+func (g *Gen) RTT(peer topology.HostID) netsim.Time { return g.rtt(peer) }
+
+const (
+	mss         = 1448 // TCP payload per full segment
+	segOverhead = 66   // Ethernet+IP+TCP header bytes on the wire
+)
+
+// SendMsg transmits an application message of size bytes from the
+// monitored host on c, segmenting into MTU-sized packets paced at
+// line-rate-like microsecond gaps, with delayed ACKs synthesized from the
+// peer. Flows are therefore internally bursty: a message is a
+// millisecond-scale packet train followed by silence (§5.1).
+func (c *Conn) SendMsg(bytes int) {
+	c.g.message(c, bytes, false)
+}
+
+// RecvMsg is SendMsg in the opposite direction: the peer transmits,
+// the monitored host ACKs.
+func (c *Conn) RecvMsg(bytes int) {
+	c.g.message(c, bytes, true)
+}
+
+// message emits the packet train for one application message.
+// If inbound, data flows peer→host and ACKs host→peer.
+func (g *Gen) message(c *Conn, bytes int, inbound bool) {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	dataKey, ackKey := c.Key, c.Key.Reverse()
+	if inbound {
+		dataKey, ackKey = ackKey, dataKey
+	}
+	t := netsim.Time(0)
+	seg := 0
+	for remaining := bytes; remaining > 0; remaining -= mss {
+		pl := remaining
+		if pl > mss {
+			pl = mss
+		}
+		size := uint32(pl + segOverhead)
+		flags := packet.FlagACK
+		if remaining <= mss {
+			flags |= packet.FlagPSH
+		}
+		hdr := packet.Header{Key: dataKey, Size: size, Flags: flags}
+		g.Eng.After(t, func() { g.emit(hdr) })
+		seg++
+		// Delayed ACK: one per two segments, and one for the tail.
+		if seg%2 == 0 || remaining <= mss {
+			ackAt := t + g.rtt(c.Peer)/2
+			g.Eng.After(ackAt, func() {
+				g.emit(packet.Header{Key: ackKey, Size: packet.ACKSize, Flags: packet.FlagACK})
+			})
+		}
+		// Microsecond pacing between segments of a burst, with a small
+		// random component so packet trains are not perfectly regular.
+		t += netsim.Time(1200 + g.R.Intn(800))
+	}
+}
+
+// Poisson schedules fn repeatedly with exponential gaps of the given mean
+// until the engine stops. ratePerSec <= 0 schedules nothing.
+func (g *Gen) Poisson(ratePerSec float64, fn func()) {
+	if ratePerSec <= 0 {
+		return
+	}
+	mean := float64(netsim.Second) / ratePerSec
+	var tick func()
+	tick = func() {
+		fn()
+		g.Eng.After(netsim.Time(g.R.Exp()*mean), tick)
+	}
+	g.Eng.After(netsim.Time(g.R.Exp()*mean), tick)
+}
+
+// Choose returns a uniformly random element of hosts.
+func (g *Gen) Choose(hosts []topology.HostID) topology.HostID {
+	return hosts[g.R.Intn(len(hosts))]
+}

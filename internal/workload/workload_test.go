@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"testing"
+
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/topology"
+)
+
+type capture struct {
+	hdrs []packet.Header
+}
+
+func (c *capture) Packet(h packet.Header) { c.hdrs = append(c.hdrs, h) }
+
+func newTestGen(t *testing.T) (*Gen, *capture, *topology.Topology) {
+	t.Helper()
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	cap := &capture{}
+	g := NewGen(topo, 0, 42, cap)
+	return g, cap, topo
+}
+
+func TestEmitMonotone(t *testing.T) {
+	g, cap, _ := newTestGen(t)
+	c := g.NewConn(5, 11211, false)
+	g.Poisson(1000, func() { c.SendMsg(4000) })
+	g.Run(2 * netsim.Second)
+	if len(cap.hdrs) == 0 {
+		t.Fatal("no packets generated")
+	}
+	for i := 1; i < len(cap.hdrs); i++ {
+		if cap.hdrs[i].Time < cap.hdrs[i-1].Time {
+			t.Fatalf("time went backwards at %d: %d < %d", i, cap.hdrs[i].Time, cap.hdrs[i-1].Time)
+		}
+	}
+	if g.Emitted() != int64(len(cap.hdrs)) {
+		t.Fatal("Emitted() mismatch")
+	}
+}
+
+func TestHandshakeEmitsSYN(t *testing.T) {
+	g, cap, _ := newTestGen(t)
+	g.Eng.At(netsim.Second, func() {
+		c := g.NewConn(3, 80, true)
+		g.Eng.After(10*netsim.Millisecond, func() { c.SendMsg(100) })
+		g.Eng.After(20*netsim.Millisecond, c.Close)
+	})
+	g.Run(2 * netsim.Second)
+
+	var syn, synack, fin int
+	for _, h := range cap.hdrs {
+		if h.Flags&packet.FlagSYN != 0 {
+			if h.Flags&packet.FlagACK != 0 {
+				synack++
+			} else {
+				syn++
+			}
+		}
+		if h.Flags&packet.FlagFIN != 0 {
+			fin++
+		}
+	}
+	if syn != 1 || synack != 1 {
+		t.Fatalf("syn=%d synack=%d", syn, synack)
+	}
+	if fin != 2 {
+		t.Fatalf("fin=%d, want 2", fin)
+	}
+}
+
+func TestPooledConnNoSYN(t *testing.T) {
+	g, cap, _ := newTestGen(t)
+	c := g.NewConn(3, 11211, false)
+	c.SendMsg(500)
+	g.Run(netsim.Second)
+	for _, h := range cap.hdrs {
+		if h.SYN() {
+			t.Fatal("pooled connection emitted a SYN")
+		}
+	}
+}
+
+func TestInboundConnDirection(t *testing.T) {
+	g, cap, topo := newTestGen(t)
+	c := g.NewInboundConn(3, 80, true)
+	_ = c
+	g.Run(netsim.Second)
+	if len(cap.hdrs) < 2 {
+		t.Fatal("no handshake emitted")
+	}
+	first := cap.hdrs[0]
+	if !first.SYN() {
+		t.Fatal("first packet should be the peer's SYN")
+	}
+	if first.Key.Src != topo.Hosts[3].Addr {
+		t.Fatalf("inbound SYN has src %v, want peer addr", first.Key.Src)
+	}
+}
+
+func TestSendMsgSegmentation(t *testing.T) {
+	g, cap, topo := newTestGen(t)
+	c := g.NewConn(3, 50010, false)
+	c.SendMsg(3 * 1448) // exactly 3 full segments
+	g.Run(netsim.Second)
+
+	hostAddr := topo.Hosts[0].Addr
+	var data, acks int
+	var dataBytes int
+	for _, h := range cap.hdrs {
+		if h.Key.Src == hostAddr {
+			data++
+			dataBytes += int(h.Size) - segOverhead
+		} else {
+			acks++
+			if h.Size != packet.ACKSize {
+				t.Fatalf("ack size %d", h.Size)
+			}
+		}
+	}
+	if data != 3 {
+		t.Fatalf("data packets = %d, want 3", data)
+	}
+	if dataBytes != 3*1448 {
+		t.Fatalf("payload bytes = %d", dataBytes)
+	}
+	if acks != 2 { // one per two segments + tail, dedup: segs 2 and 3
+		t.Fatalf("acks = %d, want 2", acks)
+	}
+}
+
+func TestRecvMsgDirection(t *testing.T) {
+	g, cap, topo := newTestGen(t)
+	c := g.NewConn(3, 50010, false)
+	c.RecvMsg(1448)
+	g.Run(netsim.Second)
+	hostAddr := topo.Hosts[0].Addr
+	var inData, outAcks int
+	for _, h := range cap.hdrs {
+		if h.Key.Dst == hostAddr && h.Size > packet.ACKSize {
+			inData++
+		}
+		if h.Key.Src == hostAddr && h.Size == packet.ACKSize {
+			outAcks++
+		}
+	}
+	if inData != 1 || outAcks != 1 {
+		t.Fatalf("inData=%d outAcks=%d", inData, outAcks)
+	}
+}
+
+func TestMsgNonPositiveBytes(t *testing.T) {
+	g, cap, _ := newTestGen(t)
+	c := g.NewConn(3, 50010, false)
+	c.SendMsg(0)
+	g.Run(netsim.Second)
+	if len(cap.hdrs) == 0 {
+		t.Fatal("zero-byte message emitted nothing")
+	}
+}
+
+func TestRTTIncreasesWithDistance(t *testing.T) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	g := NewGen(topo, 0, 7, &capture{})
+	// average over jitter
+	avg := func(peer topology.HostID) float64 {
+		total := 0.0
+		for i := 0; i < 200; i++ {
+			total += float64(g.RTT(peer))
+		}
+		return total / 200
+	}
+	// host 1 same rack; last host other site
+	near := avg(1)
+	far := avg(topology.HostID(topo.NumHosts() - 1))
+	if near >= far {
+		t.Fatalf("rtt near %v >= far %v", near, far)
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	g, _, _ := newTestGen(t)
+	n := 0
+	g.Poisson(1000, func() { n++ })
+	g.Run(10 * netsim.Second)
+	if n < 9000 || n > 11000 {
+		t.Fatalf("poisson fired %d times, want ~10000", n)
+	}
+}
+
+func TestPoissonZeroRate(t *testing.T) {
+	g, _, _ := newTestGen(t)
+	g.Poisson(0, func() { t.Fatal("zero-rate poisson fired") })
+	g.Run(netsim.Second)
+}
+
+func TestAllocPortAdvances(t *testing.T) {
+	g, _, _ := newTestGen(t)
+	a, b := g.AllocPort(), g.AllocPort()
+	if a == b {
+		t.Fatal("duplicate ports")
+	}
+	if a < 32768 || b < 32768 {
+		t.Fatal("ephemeral ports below 32768")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := &capture{}, &capture{}
+	f := Fanout{a, b}
+	f.Packet(packet.Header{Size: 100})
+	if len(a.hdrs) != 1 || len(b.hdrs) != 1 {
+		t.Fatal("fanout did not duplicate")
+	}
+}
+
+func TestCollectorFunc(t *testing.T) {
+	n := 0
+	CollectorFunc(func(packet.Header) { n++ }).Packet(packet.Header{})
+	if n != 1 {
+		t.Fatal("CollectorFunc not invoked")
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	gen := func() []packet.Header {
+		topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+		cap := &capture{}
+		g := NewGen(topo, 2, 99, cap)
+		c := g.NewConn(5, 11211, false)
+		g.Poisson(500, func() { c.SendMsg(g.R.Intn(5000) + 1) })
+		g.Run(netsim.Second)
+		return cap.hdrs
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at packet %d", i)
+		}
+	}
+}
