@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/baseline"
@@ -403,6 +404,73 @@ func BenchmarkBaseline_PacketTrains(b *testing.B) {
 		"Packet trains (p90 length, 1-ms gap): Facebook-style %.0f vs literature %.0f pkts", fb, lit))
 	b.ReportMetric(fb, "fb-train-p90")
 	b.ReportMetric(lit, "lit-train-p90")
+}
+
+// BenchmarkEngineScheduling measures the event engine's schedule/dispatch
+// hot path: batches of events pushed and drained through the heap. With
+// the typed inlined heap this runs at zero heap allocations per event
+// (the boxed container/heap implementation paid one interface{} box per
+// Push); allocs/op verifies that.
+func BenchmarkEngineScheduling(b *testing.B) {
+	const batch = 1024
+	var e netsim.Engine
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			// Reverse-sorted inserts with same-time ties: the worst case
+			// for sift-up and a determinism stress for the seq tie-break.
+			e.At(base+netsim.Time((batch-j)%97), fn)
+		}
+		e.Run(base + 100)
+	}
+	b.ReportMetric(batch, "events/op")
+}
+
+// BenchmarkFleetDataset_Parallel measures the sharded fleet collector at
+// several worker widths. The output is bit-identical at every width (see
+// TestFleetDatasetWorkerInvariance); only wall-clock may differ, and on a
+// single-core host the widths should be within noise of each other — the
+// scheduling layer must not cost anything when it cannot help.
+func BenchmarkFleetDataset_Parallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.QuickConfig()
+			cfg.Taggers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Fresh System each iteration: FleetDataset memoizes.
+				core.MustNewSystem(cfg).FleetDataset()
+			}
+		})
+	}
+}
+
+// BenchmarkSuite_ParallelSpeedup times the full dataset prewarm (every
+// trace bundle plus the fleet dataset — the dominant cost of the suite)
+// sequentially and at GOMAXPROCS width, and reports the ratio. On a
+// multi-core host this is the headline speedup; on one core it reports
+// ~1.0, confirming the parallel path has no sequential regression.
+func BenchmarkSuite_ParallelSpeedup(b *testing.B) {
+	cfgSeq := core.QuickConfig()
+	cfgSeq.Parallelism, cfgSeq.Taggers = 1, 1
+	cfgPar := core.QuickConfig()
+	cfgPar.Parallelism, cfgPar.Taggers = 0, 0 // GOMAXPROCS
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		core.MustNewSystem(cfgSeq).Prewarm()
+		seq += time.Since(start)
+		start = time.Now()
+		core.MustNewSystem(cfgPar).Prewarm()
+		par += time.Since(start)
+	}
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+	}
+	b.ReportMetric(float64(cfgPar.Workers()), "workers")
 }
 
 // genTraceInto synthesizes a short fresh trace of one role into sink.

@@ -7,6 +7,7 @@
 //
 //	dcsim -mirror web -seconds 30 -out web.fbm     # write a binary trace
 //	dcsim -fleet                                   # print the fleet view
+//	dcsim -fleet -parallel 4                       # same view, 4 workers
 package main
 
 import (
@@ -43,10 +44,13 @@ func main() {
 	saveDS := flag.String("save", "", "with -fleet: archive the Fbflow dataset to this file")
 	loadDS := flag.String("load", "", "print the summary of a previously archived Fbflow dataset")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
 	cfg := core.QuickConfig()
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	cfg.Taggers = *parallel
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|small|medium] [-seed N]
+//	experiments [-scale tiny|small|medium] [-seed N] [-parallel N]
 //	            [-short SECONDS] [-long SECONDS] [-only NAME]
 package main
 
@@ -39,6 +39,7 @@ func main() {
 	long := flag.Int("long", 60, "long (flow analyses) trace seconds")
 	only := flag.String("only", "", "run a single experiment (e.g. table3, figure12, ablations)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable summary instead of rendered tables")
+	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleFlag)
@@ -51,6 +52,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ShortTraceSec = *short
 	cfg.LongTraceSec = *long
+	cfg.Parallelism = *parallel
+	cfg.Taggers = *parallel
 
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -68,6 +71,14 @@ func main() {
 	}
 	fmt.Printf("fbdcnet experiment harness: %d hosts, %d racks, %d clusters, %d datacenters (seed %d)\n\n",
 		sys.Topo.NumHosts(), len(sys.Topo.Racks), len(sys.Topo.Clusters), len(sys.Topo.Datacenters), *seed)
+
+	// Prewarm only for full-suite runs: a single -only experiment should
+	// pay for its own datasets, not the whole suite's.
+	if *only == "" {
+		warmStart := time.Now()
+		sys.Prewarm()
+		fmt.Printf("prewarmed datasets on %d workers in %.1fs\n\n", cfg.Workers(), time.Since(warmStart).Seconds())
+	}
 
 	experiments := []struct {
 		name string

@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"sort"
+	"slices"
 
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/packet"
@@ -48,6 +48,11 @@ type HeavyHitters struct {
 	rates     *stats.Sample // per-member rate, Mbps
 	persist   *stats.Sample // |HH_t ∩ HH_t+1| / |HH_t| per consecutive pair
 	intersect *stats.Sample // |HH_sub ∩ HH_sec| / |HH_sub| per subinterval
+
+	// scratch is the reusable sort buffer of heavySet: with millisecond
+	// bins a trace rolls thousands of bins per second of capture, and
+	// allocating the sort slice per roll dominated the profile.
+	scratch []hhItem
 }
 
 // NewHeavyHitters creates a tracker at the given level and bin width.
@@ -103,28 +108,59 @@ func (hh *HeavyHitters) Packet(h packet.Header) {
 	hh.sec[k] += float64(h.Size)
 }
 
-// heavySet extracts the minimum covering set from a byte-count map.
-func heavySet(counts map[hhKey]float64, frac float64) map[hhKey]struct{} {
+// hhItem is one (aggregate, bytes) pair during heavy-set extraction.
+type hhItem struct {
+	k hhKey
+	v float64
+}
+
+// keyLess is a total order over aggregate keys, the deterministic
+// tie-break for equal byte counts. Comparing fields directly avoids the
+// per-comparison String() allocations the previous lexicographic
+// tie-break paid.
+func keyLess(a, b packet.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+// heavySet extracts the minimum covering set from a byte-count map. The
+// returned map is freshly allocated (callers retain it across bins);
+// scratch is the reusable sort buffer, returned for the caller to store
+// back.
+func heavySet(counts map[hhKey]float64, frac float64, scratch []hhItem) (map[hhKey]struct{}, []hhItem) {
 	if len(counts) == 0 {
-		return nil
+		return nil, scratch
 	}
-	type kv struct {
-		k hhKey
-		v float64
-	}
-	items := make([]kv, 0, len(counts))
+	items := scratch[:0]
 	total := 0.0
 	for k, v := range counts {
-		items = append(items, kv{k, v})
+		items = append(items, hhItem{k, v})
 		total += v
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].v != items[j].v {
-			return items[i].v > items[j].v
+	slices.SortFunc(items, func(a, b hhItem) int {
+		if a.v != b.v {
+			if a.v > b.v {
+				return -1
+			}
+			return 1
 		}
-		return items[i].k.k.String() < items[j].k.k.String()
+		if keyLess(a.k.k, b.k.k) {
+			return -1
+		}
+		return 1
 	})
-	set := make(map[hhKey]struct{})
+	set := make(map[hhKey]struct{}, len(items)/2+1)
 	acc := 0.0
 	for _, it := range items {
 		set[it.k] = struct{}{}
@@ -133,7 +169,7 @@ func heavySet(counts map[hhKey]float64, frac float64) map[hhKey]struct{} {
 			break
 		}
 	}
-	return set
+	return set, items
 }
 
 // rollBin finalizes the current bin: record Table 4 statistics, the
@@ -141,7 +177,8 @@ func heavySet(counts map[hhKey]float64, frac float64) map[hhKey]struct{} {
 // enclosing-second intersection.
 func (hh *HeavyHitters) rollBin(next int64) {
 	if len(hh.cur) > 0 {
-		set := heavySet(hh.cur, HeavyFrac)
+		var set map[hhKey]struct{}
+		set, hh.scratch = heavySet(hh.cur, HeavyFrac, hh.scratch)
 		hh.counts.Add(float64(len(set)))
 		binSec := float64(hh.bin) / float64(netsim.Second)
 		for k := range set {
@@ -152,7 +189,9 @@ func (hh *HeavyHitters) rollBin(next int64) {
 		}
 		hh.prevHH, hh.prevNo = set, hh.curBin
 		hh.subHHs = append(hh.subHHs, set)
-		hh.cur = make(map[hhKey]float64)
+		// Reuse the per-bin accumulator: clear keeps the bucket array, so
+		// steady state rolls bins without reallocating the map.
+		clear(hh.cur)
 	}
 	hh.curBin = next
 }
@@ -161,14 +200,15 @@ func (hh *HeavyHitters) rollBin(next int64) {
 // subinterval set with the second-level heavy hitters.
 func (hh *HeavyHitters) rollSecond(next int64) {
 	if len(hh.sec) > 0 && len(hh.subHHs) > 0 {
-		secSet := heavySet(hh.sec, HeavyFrac)
+		var secSet map[hhKey]struct{}
+		secSet, hh.scratch = heavySet(hh.sec, HeavyFrac, hh.scratch)
 		for _, sub := range hh.subHHs {
 			if len(sub) > 0 {
 				hh.intersect.Add(overlap(sub, secSet))
 			}
 		}
 	}
-	hh.sec = make(map[hhKey]float64)
+	clear(hh.sec)
 	hh.subHHs = hh.subHHs[:0]
 	hh.secNo = next
 }

@@ -12,6 +12,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/fbflow"
@@ -41,6 +43,36 @@ type Config struct {
 	FleetWindowSec float64
 	// FleetSamples is the per-component flow sampling resolution.
 	FleetSamples int
+
+	// Parallelism is the worker count of the parallel experiment engine:
+	// independent (role, seconds) trace bundles fan out across this many
+	// goroutines when the suite is prewarmed. 0 means GOMAXPROCS. Results
+	// are bit-identical for every value — each bundle owns its generator,
+	// rng stream, and sinks, so worker count only changes wall-clock.
+	Parallelism int
+	// Taggers sizes the fbflow tagging stage: the number of concurrent
+	// shard workers of the fleet collection engine, each tagging its
+	// records inline (and the tagger goroutine count for streaming
+	// Pipeline users). 0 means GOMAXPROCS. Like Parallelism, it does not
+	// affect results: shard rng streams are keyed by (seed, window,
+	// shard) and partials merge in a fixed order.
+	Taggers int
+}
+
+// Workers resolves Parallelism to a concrete worker count.
+func (c Config) Workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TaggerWorkers resolves Taggers to a concrete worker count.
+func (c Config) TaggerWorkers() int {
+	if c.Taggers > 0 {
+		return c.Taggers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the standard experiment configuration: small
@@ -80,19 +112,32 @@ var MonitoredRoles = []topology.Role{
 	topology.RoleHadoop,
 }
 
-// System is a built datacenter ready to run experiments.
+// System is a built datacenter ready to run experiments. Its experiment
+// methods are safe for concurrent use: memoized datasets are guarded by a
+// mutex plus per-entry singleflight, so the parallel engine can fan
+// experiments out without generating any bundle twice.
 type System struct {
 	Cfg  Config
 	Topo *topology.Topology
 	Pick *services.Picker
 
-	bundles map[bundleKey]*TraceBundle
-	fleet   *fbflow.Dataset
+	mu        sync.Mutex
+	bundles   map[bundleKey]*bundleSlot
+	fleetOnce sync.Once
+	fleet     *fbflow.Dataset
 }
 
 type bundleKey struct {
 	role topology.Role
 	sec  int
+}
+
+// bundleSlot is the singleflight cell of one memoized trace bundle:
+// concurrent callers agree on the slot under System.mu, then exactly one
+// runs the generation inside the slot's once while the rest block on it.
+type bundleSlot struct {
+	once sync.Once
+	b    *TraceBundle
 }
 
 // NewSystem builds the topology and validates that the service models can
@@ -106,7 +151,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := pick.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{Cfg: cfg, Topo: topo, Pick: pick, bundles: make(map[bundleKey]*TraceBundle)}, nil
+	return &System{Cfg: cfg, Topo: topo, Pick: pick, bundles: make(map[bundleKey]*bundleSlot)}, nil
 }
 
 // MustNewSystem is NewSystem that panics on error.
@@ -157,12 +202,27 @@ var HHBins = []netsim.Time{
 }
 
 // Trace returns the analysis bundle for role over seconds of capture,
-// generating it on first use and memoizing per System.
+// generating it on first use and memoizing per System. Concurrent calls
+// for the same key block until the single generation completes; calls for
+// different keys proceed in parallel.
 func (s *System) Trace(role topology.Role, seconds int) *TraceBundle {
 	key := bundleKey{role, seconds}
-	if b, ok := s.bundles[key]; ok {
-		return b
+	s.mu.Lock()
+	slot := s.bundles[key]
+	if slot == nil {
+		slot = new(bundleSlot)
+		s.bundles[key] = slot
 	}
+	s.mu.Unlock()
+	slot.once.Do(func() { slot.b = s.generateTrace(role, seconds) })
+	return slot.b
+}
+
+// generateTrace runs one (role, seconds) capture and every streaming
+// analysis attached to it. It touches no shared mutable state: the
+// generator, rng stream, and sinks are bundle-local, which is what lets
+// Prewarm run bundles on parallel workers with bit-identical results.
+func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 	host := s.Monitored(role)
 	b := &TraceBundle{
 		Role:    role,
@@ -211,7 +271,6 @@ func (s *System) Trace(role topology.Role, seconds int) *TraceBundle {
 			hh.Finish()
 		}
 	}
-	s.bundles[key] = b
 	return b
 }
 

@@ -377,10 +377,12 @@ type DayOverDayResult struct {
 func (s *System) DayOverDay() *DayOverDayResult {
 	day1 := s.FleetDataset()
 
-	other := *s
-	other.Cfg.Seed = s.Cfg.Seed + 0x9e3779b9
-	other.fleet = nil
-	other.bundles = make(map[bundleKey]*TraceBundle)
+	// A fresh System (sharing the immutable Topo and Picker) rather than a
+	// struct copy: System now carries a mutex and sync.Once for the
+	// parallel engine, and copying those is a vet violation.
+	cfg2 := s.Cfg
+	cfg2.Seed = s.Cfg.Seed + 0x9e3779b9
+	other := &System{Cfg: cfg2, Topo: s.Topo, Pick: s.Pick, bundles: make(map[bundleKey]*bundleSlot)}
 	day2 := other.FleetDataset()
 
 	res := &DayOverDayResult{}

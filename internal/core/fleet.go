@@ -6,32 +6,87 @@ import (
 	"fbdcnet/internal/topology"
 )
 
-// FleetDataset runs the Fbflow pipeline over the whole fleet for the
+// fleetShardHosts is the fixed host-range width of one fleet collection
+// shard. It is a constant, not a function of the worker count: every
+// (window, shard) task draws from an rng stream keyed by its own
+// coordinates, so the partition must be identical no matter how many
+// workers run it — that is what makes the collected dataset bit-identical
+// at -parallel 1, 2, or 8.
+const fleetShardHosts = 128
+
+// FleetDataset runs the Fbflow collection over the whole fleet for the
 // configured synthetic day and returns the aggregated dataset. The result
 // is memoized: Table 3, Figure 5, and §4.1 share one collection run, as
 // they did in the paper.
+//
+// Collection is sharded by (window, host-range) across
+// Config.TaggerWorkers() workers — the modern form of the tagger stage:
+// each worker generates its shard's flows, tags them inline, and
+// accumulates into a shard-local partial dataset. Partials merge in task
+// order, so results do not depend on worker count or scheduling.
 func (s *System) FleetDataset() *fbflow.Dataset {
-	if s.fleet != nil {
-		return s.fleet
-	}
-	ds := fbflow.NewDataset()
-	pipe := fbflow.NewPipeline(s.Topo, 4, ds.Add)
-	r := rng.New(s.Cfg.Seed ^ 0xf1ee7)
+	s.fleetOnce.Do(func() { s.fleet = s.collectFleet() })
+	return s.fleet
+}
+
+// fleetTask is one unit of fleet collection: one shard of hosts within
+// one observation window.
+type fleetTask struct {
+	window int
+	shard  int
+	lo, hi topology.HostID // host ID range [lo, hi)
+}
+
+// fleetTasks enumerates the full (window × shard) task grid in the
+// deterministic merge order.
+func (s *System) fleetTasks() []fleetTask {
+	n := s.Topo.NumHosts()
+	shards := (n + fleetShardHosts - 1) / fleetShardHosts
+	tasks := make([]fleetTask, 0, s.Cfg.FleetWindows*shards)
 	for w := 0; w < s.Cfg.FleetWindows; w++ {
-		load := DiurnalFactor(float64(w) / float64(s.Cfg.FleetWindows))
-		minute := int64(w)
-		for i := range s.Topo.Hosts {
-			src := topology.HostID(i)
-			srcAddr := s.Topo.Hosts[i].Addr
-			s.Pick.FleetFlows(s.Cfg.Params, r, src, s.Cfg.FleetWindowSec, load, s.Cfg.FleetSamples,
-				func(dst topology.HostID, bytes float64) {
-					pipe.AddFlow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes)
-				})
+		for sh := 0; sh < shards; sh++ {
+			lo := sh * fleetShardHosts
+			hi := min(lo+fleetShardHosts, n)
+			tasks = append(tasks, fleetTask{window: w, shard: sh, lo: topology.HostID(lo), hi: topology.HostID(hi)})
 		}
 	}
-	pipe.Close()
-	s.fleet = ds
+	return tasks
+}
+
+// collectFleet runs the sharded synthetic day and merges the partials.
+func (s *System) collectFleet() *fbflow.Dataset {
+	tasks := s.fleetTasks()
+	partials := make([]*fbflow.Dataset, len(tasks))
+	tagger := fbflow.NewTagger(s.Topo)
+	runParallel(s.Cfg.TaggerWorkers(), len(tasks), func(i int) {
+		partials[i] = s.collectShard(tagger, tasks[i])
+	})
+	ds := fbflow.NewDataset()
+	for _, p := range partials {
+		ds.Merge(p)
+	}
 	return ds
+}
+
+// collectShard generates and tags one task's flows into a fresh partial
+// dataset. The rng stream is a pure function of (seed, window, shard):
+// the sample sequence a shard sees is fixed at configuration time, not at
+// scheduling time.
+func (s *System) collectShard(tagger *fbflow.Tagger, t fleetTask) *fbflow.Dataset {
+	local := fbflow.NewDataset()
+	r := rng.NewKeyed(s.Cfg.Seed^0xf1ee7, uint64(t.window), uint64(t.shard))
+	load := DiurnalFactor(float64(t.window) / float64(s.Cfg.FleetWindows))
+	minute := int64(t.window)
+	for src := t.lo; src < t.hi; src++ {
+		srcAddr := s.Topo.Hosts[src].Addr
+		s.Pick.FleetFlows(s.Cfg.Params, r, src, s.Cfg.FleetWindowSec, load, s.Cfg.FleetSamples,
+			func(dst topology.HostID, bytes float64) {
+				if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes); ok {
+					local.Add(rec)
+				}
+			})
+	}
+	return local
 }
 
 // FleetDurationSec returns the total observed duration of the synthetic

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"fbdcnet/internal/topology"
+)
+
+// TestParallelDeterminism is the engine's headline regression: the full
+// QuickConfig experiment suite must produce byte-identical Summarize
+// output at 1, 2, and 8 workers for the same seed. Worker count may only
+// change wall-clock, never a single float.
+func TestParallelDeterminism(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		cfg := QuickConfig()
+		cfg.Seed = 42
+		cfg.Parallelism = workers
+		cfg.Taggers = workers
+		data, err := MustNewSystem(cfg).Summarize().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = data
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("summary at %d workers differs from 1-worker output:\n%s\nvs\n%s",
+				workers, data, want)
+		}
+	}
+}
+
+// TestFleetDatasetWorkerInvariance pins the sharded collector directly:
+// identical aggregates whether one worker or eight drain the task grid.
+func TestFleetDatasetWorkerInvariance(t *testing.T) {
+	var ref *System
+	for _, workers := range []int{1, 8} {
+		cfg := QuickConfig()
+		cfg.Taggers = workers
+		s := MustNewSystem(cfg)
+		ds := s.FleetDataset()
+		if workers == 1 {
+			ref = s
+			continue
+		}
+		refDS := ref.FleetDataset()
+		if got, want := ds.TotalBytes(), refDS.TotalBytes(); got != want {
+			t.Fatalf("total bytes %v at %d workers, want %v", got, workers, want)
+		}
+		a, b := ds.LocalityShareAll(), refDS.LocalityShareAll()
+		for _, l := range topology.Localities {
+			if a[l] != b[l] {
+				t.Fatalf("locality %v: %v at %d workers, want %v", l, a[l], workers, b[l])
+			}
+		}
+		for m, v := range ds.PerMinute() {
+			if w := refDS.PerMinute()[m]; v != w {
+				t.Fatalf("minute %d: %v at %d workers, want %v", m, v, workers, w)
+			}
+		}
+	}
+}
+
+// TestTraceConcurrentMemoization hammers the singleflight memo: many
+// goroutines requesting the same and different bundles must agree on one
+// generation per key.
+func TestTraceConcurrentMemoization(t *testing.T) {
+	s := MustNewSystem(QuickConfig())
+	const callers = 8
+	got := make([]*TraceBundle, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = s.Trace(topology.RoleWeb, s.Cfg.ShortTraceSec)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Trace calls returned distinct bundles")
+		}
+	}
+	if got[0].Packets == 0 {
+		t.Fatal("bundle has no packets")
+	}
+}

@@ -58,8 +58,11 @@ type Summary struct {
 }
 
 // Summarize runs every experiment (reusing memoized bundles) and returns
-// the digest.
+// the digest. It prewarms the shared datasets through the parallel engine
+// first; the per-experiment extraction below then reads memoized state.
+// Output is bit-identical for any Config.Parallelism / Config.Taggers.
 func (s *System) Summarize() *Summary {
+	s.Prewarm()
 	sum := &Summary{
 		Hosts:              s.Topo.NumHosts(),
 		Seed:               s.Cfg.Seed,

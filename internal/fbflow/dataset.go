@@ -72,6 +72,54 @@ func (d *Dataset) Add(r Record) {
 	}
 }
 
+// Merge folds every aggregate of other into d. The parallel fleet engine
+// gives each (window, shard) task its own partial Dataset and merges the
+// partials in a fixed task order: per-key float additions then happen in
+// the same sequence regardless of which worker produced which partial or
+// when it finished, so the merged dataset is bit-identical across worker
+// counts. other must be quiescent for the duration of the call.
+func (d *Dataset) Merge(other *Dataset) {
+	if other == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	d.totalBytes += other.totalBytes
+	for ct, loc := range other.locality {
+		dst := d.locality[ct]
+		if dst == nil {
+			dst = make(map[topology.Locality]float64, len(loc))
+			d.locality[ct] = dst
+		}
+		for l, b := range loc {
+			dst[l] += b
+		}
+	}
+	for ct, b := range other.byClusterType {
+		d.byClusterType[ct] += b
+	}
+	for pair, b := range other.rackPair {
+		d.rackPair[pair] += b
+	}
+	for pair, b := range other.clusterPair {
+		d.clusterPair[pair] += b
+	}
+	for m, b := range other.perMinute {
+		d.perMinute[m] += b
+	}
+	for h, b := range other.hostOut {
+		d.hostOut[h] += b
+	}
+	for r, b := range other.rackCross {
+		d.rackCross[r] += b
+	}
+	for c, b := range other.clusterCross {
+		d.clusterCross[c] += b
+	}
+}
+
 // TotalBytes returns the estimated fleet-wide bytes ingested.
 func (d *Dataset) TotalBytes() float64 {
 	d.mu.Lock()
@@ -96,7 +144,10 @@ func (d *Dataset) LocalityShare(ct topology.ClusterType) map[topology.Locality]f
 }
 
 // LocalityShareAll returns the fleet-wide locality fractions — Table 3's
-// "All" column.
+// "All" column. Cluster types are folded in declaration order, not map
+// order: per-locality sums must accumulate in a fixed sequence for the
+// result to be bit-identical run-to-run (the determinism contract the
+// parallel engine's regression test asserts).
 func (d *Dataset) LocalityShareAll() map[topology.Locality]float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -104,8 +155,8 @@ func (d *Dataset) LocalityShareAll() map[topology.Locality]float64 {
 	if d.totalBytes == 0 {
 		return out
 	}
-	for _, loc := range d.locality {
-		for l, b := range loc {
+	for _, ct := range topology.ClusterTypes {
+		for l, b := range d.locality[ct] {
 			out[l] += b / d.totalBytes
 		}
 	}

@@ -48,45 +48,30 @@ type Record struct {
 	Packets                float64 // estimated packets
 }
 
-// Pipeline wires agents through the tagging stage into a sink. Taggers
-// run concurrently, as in production; Close drains them.
-type Pipeline struct {
+// Tagger annotates observations with topology metadata — the tagger stage
+// of Figure 3, factored out of Pipeline so callers can tag inline. The
+// parallel fleet engine runs one logical tagger per shard worker and tags
+// synchronously, which keeps record order (and hence float accumulation
+// order) deterministic; the streaming Pipeline path wraps the same logic
+// in goroutines. A Tagger is stateless and safe for concurrent use.
+type Tagger struct {
 	topo *topology.Topology
-	in   chan sample
-	wg   sync.WaitGroup
 }
 
-// NewPipeline starts taggers goroutines annotating samples and delivering
-// records to sink, which must be safe for concurrent use.
-func NewPipeline(topo *topology.Topology, taggers int, sink func(Record)) *Pipeline {
-	if taggers <= 0 {
-		taggers = 1
-	}
-	p := &Pipeline{topo: topo, in: make(chan sample, 4096)}
-	for i := 0; i < taggers; i++ {
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for s := range p.in {
-				if r, ok := p.tag(s); ok {
-					sink(r)
-				}
-			}
-		}()
-	}
-	return p
-}
+// NewTagger returns a tagger over topo.
+func NewTagger(topo *topology.Topology) *Tagger { return &Tagger{topo: topo} }
 
-// tag annotates one sample with topology metadata — the tagger stage of
-// Figure 3.
-func (p *Pipeline) tag(s sample) (Record, bool) {
-	src := p.topo.HostByAddr(s.hdr.Key.Src)
-	dst := p.topo.HostByAddr(s.hdr.Key.Dst)
+// Header annotates one sampled packet header carrying the given inverse
+// sampling weight. It reports false when either endpoint is unknown to
+// the topology (the production pipeline drops such samples too).
+func (t *Tagger) Header(minute int64, hdr packet.Header, weight float64) (Record, bool) {
+	src := t.topo.HostByAddr(hdr.Key.Src)
+	dst := t.topo.HostByAddr(hdr.Key.Dst)
 	if src == nil || dst == nil {
 		return Record{}, false
 	}
 	return Record{
-		Minute:         s.minute,
+		Minute:         minute,
 		Src:            src.ID,
 		Dst:            dst.ID,
 		SrcRack:        src.Rack,
@@ -97,11 +82,46 @@ func (p *Pipeline) tag(s sample) (Record, bool) {
 		DstDC:          dst.Datacenter,
 		SrcRole:        src.Role,
 		DstRole:        dst.Role,
-		SrcClusterType: p.topo.Clusters[src.Cluster].Type,
-		Locality:       p.topo.Locality(src.ID, dst.ID),
-		Bytes:          s.weight * float64(s.hdr.Size),
-		Packets:        s.weight,
+		SrcClusterType: t.topo.Clusters[src.Cluster].Type,
+		Locality:       t.topo.Locality(src.ID, dst.ID),
+		Bytes:          weight * float64(hdr.Size),
+		Packets:        weight,
 	}, true
+}
+
+// Flow annotates one flow-granularity observation: bytes from src to dst
+// during the given capture minute.
+func (t *Tagger) Flow(minute int64, src, dst packet.Addr, bytes float64) (Record, bool) {
+	return t.Header(minute, packet.Header{Key: packet.FlowKey{Src: src, Dst: dst}, Size: 1}, bytes)
+}
+
+// Pipeline wires agents through the tagging stage into a sink. Taggers
+// run concurrently, as in production; Close drains them.
+type Pipeline struct {
+	tagger *Tagger
+	in     chan sample
+	wg     sync.WaitGroup
+}
+
+// NewPipeline starts taggers goroutines annotating samples and delivering
+// records to sink, which must be safe for concurrent use.
+func NewPipeline(topo *topology.Topology, taggers int, sink func(Record)) *Pipeline {
+	if taggers <= 0 {
+		taggers = 1
+	}
+	p := &Pipeline{tagger: NewTagger(topo), in: make(chan sample, 4096)}
+	for i := 0; i < taggers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for s := range p.in {
+				if r, ok := p.tagger.Header(s.minute, s.hdr, s.weight); ok {
+					sink(r)
+				}
+			}
+		}()
+	}
+	return p
 }
 
 // AddFlow ingests one flow-granularity observation directly (the fast

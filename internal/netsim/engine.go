@@ -10,8 +10,6 @@
 // and exits into host sinks.
 package netsim
 
-import "container/heap"
-
 // Time is simulation time in nanoseconds.
 type Time = int64
 
@@ -28,31 +26,26 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e should run before o: earlier time first,
+// FIFO by sequence number on ties.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // ready to use.
+//
+// The event queue is a typed binary min-heap with inlined sift-up and
+// sift-down: scheduling and dispatch are the simulator's hottest path,
+// and the container/heap API would box every event through interface{}
+// (two heap allocations per event, one on Push and one on Pop).
 type Engine struct {
 	now  Time
 	seq  uint64
-	heap eventHeap
+	heap []event
 }
 
 // Now returns the current simulation time.
@@ -65,18 +58,64 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.heap = append(e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.heap) - 1)
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// siftUp restores the heap property after appending at index i.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ev.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the earliest event. The queue must be
+// non-empty.
+func (e *Engine) pop() event {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop the fn reference so the closure can be collected
+	e.heap = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && h[r].before(h[c]) {
+				c = r
+			}
+			if !h[c].before(last) {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	return root
+}
 
 // Run executes events in time order until the queue is empty or the next
 // event is later than until. It returns the number of events executed.
 func (e *Engine) Run(until Time) int {
 	n := 0
 	for len(e.heap) > 0 && e.heap[0].at <= until {
-		ev := heap.Pop(&e.heap).(event)
+		ev := e.pop()
 		e.now = ev.at
 		ev.fn()
 		n++

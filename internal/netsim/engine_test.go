@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestEngineHeapStress drives the typed heap with an adversarial
+// insertion pattern — descending times, heavy same-time ties, interleaved
+// scheduling from inside handlers — and checks the dispatch order against
+// a stable-sorted reference.
+func TestEngineHeapStress(t *testing.T) {
+	var e Engine
+	type stamp struct {
+		at  Time
+		id  int
+		ins int // insertion order, the FIFO tie-break contract
+	}
+	var want []stamp
+	var got []stamp
+
+	id := 0
+	schedule := func(at Time) {
+		s := stamp{at: at, id: id, ins: id}
+		id++
+		want = append(want, s)
+		e.At(at, func() {
+			got = append(got, stamp{at: e.Now(), id: s.id, ins: s.ins})
+		})
+	}
+
+	// Descending times with ties every third insert.
+	for i := 0; i < 300; i++ {
+		schedule(Time((300 - i) % 37))
+	}
+	// Events scheduled from inside a handler land after already-queued
+	// same-time events.
+	e.At(5, func() {
+		e.After(0, func() { got = append(got, stamp{at: e.Now(), id: -1, ins: 1 << 30}) })
+	})
+	want = append(want, stamp{at: 5, id: -1, ins: 1 << 30})
+
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+
+	if n := e.Run(1000); n != len(want)+1 { // +1 for the wrapper at t=5
+		t.Fatalf("ran %d events, want %d", n, len(want)+1)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].id != want[i].id || got[i].at != want[i].at {
+			t.Fatalf("event %d: got (t=%d id=%d), want (t=%d id=%d)",
+				i, got[i].at, got[i].id, want[i].at, want[i].id)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+}

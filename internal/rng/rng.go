@@ -49,6 +49,24 @@ func (r *Source) Fork() *Source {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// NewKeyed returns a Source whose stream is a pure function of the
+// (seed, keys...) tuple: the same tuple always yields the same stream and
+// distinct tuples yield decorrelated streams. It is the parallel engine's
+// replacement for a sequentially Fork-chained generator — a worker
+// handling shard (window, shard) seeds NewKeyed(seed, window, shard) and
+// gets a stream independent of which worker runs it and in what order,
+// which is what makes sharded collection worker-count-invariant.
+func NewKeyed(seed uint64, keys ...uint64) *Source {
+	x := seed
+	for _, k := range keys {
+		// Fold each key through an independent splitmix64 expansion so the
+		// combination is order-sensitive ((a,b) differs from (b,a)) and
+		// adjacent key values land far apart in seed space.
+		x = splitmix64(&x) ^ splitmix64(&k)
+	}
+	return New(x)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -14,8 +14,11 @@ import (
 // datacenters; leaders spread coherency traffic over every cluster;
 // Hadoop prefers its own rack, then its cluster.
 //
-// Peer sets are resolved once per (role, scope) and cached; selection is
-// then O(1) per packet/flow.
+// Peer sets are resolved eagerly for every (role, scope) pair at
+// construction, so the accessor maps are read-only afterwards: the
+// parallel experiment engine shares one Picker across trace-bundle and
+// fleet-shard workers, and lazily filled caches would be a data race on
+// the selection hot path. Selection is O(1) per packet/flow.
 type Picker struct {
 	Topo *topology.Topology
 
@@ -29,46 +32,48 @@ type scopeKey struct {
 	scope int
 }
 
-// NewPicker builds a Picker over topo.
+// NewPicker builds a Picker over topo and precomputes every peer set.
 func NewPicker(topo *topology.Topology) *Picker {
-	return &Picker{
+	p := &Picker{
 		Topo:        topo,
-		clusterRole: make(map[scopeKey][]topology.HostID),
-		dcRole:      make(map[scopeKey][]topology.HostID),
-		fleetRole:   make(map[topology.Role][]topology.HostID),
+		clusterRole: make(map[scopeKey][]topology.HostID, len(topo.Clusters)*len(topology.Roles)),
+		dcRole:      make(map[scopeKey][]topology.HostID, len(topo.Datacenters)*len(topology.Roles)),
+		fleetRole:   make(map[topology.Role][]topology.HostID, len(topology.Roles)),
 	}
+	for _, role := range topology.Roles {
+		p.fleetRole[role] = topo.HostsByRole(role)
+		for _, c := range topo.Clusters {
+			p.clusterRole[scopeKey{role, c.ID}] = topo.HostsByRoleInCluster(role, c.ID)
+		}
+		for _, dc := range topo.Datacenters {
+			p.dcRole[scopeKey{role, dc.ID}] = topo.HostsByRoleInDC(role, dc.ID)
+		}
+	}
+	return p
 }
 
-// InCluster returns the hosts of the given role within cluster c, cached.
+// InCluster returns the hosts of the given role within cluster c.
 func (p *Picker) InCluster(r topology.Role, c int) []topology.HostID {
-	k := scopeKey{r, c}
-	if v, ok := p.clusterRole[k]; ok {
+	if v, ok := p.clusterRole[scopeKey{r, c}]; ok {
 		return v
 	}
-	v := p.Topo.HostsByRoleInCluster(r, c)
-	p.clusterRole[k] = v
-	return v
+	return p.Topo.HostsByRoleInCluster(r, c)
 }
 
-// InDC returns the hosts of the given role within datacenter dc, cached.
+// InDC returns the hosts of the given role within datacenter dc.
 func (p *Picker) InDC(r topology.Role, dc int) []topology.HostID {
-	k := scopeKey{r, dc}
-	if v, ok := p.dcRole[k]; ok {
+	if v, ok := p.dcRole[scopeKey{r, dc}]; ok {
 		return v
 	}
-	v := p.Topo.HostsByRoleInDC(r, dc)
-	p.dcRole[k] = v
-	return v
+	return p.Topo.HostsByRoleInDC(r, dc)
 }
 
-// Fleet returns all hosts of the given role, cached.
+// Fleet returns all hosts of the given role.
 func (p *Picker) Fleet(r topology.Role) []topology.HostID {
 	if v, ok := p.fleetRole[r]; ok {
 		return v
 	}
-	v := p.Topo.HostsByRole(r)
-	p.fleetRole[r] = v
-	return v
+	return p.Topo.HostsByRole(r)
 }
 
 // pick returns a uniform element of hosts other than self, falling back
