@@ -1,0 +1,173 @@
+// Command benchdiff compares `go test -bench` output against a checked-in
+// baseline file and fails (exit 1) when any benchmark regressed beyond a
+// threshold. CI pipes the engine-scheduling and fleet-dataset benchmarks
+// through it so performance regressions block merges the same way broken
+// tests do.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'EngineScheduling|FleetDataset_Parallel' . | \
+//	    benchdiff -baseline BENCH_PR1.json -threshold 0.20
+//
+// The baseline file may be the PR-1 bench report (its engine_scheduling
+// and fleet_dataset_parallel sections are understood) or a generic
+// {"baselines": {"BenchmarkName": ns_per_op}} map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line of `go test -bench` output, capturing
+// the benchmark name (GOMAXPROCS suffix stripped) and its ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput extracts ns/op per benchmark from go test -bench
+// output. Repeated runs of one benchmark keep the fastest (least noisy)
+// observation.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// prBenchReport is the subset of the PR-1 bench report schema benchdiff
+// understands.
+type prBenchReport struct {
+	Baselines        map[string]float64 `json:"baselines"`
+	EngineScheduling struct {
+		After struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"after"`
+	} `json:"engine_scheduling"`
+	FleetDatasetParallel struct {
+		NsPerOp map[string]float64 `json:"ns_per_op"`
+	} `json:"fleet_dataset_parallel"`
+}
+
+// loadBaselines reads a baseline file into benchmark-name → ns/op.
+func loadBaselines(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep prBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchdiff: parsing %s: %v", path, err)
+	}
+	base := make(map[string]float64)
+	for name, ns := range rep.Baselines {
+		base[name] = ns
+	}
+	if ns := rep.EngineScheduling.After.NsPerOp; ns > 0 {
+		base["BenchmarkEngineScheduling"] = ns
+	}
+	// workers_N keys become the sub-benchmark names bench output uses.
+	for k, ns := range rep.FleetDatasetParallel.NsPerOp {
+		var n int
+		if _, err := fmt.Sscanf(k, "workers_%d", &n); err == nil && ns > 0 {
+			base[fmt.Sprintf("BenchmarkFleetDataset_Parallel/workers=%d", n)] = ns
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("benchdiff: no baselines found in %s", path)
+	}
+	return base, nil
+}
+
+// diff is one benchmark's comparison against its baseline.
+type diff struct {
+	Name              string
+	BaselineNs, GotNs float64
+	Ratio             float64 // got/baseline; 1.20 = 20% slower
+}
+
+// compare joins measured results with baselines; benchmarks present on
+// only one side are ignored (CI may bench a subset).
+func compare(measured, baselines map[string]float64) []diff {
+	var ds []diff
+	for name, got := range measured {
+		base, ok := baselines[name]
+		if !ok || base <= 0 {
+			continue
+		}
+		ds = append(ds, diff{Name: name, BaselineNs: base, GotNs: got, Ratio: got / base})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	return ds
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_PR1.json", "baseline bench report (PR bench schema or {\"baselines\": {...}})")
+	threshold := flag.Float64("threshold", 0.20, "fail when ns/op regresses by more than this fraction")
+	input := flag.String("input", "-", "bench output to compare (- = stdin)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in input")
+		os.Exit(2)
+	}
+	baselines, err := loadBaselines(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ds := compare(measured, baselines)
+	if len(ds) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no measured benchmark matches a baseline")
+		os.Exit(2)
+	}
+	regressed := 0
+	for _, d := range ds {
+		status := "ok"
+		if d.Ratio > 1+*threshold {
+			status = fmt.Sprintf("REGRESSION (> %+.0f%%)", 100**threshold)
+			regressed++
+		}
+		fmt.Printf("%-52s baseline %12.0f ns/op  now %12.0f ns/op  %+7.1f%%  %s\n",
+			d.Name, d.BaselineNs, d.GotNs, 100*(d.Ratio-1), status)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressed, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% of baseline\n", len(ds), 100**threshold)
+}

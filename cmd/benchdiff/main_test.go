@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: fbdcnet
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineScheduling-4         	   10000	    110452 ns/op	     296 B/op	       0 allocs/op
+BenchmarkEngineScheduling-4         	   10000	    109000 ns/op	     296 B/op	       0 allocs/op
+BenchmarkFleetDataset_Parallel/workers=1-4 	      30	  39535064 ns/op
+BenchmarkFleetDataset_Parallel/workers=2-4 	      33	  34872426 ns/op
+BenchmarkSuite_ParallelSpeedup 	       1	1234567890 ns/op
+PASS
+ok  	fbdcnet	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated benchmark keeps the fastest run; the un-suffixed name (no
+	// -N) parses too.
+	want := map[string]float64{
+		"BenchmarkEngineScheduling":                109000,
+		"BenchmarkFleetDataset_Parallel/workers=1": 39535064,
+		"BenchmarkFleetDataset_Parallel/workers=2": 34872426,
+		"BenchmarkSuite_ParallelSpeedup":           1234567890,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestLoadBaselinesPRSchema(t *testing.T) {
+	base, err := loadBaselines(filepath.Join("..", "..", "BENCH_PR1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["BenchmarkEngineScheduling"]; got != 110452 {
+		t.Errorf("engine scheduling baseline %v, want 110452", got)
+	}
+	if got := base["BenchmarkFleetDataset_Parallel/workers=2"]; got != 34872426 {
+		t.Errorf("fleet workers=2 baseline %v, want 34872426", got)
+	}
+}
+
+func TestLoadBaselinesGenericSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, []byte(`{"baselines": {"BenchmarkX": 1000}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaselines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkX"] != 1000 {
+		t.Fatalf("generic baseline = %v, want 1000", base["BenchmarkX"])
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baselines := map[string]float64{
+		"BenchmarkA":              1000,
+		"BenchmarkB":              1000,
+		"BenchmarkOnlyInBaseline": 1,
+	}
+	measured := map[string]float64{
+		"BenchmarkA":              1300, // +30%: regression at 20% threshold
+		"BenchmarkB":              1100, // +10%: fine
+		"BenchmarkOnlyInMeasured": 5,
+	}
+	ds := compare(measured, baselines)
+	if len(ds) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2 (unmatched sides ignored): %v", len(ds), ds)
+	}
+	const threshold = 0.20
+	var regressed []string
+	for _, d := range ds {
+		if d.Ratio > 1+threshold {
+			regressed = append(regressed, d.Name)
+		}
+	}
+	if len(regressed) != 1 || regressed[0] != "BenchmarkA" {
+		t.Fatalf("regressions = %v, want [BenchmarkA]", regressed)
+	}
+}

@@ -8,12 +8,14 @@
 //	dcsim -mirror web -seconds 30 -out web.fbm     # write a binary trace
 //	dcsim -fleet                                   # print the fleet view
 //	dcsim -fleet -parallel 4                       # same view, 4 workers
+//	dcsim -faults csw-down                         # degraded-mode fault run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/fbflow"
@@ -45,12 +47,15 @@ func main() {
 	loadDS := flag.String("load", "", "print the summary of a previously archived Fbflow dataset")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
+	faults := flag.String("faults", "", fmt.Sprintf("run the degraded-mode fault experiment for a scenario (%s)",
+		strings.Join(netsim.FaultScenarios(), "|")))
 	flag.Parse()
 
 	cfg := core.QuickConfig()
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
+	cfg.FaultScenario = *faults
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -58,6 +63,21 @@ func main() {
 	}
 
 	did := false
+	if *faults != "" {
+		ok := false
+		for _, sc := range netsim.FaultScenarios() {
+			if *faults == sc {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown fault scenario %q (have %s)\n",
+				*faults, strings.Join(netsim.FaultScenarios(), "|"))
+			os.Exit(2)
+		}
+		fmt.Print(sys.Degraded().Render())
+		did = true
+	}
 	if *mirrorRole != "" {
 		role, ok := roleNames[*mirrorRole]
 		if !ok {

@@ -6,6 +6,7 @@
 //
 //	experiments [-scale tiny|small|medium] [-seed N] [-parallel N]
 //	            [-short SECONDS] [-long SECONDS] [-only NAME]
+//	            [-faults SCENARIO]
 package main
 
 import (
@@ -13,9 +14,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"fbdcnet/internal/core"
+	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/topology"
 )
 
@@ -37,13 +38,19 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic experiment seed")
 	short := flag.Int("short", 30, "short (sub-second analyses) trace seconds")
 	long := flag.Int("long", 60, "long (flow analyses) trace seconds")
-	only := flag.String("only", "", "run a single experiment (e.g. table3, figure12, ablations)")
+	only := flag.String("only", "", "run a single experiment (e.g. table3, figure12, ablations, faults)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable summary instead of rendered tables")
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
+	faults := flag.String("faults", "", fmt.Sprintf("fault scenario for the degraded-mode section and summary (%s)",
+		strings.Join(netsim.FaultScenarios(), "|")))
 	flag.Parse()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := validScenario(*faults); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -54,6 +61,7 @@ func main() {
 	cfg.LongTraceSec = *long
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
+	cfg.FaultScenario = *faults
 
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -69,64 +77,21 @@ func main() {
 		fmt.Println(string(out))
 		return
 	}
-	fmt.Printf("fbdcnet experiment harness: %d hosts, %d racks, %d clusters, %d datacenters (seed %d)\n\n",
-		sys.Topo.NumHosts(), len(sys.Topo.Racks), len(sys.Topo.Clusters), len(sys.Topo.Datacenters), *seed)
-
-	// Prewarm only for full-suite runs: a single -only experiment should
-	// pay for its own datasets, not the whole suite's.
-	if *only == "" {
-		warmStart := time.Now()
-		sys.Prewarm()
-		fmt.Printf("prewarmed datasets on %d workers in %.1fs\n\n", cfg.Workers(), time.Since(warmStart).Seconds())
-	}
-
-	experiments := []struct {
-		name string
-		run  func() string
-	}{
-		{"table2", func() string { return sys.Table2().Render() }},
-		{"table3", func() string { return sys.Table3().Render() }},
-		{"table4", func() string { return sys.Table4().Render() }},
-		{"section41", func() string { return sys.Section41().Render() }},
-		{"figure4", func() string { return sys.Figure4().Render() }},
-		{"figure5", func() string { return sys.Figure5().Render() }},
-		{"figure6", func() string { return sys.Figure6().Render() }},
-		{"figure7", func() string { return sys.Figure7().Render() }},
-		{"figure8", func() string { return sys.Figure8().Render() }},
-		{"figure9", func() string { return sys.Figure9().Render() }},
-		{"figure10-11", func() string { return sys.Figure10And11().Render() }},
-		{"figure12", func() string { return sys.Figure12().Render() }},
-		{"figure13", func() string { return sys.Figure13().Render() }},
-		{"figure14", func() string { return sys.Figure14().Render() }},
-		{"figure15", func() string { return sys.Figure15(core.DefaultFigure15Config()).Render() }},
-		{"figure16-17", func() string { return sys.Figure16And17().Render() }},
-		{"ablations", func() string { return core.RenderAblations(sys.Ablations()) }},
-		{"ext-incast", func() string {
-			return sys.ExtensionIncast([]int{1, 2, 4, 8, 12}, 64<<10, 256<<10).Render()
-		}},
-		{"ext-oversub", func() string {
-			factors := []float64{1, 2, 4, 10, 20, 40}
-			return sys.ExtensionOversubscription(topology.RoleHadoop, factors, 3).Render() +
-				sys.ExtensionOversubscription(topology.RoleWeb, factors, 3).Render() +
-				sys.ExtensionOversubAllToAll(factors, 3).Render()
-		}},
-		{"ext-fabric", func() string { return sys.ExtensionFabric().Render() }},
-		{"section52", func() string { return sys.Section52().Render() }},
-		{"ext-dayoverday", func() string { return sys.DayOverDay().Render() }},
-	}
-
-	ran := 0
-	for _, e := range experiments {
-		if *only != "" && !strings.Contains(e.name, *only) {
-			continue
-		}
-		start := time.Now()
-		out := e.run()
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), out)
-		ran++
-	}
-	if ran == 0 {
+	if core.WriteSuite(os.Stdout, sys, *only) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// validScenario rejects unknown -faults values before any work happens.
+func validScenario(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, sc := range netsim.FaultScenarios() {
+		if name == sc {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown fault scenario %q (have %s)", name, strings.Join(netsim.FaultScenarios(), "|"))
 }

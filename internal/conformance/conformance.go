@@ -1,0 +1,232 @@
+// Package conformance is the paper-conformance harness: it regenerates
+// the reproduction's tables and headline figure statistics at a fixed
+// reference configuration and asserts each one stays inside a checked-in
+// tolerance band (conformance.json), and that the rendered experiment
+// suite matches the checked-in golden transcript (experiments_output.txt)
+// line for line.
+//
+// Tolerance methodology: every metric records the reference value of the
+// conformance run plus an allowed deviation — absolute for shares and
+// fractions (which live in [0,1] and where relative error explodes near
+// zero), relative for scale-ful statistics (byte counts, microsecond
+// gaps, medians). Bands are wide enough to admit deliberate,
+// distribution-preserving model changes (e.g. re-keying an rng stream)
+// and tight enough to catch a broken analysis or a workload model drift.
+// Regenerate the bands with `go test ./internal/conformance -update`
+// after an intentional change, and review the diff like any other golden.
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"fbdcnet/internal/core"
+	"fbdcnet/internal/topology"
+)
+
+// Band is one metric's tolerance: the recorded reference value and the
+// allowed deviation, absolute and/or relative. A measurement g conforms
+// when |g - Value| <= Abs + Rel*|Value|.
+type Band struct {
+	Value float64 `json:"value"`
+	Abs   float64 `json:"abs,omitempty"`
+	Rel   float64 `json:"rel,omitempty"`
+}
+
+// Within reports whether got conforms to the band.
+func (b Band) Within(got float64) bool {
+	d := got - b.Value
+	if d < 0 {
+		d = -d
+	}
+	v := b.Value
+	if v < 0 {
+		v = -v
+	}
+	return d <= b.Abs+b.Rel*v
+}
+
+// File is the schema of conformance.json.
+type File struct {
+	// Config documents the run the bands were recorded at; the harness
+	// refuses to compare against bands from a different configuration.
+	Config struct {
+		Scale string `json:"scale"`
+		Seed  uint64 `json:"seed"`
+		Short int    `json:"short_trace_sec"`
+		Long  int    `json:"long_trace_sec"`
+	} `json:"config"`
+	Metrics map[string]Band `json:"metrics"`
+}
+
+// ReferenceConfig returns the fixed conformance configuration — the
+// cmd/experiments defaults (tiny fleet, seed 42, 30 s short / 60 s long
+// traces), the same run the golden transcript was recorded from.
+func ReferenceConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scale = topology.ScaleTiny
+	cfg.Seed = 42
+	cfg.ShortTraceSec = 30
+	cfg.LongTraceSec = 60
+	return cfg
+}
+
+var (
+	sysOnce sync.Once
+	sysRef  *core.System
+)
+
+// System returns the shared reference System: the conformance and golden
+// tests reuse one instance so the expensive trace bundles and the fleet
+// dataset are generated once per test binary.
+func System() *core.System {
+	sysOnce.Do(func() { sysRef = core.MustNewSystem(ReferenceConfig()) })
+	return sysRef
+}
+
+// Flatten converts a Summary into dotted scalar paths
+// ("locality_all.Intra-Rack" → 0.204...), covering every numeric leaf of
+// the digest — each regenerated table cell and headline figure statistic.
+func Flatten(sum *core.Summary) (map[string]float64, error) {
+	data, err := json.Marshal(sum)
+	if err != nil {
+		return nil, err
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(data, &tree); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, sub := range x {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, sub)
+			}
+		case []any:
+			for i, sub := range x {
+				walk(fmt.Sprintf("%s.%d", prefix, i), sub)
+			}
+		case float64:
+			out[prefix] = x
+		}
+	}
+	walk("", tree)
+	// Identity fields are configuration, not conformance metrics.
+	delete(out, "hosts")
+	delete(out, "seed")
+	return out, nil
+}
+
+// DefaultBand assigns the recording-time tolerance for a metric by its
+// unit: fractions in [0,1] get a tight absolute band (relative error is
+// meaningless near zero), percent-scale stability metrics a ±15-point
+// one, small quantized counts one whole step of slack plus 30%, and
+// scale-ful statistics a relative band.
+func DefaultBand(path string, value float64) Band {
+	switch {
+	case isFractional(path):
+		return Band{Value: value, Abs: 0.08}
+	case isPercent(path):
+		return Band{Value: value, Abs: 15}
+	case isSmallCount(path):
+		return Band{Value: value, Abs: 1, Rel: 0.30}
+	}
+	return Band{Value: value, Rel: 0.30}
+}
+
+// isFractional classifies metrics that are shares/fractions in [0,1].
+func isFractional(path string) bool {
+	for _, p := range []string{
+		"service_mix.", "locality_all.", "locality_by_cluster_type.",
+		"traffic_share.", "cache_within_2x",
+		"edge_util_mean", "hadoop_matrix_diag", "frontend_matrix_diag",
+		"fault_injection.delivered_frac", "fault_injection.baseline_delivered_frac",
+		"fault_injection.locality_delivered.",
+	} {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPercent classifies heavy-hitter stability metrics reported on a
+// 0–100 scale, quantized to coarse steps by the small HH sets.
+func isPercent(path string) bool {
+	return strings.HasPrefix(path, "hh_persist_") || strings.HasPrefix(path, "hh_intersect_")
+}
+
+// isSmallCount classifies small integer metrics (median HH counts,
+// concurrent racks) whose quantization step is 1.
+func isSmallCount(path string) bool {
+	return strings.HasPrefix(path, "hh_count_p50.") || strings.HasPrefix(path, "concurrent_racks_p50.")
+}
+
+// Record builds the File for the current flattened metrics.
+func Record(cfg core.Config, flat map[string]float64) *File {
+	f := &File{Metrics: make(map[string]Band, len(flat))}
+	f.Config.Scale = scaleName(cfg.Scale)
+	f.Config.Seed = cfg.Seed
+	f.Config.Short = cfg.ShortTraceSec
+	f.Config.Long = cfg.LongTraceSec
+	for path, v := range flat {
+		f.Metrics[path] = DefaultBand(path, v)
+	}
+	return f
+}
+
+// Load reads conformance.json.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("conformance: parsing %s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// Save writes the file with sorted keys (encoding/json sorts map keys),
+// one metric per line, so diffs review cleanly.
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// SortedKeys returns the metric paths in stable order.
+func (f *File) SortedKeys() []string {
+	keys := make([]string, 0, len(f.Metrics))
+	for k := range f.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scaleName names a topology scale for the config stamp.
+func scaleName(s topology.Scale) string {
+	switch s {
+	case topology.ScaleTiny:
+		return "tiny"
+	case topology.ScaleSmall:
+		return "small"
+	case topology.ScaleMedium:
+		return "medium"
+	}
+	return fmt.Sprintf("scale(%d)", s)
+}

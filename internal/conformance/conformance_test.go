@@ -1,0 +1,180 @@
+package conformance
+
+import (
+	"flag"
+	"testing"
+)
+
+// update regenerates conformance.json and experiments_output.txt from the
+// current code instead of asserting against them:
+//
+//	go test ./internal/conformance -update
+var update = flag.Bool("update", false, "rewrite conformance.json and the golden suite transcript")
+
+const bandsPath = "conformance.json"
+
+// TestConformance regenerates every numeric leaf of the Summary digest —
+// the reproduction's table cells and headline figure statistics — and
+// asserts each one against its checked-in tolerance band.
+func TestConformance(t *testing.T) {
+	skipIfHeavyDisallowed(t)
+	cfg := ReferenceConfig()
+	flat, err := Flatten(System().Summarize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) == 0 {
+		t.Fatal("flattened summary has no metrics")
+	}
+
+	if *update {
+		f := Record(cfg, flat)
+		if err := f.Save(bandsPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d metrics", bandsPath, len(f.Metrics))
+		return
+	}
+
+	f, err := Load(bandsPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/conformance -update` to record)", err)
+	}
+	if f.Config.Seed != cfg.Seed || f.Config.Short != cfg.ShortTraceSec ||
+		f.Config.Long != cfg.LongTraceSec || f.Config.Scale != "tiny" {
+		t.Fatalf("%s was recorded at config %+v; the harness runs at seed=%d short=%d long=%d scale=tiny — re-record with -update",
+			bandsPath, f.Config, cfg.Seed, cfg.ShortTraceSec, cfg.LongTraceSec)
+	}
+
+	// Key-set equality both ways: a metric that vanished means an analysis
+	// silently stopped reporting; a new one must be banded.
+	for _, path := range f.SortedKeys() {
+		band := f.Metrics[path]
+		got, ok := flat[path]
+		if !ok {
+			t.Errorf("metric %s is banded in %s but missing from the regenerated summary", path, bandsPath)
+			continue
+		}
+		if !band.Within(got) {
+			t.Errorf("metric %s = %v outside band {value %v, abs %v, rel %v}",
+				path, got, band.Value, band.Abs, band.Rel)
+		}
+	}
+	for path := range flat {
+		if _, ok := f.Metrics[path]; !ok {
+			t.Errorf("metric %s is new — re-record %s with -update and review the diff", path, bandsPath)
+		}
+	}
+}
+
+// TestPaperHeadlines pins the paper's qualitative claims directly, with
+// hand-set thresholds independent of the recorded bands: these must hold
+// for any faithful reproduction at any seed, not just near the reference
+// values.
+func TestPaperHeadlines(t *testing.T) {
+	skipIfHeavyDisallowed(t)
+	flat, err := Flatten(System().Summarize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metric := func(path string) float64 {
+		v, ok := flat[path]
+		if !ok {
+			t.Fatalf("summary has no metric %s", path)
+		}
+		return v
+	}
+
+	// Table 2 / §4: Hadoop talks almost exclusively to Hadoop; Web's top
+	// partner is the caching tier; cache followers serve Web.
+	if v := metric("service_mix.Hadoop.Hadoop"); v < 0.95 {
+		t.Errorf("Hadoop→Hadoop share = %.3f, want ≥0.95", v)
+	}
+	if v := metric("service_mix.Web.Cache-f"); v < 0.40 {
+		t.Errorf("Web→Cache-f share = %.3f, want ≥0.40 (dominant partner)", v)
+	}
+	if v := metric("service_mix.Cache-f.Web"); v < 0.60 {
+		t.Errorf("Cache-f→Web share = %.3f, want ≥0.60", v)
+	}
+	if v := metric("service_mix.Cache-l.Cache-f"); v < 0.50 {
+		t.Errorf("Cache-l→Cache-f share = %.3f, want ≥0.50", v)
+	}
+
+	// Figure 2 / §4.1: traffic is not rack-local — intra-rack is a
+	// minority share and the cluster level dominates, contra conventional
+	// wisdom of 50–80% rack-locality.
+	intraRack := metric("locality_all.Intra-Rack")
+	intraCluster := metric("locality_all.Intra-Cluster")
+	if intraRack >= 0.40 {
+		t.Errorf("fleet intra-rack share = %.3f, want <0.40 (paper: 12.9%%)", intraRack)
+	}
+	if intraCluster <= intraRack {
+		t.Errorf("intra-cluster share %.3f should exceed intra-rack %.3f", intraCluster, intraRack)
+	}
+
+	// §4.1 by cluster type: Frontend clusters are strongly cluster-local;
+	// Hadoop is the most rack-local tier yet barely crosses datacenters.
+	if v := metric("locality_by_cluster_type.FE.Intra-Cluster"); v < 0.60 {
+		t.Errorf("FE intra-cluster share = %.3f, want ≥0.60 (paper: 68%%)", v)
+	}
+	hadoopRack := metric("locality_by_cluster_type.Hadoop.Intra-Rack")
+	if hadoopRack <= intraRack {
+		t.Errorf("Hadoop intra-rack %.3f should exceed the fleet-wide %.3f", hadoopRack, intraRack)
+	}
+	if v := metric("locality_by_cluster_type.Hadoop.Inter-Datacenter"); v > 0.05 {
+		t.Errorf("Hadoop inter-DC share = %.3f, want ≤0.05", v)
+	}
+}
+
+// TestBandWithin covers the tolerance arithmetic on its own — cheap
+// enough to run everywhere, race included.
+func TestBandWithin(t *testing.T) {
+	cases := []struct {
+		band Band
+		got  float64
+		ok   bool
+	}{
+		{Band{Value: 0.5, Abs: 0.08}, 0.57, true},
+		{Band{Value: 0.5, Abs: 0.08}, 0.59, false},
+		{Band{Value: 1000, Rel: 0.30}, 1299, true},
+		{Band{Value: 1000, Rel: 0.30}, 1301, false},
+		{Band{Value: -200, Rel: 0.30}, -250, true},
+		{Band{Value: 0, Abs: 0.08}, 0.05, true},
+		{Band{Value: 0, Rel: 0.30}, 0.001, false},
+	}
+	for _, c := range cases {
+		if got := c.band.Within(c.got); got != c.ok {
+			t.Errorf("Band%+v.Within(%v) = %v, want %v", c.band, c.got, got, c.ok)
+		}
+	}
+}
+
+// TestDefaultBandClassification pins the share-vs-scale split so a
+// renamed summary field doesn't silently fall into the wrong band kind.
+func TestDefaultBandClassification(t *testing.T) {
+	if b := DefaultBand("locality_all.Intra-Rack", 0.2); b.Abs == 0 || b.Rel != 0 {
+		t.Errorf("locality share should get an absolute band, got %+v", b)
+	}
+	if b := DefaultBand("syn_gap_p50_us.Web", 1992.6); b.Rel == 0 || b.Abs != 0 {
+		t.Errorf("scale-ful metric should get a relative band, got %+v", b)
+	}
+	if b := DefaultBand("hh_persist_rack_100ms.Web", 100); b.Abs != 15 {
+		t.Errorf("percent-scale metric should get a 15-point band, got %+v", b)
+	}
+	if b := DefaultBand("hh_count_p50.Web", 1); b.Abs != 1 || b.Rel == 0 {
+		t.Errorf("small count should get one step of slack plus 30%%, got %+v", b)
+	}
+}
+
+// skipIfHeavyDisallowed gates the multi-minute reference run: it is
+// skipped under -short and under the race detector (CI runs it in the
+// non-race coverage job; the race job covers the cheap unit tests).
+func skipIfHeavyDisallowed(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("conformance reference run skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("conformance reference run skipped under the race detector")
+	}
+}

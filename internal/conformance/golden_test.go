@@ -1,0 +1,118 @@
+package conformance
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/core"
+)
+
+// goldenPath is the checked-in transcript of the full experiment suite,
+// the exact output of `go run ./cmd/experiments` at the reference
+// configuration.
+var goldenPath = filepath.Join("..", "..", "experiments_output.txt")
+
+var (
+	// Section timings and the prewarm summary depend on the machine, not
+	// the model; scrub them before comparing.
+	timingRe  = regexp.MustCompile(`\([0-9]+\.[0-9]+s\)`)
+	prewarmRe = regexp.MustCompile(`^prewarmed datasets on [0-9]+ workers in [0-9]+\.[0-9]+s$`)
+)
+
+// normalizeSuite strips machine-dependent timing from a suite transcript.
+func normalizeSuite(s string) []string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, line := range lines {
+		if prewarmRe.MatchString(line) {
+			lines[i] = "prewarmed datasets on N workers in Xs"
+			continue
+		}
+		lines[i] = timingRe.ReplaceAllString(line, "(Xs)")
+	}
+	return lines
+}
+
+// TestGoldenSuite regenerates the full experiment suite through the same
+// code path cmd/experiments uses and diffs it line by line against the
+// checked-in transcript. Any numeric drift in any table or figure fails
+// with the exact lines that moved.
+func TestGoldenSuite(t *testing.T) {
+	skipIfHeavyDisallowed(t)
+	var buf bytes.Buffer
+	if ran := core.WriteSuite(&buf, System(), ""); ran == 0 {
+		t.Fatal("suite ran no sections")
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d bytes", goldenPath, buf.Len())
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/conformance -update` to record)", err)
+	}
+	got := normalizeSuite(buf.String())
+	exp := normalizeSuite(string(want))
+
+	// Per-line diff: report every divergence with context, capped so a
+	// wholesale format change doesn't flood the log.
+	const maxReported = 40
+	reported := 0
+	n := len(got)
+	if len(exp) > n {
+		n = len(exp)
+	}
+	for i := 0; i < n && reported < maxReported; i++ {
+		g, e := "", ""
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(exp) {
+			e = exp[i]
+		}
+		if g != e {
+			t.Errorf("line %d:\n  golden: %s\n  got:    %s", i+1, e, g)
+			reported++
+		}
+	}
+	if reported == maxReported {
+		t.Errorf("... more differences suppressed after %d lines", maxReported)
+	}
+	if len(got) != len(exp) {
+		t.Errorf("suite output is %d lines, golden is %d", len(got), len(exp))
+	}
+	if t.Failed() {
+		t.Log("if the change is intentional, re-record with `go test ./internal/conformance -update` and review the diff")
+	}
+}
+
+// TestNormalizeSuite pins the timing scrubber itself so a format change
+// in WriteSuite can't silently turn the golden diff into a no-op.
+func TestNormalizeSuite(t *testing.T) {
+	in := "header line\n\nprewarmed datasets on 4 workers in 12.3s\n\n=== table2 (1.4s) ===\nbody (not a timing)\n"
+	got := normalizeSuite(in)
+	want := []string{
+		"header line",
+		"",
+		"prewarmed datasets on N workers in Xs",
+		"",
+		"=== table2 (Xs) ===",
+		"body (not a timing)",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("normalized to %d lines, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i+1, got[i], want[i])
+		}
+	}
+}

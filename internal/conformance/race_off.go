@@ -1,0 +1,9 @@
+//go:build !race
+
+package conformance
+
+// raceEnabled reports whether the binary was built with -race. The heavy
+// conformance and golden tests skip themselves under the race detector —
+// the ~5-minute reference suite would multiply past CI's timeout — and
+// run in the non-race coverage job instead.
+const raceEnabled = false

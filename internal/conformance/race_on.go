@@ -1,0 +1,7 @@
+//go:build race
+
+package conformance
+
+// raceEnabled gates the multi-minute reference run out of race-detector
+// jobs; see race_off.go for the default.
+const raceEnabled = true

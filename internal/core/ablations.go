@@ -177,6 +177,7 @@ func (s *System) Ablations() []*AblationResult {
 		s.AblationConnectionPooling(),
 		s.AblationHotObjectMitigation(),
 		s.AblationRackPlacement(),
+		s.AblationFaultResilience(),
 	}
 }
 

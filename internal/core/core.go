@@ -18,6 +18,7 @@ import (
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
 	"fbdcnet/internal/services"
 	"fbdcnet/internal/topology"
 	"fbdcnet/internal/workload"
@@ -57,6 +58,13 @@ type Config struct {
 	// affect results: shard rng streams are keyed by (seed, window,
 	// shard) and partials merge in a fixed order.
 	Taggers int
+
+	// FaultScenario, when non-empty, runs the packet-level degraded-mode
+	// experiment under the named fault scenario (see
+	// netsim.FaultScenarios) and folds its counters into Summarize. The
+	// schedule is a pure function of (Seed, Scenario, topology), so the
+	// bit-identical-at-any-parallelism contract is preserved.
+	FaultScenario string
 }
 
 // Workers resolves Parallelism to a concrete worker count.
@@ -125,6 +133,18 @@ type System struct {
 	bundles   map[bundleKey]*bundleSlot
 	fleetOnce sync.Once
 	fleet     *fbflow.Dataset
+
+	// Degraded-mode (fault injection) memos: the shared workload headers,
+	// their offered totals, the healthy baseline arm, and the configured
+	// scenario's result.
+	degradedOnce     sync.Once
+	degradedHdrs     []packet.Header
+	degradedOffPkts  int64
+	degradedOffBytes int64
+	baselineOnce     sync.Once
+	baselineMetrics  DegradedMetrics
+	faultOnce        sync.Once
+	faultRes         *DegradedResult
 }
 
 type bundleKey struct {

@@ -63,5 +63,8 @@ func (s *System) Prewarm() {
 		tasks = append(tasks, func() { s.Trace(role, s.Cfg.LongTraceSec) })
 	}
 	tasks = append(tasks, func() { s.FleetDataset() })
+	if s.Cfg.FaultScenario != "" {
+		tasks = append(tasks, func() { s.Degraded() })
+	}
 	runParallel(s.Cfg.Workers(), len(tasks), func(i int) { tasks[i]() })
 }

@@ -5,31 +5,41 @@ import (
 	"sync"
 	"testing"
 
+	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/topology"
 )
 
 // TestParallelDeterminism is the engine's headline regression: the full
 // QuickConfig experiment suite must produce byte-identical Summarize
-// output at 1, 2, and 8 workers for the same seed. Worker count may only
-// change wall-clock, never a single float.
+// output at 1, 2, and 8 workers for the same seed — both on a healthy
+// fabric and with a non-empty fault schedule in play. Worker count may
+// only change wall-clock, never a single float.
 func TestParallelDeterminism(t *testing.T) {
-	var want []byte
-	for _, workers := range []int{1, 2, 8} {
-		cfg := QuickConfig()
-		cfg.Seed = 42
-		cfg.Parallelism = workers
-		cfg.Taggers = workers
-		data, err := MustNewSystem(cfg).Summarize().JSON()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if want == nil {
-			want = data
-			continue
-		}
-		if !bytes.Equal(data, want) {
-			t.Fatalf("summary at %d workers differs from 1-worker output:\n%s\nvs\n%s",
-				workers, data, want)
+	for _, scenario := range []string{"", netsim.ScenarioCSWDown} {
+		var want []byte
+		for _, workers := range []int{1, 2, 8} {
+			cfg := QuickConfig()
+			cfg.Seed = 42
+			cfg.Parallelism = workers
+			cfg.Taggers = workers
+			cfg.FaultScenario = scenario
+			sum := MustNewSystem(cfg).Summarize()
+			data, err := sum.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scenario != "" && (sum.FaultInjection == nil || sum.FaultInjection.ReroutedBytes == 0) {
+				t.Fatalf("scenario %q: summary is missing rerouted-byte counters: %+v",
+					scenario, sum.FaultInjection)
+			}
+			if want == nil {
+				want = data
+				continue
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("scenario %q: summary at %d workers differs from 1-worker output:\n%s\nvs\n%s",
+					scenario, workers, data, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fbdcnet/internal/topology"
+)
+
+// SuiteSection is one named experiment of the full harness.
+type SuiteSection struct {
+	Name string
+	Run  func(s *System) string
+}
+
+// SuiteSections lists every experiment of the harness in render order —
+// the single source of truth cmd/experiments and the golden regression
+// test share. Sections gated on configuration (the "degraded" section of
+// a configured fault scenario) appear only when enabled.
+func SuiteSections(s *System) []SuiteSection {
+	secs := []SuiteSection{
+		{"table2", func(s *System) string { return s.Table2().Render() }},
+		{"table3", func(s *System) string { return s.Table3().Render() }},
+		{"table4", func(s *System) string { return s.Table4().Render() }},
+		{"section41", func(s *System) string { return s.Section41().Render() }},
+		{"figure4", func(s *System) string { return s.Figure4().Render() }},
+		{"figure5", func(s *System) string { return s.Figure5().Render() }},
+		{"figure6", func(s *System) string { return s.Figure6().Render() }},
+		{"figure7", func(s *System) string { return s.Figure7().Render() }},
+		{"figure8", func(s *System) string { return s.Figure8().Render() }},
+		{"figure9", func(s *System) string { return s.Figure9().Render() }},
+		{"figure10-11", func(s *System) string { return s.Figure10And11().Render() }},
+		{"figure12", func(s *System) string { return s.Figure12().Render() }},
+		{"figure13", func(s *System) string { return s.Figure13().Render() }},
+		{"figure14", func(s *System) string { return s.Figure14().Render() }},
+		{"figure15", func(s *System) string { return s.Figure15(DefaultFigure15Config()).Render() }},
+		{"figure16-17", func(s *System) string { return s.Figure16And17().Render() }},
+		{"ablations", func(s *System) string { return RenderAblations(s.Ablations()) }},
+		{"faults", func(s *System) string { return RenderDegraded(s.DegradedScenarios()) }},
+		{"ext-incast", func(s *System) string {
+			return s.ExtensionIncast([]int{1, 2, 4, 8, 12}, 64<<10, 256<<10).Render()
+		}},
+		{"ext-oversub", func(s *System) string {
+			factors := []float64{1, 2, 4, 10, 20, 40}
+			return s.ExtensionOversubscription(topology.RoleHadoop, factors, 3).Render() +
+				s.ExtensionOversubscription(topology.RoleWeb, factors, 3).Render() +
+				s.ExtensionOversubAllToAll(factors, 3).Render()
+		}},
+		{"ext-fabric", func(s *System) string { return s.ExtensionFabric().Render() }},
+		{"section52", func(s *System) string { return s.Section52().Render() }},
+		{"ext-dayoverday", func(s *System) string { return s.DayOverDay().Render() }},
+	}
+	if s.Cfg.FaultScenario != "" {
+		secs = append(secs, SuiteSection{"degraded", func(s *System) string {
+			return s.Degraded().Render()
+		}})
+	}
+	return secs
+}
+
+// WriteSuite runs the experiment harness and writes its rendered output —
+// header, prewarm note, and one section per experiment — to w. A
+// non-empty only substring-filters section names (and skips the
+// whole-suite prewarm, so a single experiment pays only for its own
+// datasets). It returns how many sections ran; callers should treat 0 as
+// a bad filter.
+func WriteSuite(w io.Writer, sys *System, only string) int {
+	fmt.Fprintf(w, "fbdcnet experiment harness: %d hosts, %d racks, %d clusters, %d datacenters (seed %d)\n\n",
+		sys.Topo.NumHosts(), len(sys.Topo.Racks), len(sys.Topo.Clusters), len(sys.Topo.Datacenters), sys.Cfg.Seed)
+
+	if only == "" {
+		warmStart := time.Now()
+		sys.Prewarm()
+		fmt.Fprintf(w, "prewarmed datasets on %d workers in %.1fs\n\n",
+			sys.Cfg.Workers(), time.Since(warmStart).Seconds())
+	}
+
+	ran := 0
+	for _, e := range SuiteSections(sys) {
+		if only != "" && !strings.Contains(e.Name, only) {
+			continue
+		}
+		start := time.Now()
+		out := e.Run(sys)
+		fmt.Fprintf(w, "=== %s (%.1fs) ===\n%s\n", e.Name, time.Since(start).Seconds(), out)
+		ran++
+	}
+	return ran
+}

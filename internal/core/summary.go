@@ -5,6 +5,7 @@ import (
 
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/topology"
 )
 
 // Summary is the machine-readable digest of the full reproduction: the
@@ -55,6 +56,26 @@ type Summary struct {
 	// Figure 5 structure.
 	HadoopDiag   float64 `json:"hadoop_matrix_diag"`
 	FrontendDiag float64 `json:"frontend_matrix_diag"`
+
+	// Fault injection digest, present only when Config.FaultScenario is
+	// set.
+	FaultInjection *FaultSummary `json:"fault_injection,omitempty"`
+}
+
+// FaultSummary digests the degraded-mode run of the configured fault
+// scenario: delivery fractions against the healthy baseline plus the
+// fault layer's packet accounting.
+type FaultSummary struct {
+	Scenario          string             `json:"scenario"`
+	DeliveredFrac     float64            `json:"delivered_frac"`
+	BaselineFrac      float64            `json:"baseline_delivered_frac"`
+	ReroutedPkts      int64              `json:"rerouted_pkts"`
+	ReroutedBytes     int64              `json:"rerouted_bytes"`
+	Retransmits       int64              `json:"retransmits"`
+	FaultDrops        int64              `json:"fault_drops"`
+	LostPkts          int64              `json:"lost_pkts"`
+	LostIntraRack     int64              `json:"lost_intra_rack"`
+	LocalityDelivered map[string]float64 `json:"locality_delivered"`
 }
 
 // Summarize runs every experiment (reusing memoized bundles) and returns
@@ -159,6 +180,21 @@ func (s *System) Summarize() *Summary {
 	f5 := s.Figure5()
 	sum.HadoopDiag = f5.HadoopDiag
 	sum.FrontendDiag = f5.FrontendDiag
+
+	if d := s.Degraded(); d != nil {
+		sum.FaultInjection = &FaultSummary{
+			Scenario:          d.Scenario,
+			DeliveredFrac:     d.Degraded.DeliveredFrac,
+			BaselineFrac:      d.Baseline.DeliveredFrac,
+			ReroutedPkts:      d.Faults.ReroutedPkts,
+			ReroutedBytes:     d.Faults.ReroutedBytes,
+			Retransmits:       d.Faults.Retransmits,
+			FaultDrops:        d.Faults.FaultDrops,
+			LostPkts:          d.Faults.LostPkts,
+			LostIntraRack:     d.Faults.LostByLocality[topology.IntraRack],
+			LocalityDelivered: d.Degraded.LocalityBytes,
+		}
+	}
 
 	return sum
 }

@@ -265,7 +265,9 @@ func parseEthernet(b []byte) (packet.Header, bool) {
 	}
 	ip := b[ethHeaderLen:]
 	ihl := int(ip[0]&0x0f) * 4
-	if ip[0]>>4 != 4 || len(ip) < ihl {
+	// IHL below 5 words is malformed IPv4: without this check the layer-4
+	// slice would start inside the IP header and parse garbage ports.
+	if ip[0]>>4 != 4 || ihl < ipHeaderLen || len(ip) < ihl {
 		return h, false
 	}
 	proto := packet.Proto(ip[9])

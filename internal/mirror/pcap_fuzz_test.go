@@ -1,0 +1,178 @@
+package mirror
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"fbdcnet/internal/packet"
+)
+
+// fuzzGlobalHeader builds a little-endian pcap global header.
+func fuzzGlobalHeader(magic, linkType uint32) []byte {
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:], magic)
+	binary.LittleEndian.PutUint16(gh[4:], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(gh[6:], pcapVersionMin)
+	binary.LittleEndian.PutUint32(gh[16:], capturedBytes)
+	binary.LittleEndian.PutUint32(gh[20:], linkType)
+	return gh[:]
+}
+
+// fuzzRecord builds one pcap record with an arbitrary (incl, orig) pair
+// and payload.
+func fuzzRecord(sec, nsec, incl, orig uint32, payload []byte) []byte {
+	var rh [16]byte
+	binary.LittleEndian.PutUint32(rh[0:], sec)
+	binary.LittleEndian.PutUint32(rh[4:], nsec)
+	binary.LittleEndian.PutUint32(rh[8:], incl)
+	binary.LittleEndian.PutUint32(rh[12:], orig)
+	return append(rh[:], payload...)
+}
+
+// validCapture returns a well-formed two-record nanosecond capture.
+func validCapture(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w.Packet(packet.Header{
+		Key:   packet.FlowKey{Src: 3, Dst: 9, SrcPort: 1234, DstPort: 80, Proto: packet.TCP},
+		Time:  1_500_000_000,
+		Size:  1460,
+		Flags: packet.FlagSYN | packet.FlagACK,
+	})
+	w.Packet(packet.Header{
+		Key:  packet.FlowKey{Src: 9, Dst: 3, SrcPort: 80, DstPort: 1234, Proto: packet.UDP},
+		Time: 2_000_000_123,
+		Size: 120,
+	})
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzPcapReader throws arbitrary bytes at the pcap reader: it must never
+// panic, never allocate unboundedly from a bogus caplen, and always
+// terminate with io.EOF or a real error.
+func FuzzPcapReader(f *testing.F) {
+	f.Add(validCapture(f))
+	// Truncated record header: a valid global header, then half a record
+	// header.
+	f.Add(append(fuzzGlobalHeader(pcapMagicNanos, linkTypeEth), 1, 2, 3, 4, 5, 6, 7))
+	// Bogus caplen: incl claims 4 GiB with no payload behind it.
+	f.Add(append(fuzzGlobalHeader(pcapMagicNanos, linkTypeEth),
+		fuzzRecord(0, 0, 0xffffffff, 0xffffffff, nil)...))
+	// Zero-length record followed by a valid-shaped record header.
+	f.Add(append(fuzzGlobalHeader(0xa1b2c3d4, linkTypeEth),
+		fuzzRecord(1, 999, 0, 0, nil)...))
+	// Record whose frame is too short for Ethernet+IP.
+	f.Add(append(fuzzGlobalHeader(pcapMagicNanos, linkTypeEth),
+		fuzzRecord(1, 1, 10, 10, make([]byte, 10))...))
+	// Wrong magic and wrong link type.
+	f.Add(fuzzGlobalHeader(0xdeadbeef, linkTypeEth))
+	f.Add(fuzzGlobalHeader(pcapMagicNanos, 101))
+	// IPv4 frame with a malformed IHL (0 words).
+	bad := make([]byte, capturedBytes)
+	bad[12], bad[13] = 0x08, 0x00
+	bad[ethHeaderLen] = 0x40 // version 4, IHL 0
+	f.Add(append(fuzzGlobalHeader(pcapMagicNanos, linkTypeEth),
+		fuzzRecord(1, 1, capturedBytes, capturedBytes, bad)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewPcapReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		records := 0
+		for {
+			h, err := r.Next()
+			if err != nil {
+				if err != io.EOF && err.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				break
+			}
+			// A parsed record must carry a transport protocol we admit;
+			// anything else should have been skipped, not returned.
+			if h.Key.Proto != packet.TCP && h.Key.Proto != packet.UDP {
+				t.Fatalf("reader returned non-TCP/UDP header: %+v", h)
+			}
+			records++
+			if records > 1<<20 {
+				t.Fatal("reader produced implausibly many records")
+			}
+		}
+	})
+}
+
+// FuzzPcapRoundTrip fuzzes the writer's input space: any header written
+// must read back with its flow key, flags, and timestamp intact.
+func FuzzPcapRoundTrip(f *testing.F) {
+	f.Add(uint32(3), uint32(9), uint16(1234), uint16(80), byte(packet.TCP), byte(packet.FlagSYN), int64(1_500_000_000), uint32(1460))
+	f.Add(uint32(0), uint32(0), uint16(0), uint16(0), byte(packet.UDP), byte(0), int64(0), uint32(0))
+	f.Add(uint32(1<<24-1), uint32(1<<24-1), uint16(65535), uint16(65535), byte(packet.TCP), byte(0x1f), int64(1)<<40, uint32(0xffffffff))
+
+	f.Fuzz(func(t *testing.T, src, dst uint32, sp, dp uint16, proto, flags byte, tm int64, size uint32) {
+		if proto != byte(packet.TCP) && proto != byte(packet.UDP) {
+			proto = byte(packet.TCP)
+		}
+		if tm < 0 {
+			tm = -tm
+		}
+		in := packet.Header{
+			Key: packet.FlowKey{
+				// The synthesized IPv4 addresses keep 24 bits of host
+				// address; mask the inputs the same way so equality holds.
+				Src: packet.Addr(src & 0x00ffffff), Dst: packet.Addr(dst & 0x00ffffff),
+				SrcPort: sp, DstPort: dp, Proto: packet.Proto(proto),
+			},
+			// The record header stores seconds as uint32: clamp into range.
+			Time:  tm % (int64(1) << 32 * 1_000_000_000),
+			Flags: packet.Flags(flags) & (packet.FlagFIN | packet.FlagSYN | packet.FlagRST | packet.FlagPSH | packet.FlagACK),
+			Size:  size,
+		}
+
+		var buf bytes.Buffer
+		w, err := NewPcapWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Packet(in)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewPcapReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Next()
+		if err != nil {
+			t.Fatalf("reading back %+v: %v", in, err)
+		}
+		if out.Key != in.Key {
+			t.Fatalf("flow key round-trip: wrote %+v read %+v", in.Key, out.Key)
+		}
+		if in.Key.Proto == packet.TCP && out.Flags != in.Flags {
+			t.Fatalf("flags round-trip: wrote %v read %v", in.Flags, out.Flags)
+		}
+		// Sub-second precision is exact in the nanosecond format.
+		if out.Time != in.Time {
+			t.Fatalf("time round-trip: wrote %d read %d", in.Time, out.Time)
+		}
+		// orig_len is clamped up to the captured length, never down.
+		want := in.Size
+		if want < capturedBytes {
+			want = capturedBytes
+		}
+		if out.Size != want {
+			t.Fatalf("size round-trip: wrote %d read %d want %d", in.Size, out.Size, want)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("expected EOF after one record, got %v", err)
+		}
+	})
+}

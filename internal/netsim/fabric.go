@@ -101,6 +101,22 @@ type Fabric struct {
 	clPosInDC    []int   // cluster ID → position within its datacenter
 	dcPosInSite  []int   // dc ID → position within its site
 	injectedPkts int64
+
+	// Fault-injection state (see faults.go). The *Down arrays mirror the
+	// switches' and ports' down flags so ECMP viability checks are O(1)
+	// array reads on the injection hot path.
+	rswDown      []bool
+	cswDown      [][]bool // [cluster][post]
+	fcDown       [][]bool // [dc][post]
+	uplinkDown   [][]bool // [rack][post]
+	hostLinkDown []bool   // per host access link
+	faultsActive int
+	faults       FaultStats
+	// DisableReroute turns off ECMP re-hashing around dead paths: packets
+	// keep their hash-preferred post even when it is down, so they drop
+	// and retransmit into the same dead path. This is the ablation arm
+	// that shows what the 4-post redundancy buys.
+	DisableReroute bool
 }
 
 // NewFabric builds and wires the full switch graph for topo.
@@ -210,7 +226,41 @@ func NewFabric(eng *Engine, topo *topology.Topology, cfg FabricConfig) *Fabric {
 		f.aggUpPort[si] = agg.AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.InterSiteDelay}, f.bb)
 		f.bbDownPort[si] = f.bb.AddPort(&Link{RateBps: cfg.CoreBps, Delay: cfg.InterSiteDelay}, agg)
 	}
+
+	// Fault state and the retransmission hook on every switch.
+	f.rswDown = make([]bool, nRacks)
+	f.uplinkDown = make([][]bool, nRacks)
+	for i := range f.uplinkDown {
+		f.uplinkDown[i] = make([]bool, postsPerCluster)
+	}
+	f.cswDown = make([][]bool, nClusters)
+	for i := range f.cswDown {
+		f.cswDown[i] = make([]bool, postsPerCluster)
+	}
+	f.fcDown = make([][]bool, nDCs)
+	for i := range f.fcDown {
+		f.fcDown[i] = make([]bool, postsPerCluster)
+	}
+	f.hostLinkDown = make([]bool, topo.NumHosts())
+	for _, sw := range f.allSwitches() {
+		sw.OnFaultDrop = f.handleFaultDrop
+	}
 	return f
+}
+
+// allSwitches iterates every switch in the fabric, edge outward.
+func (f *Fabric) allSwitches() []*Switch {
+	out := append([]*Switch(nil), f.rsws...)
+	for _, post := range f.csws {
+		out = append(out, post...)
+	}
+	for _, post := range f.fcs {
+		out = append(out, post...)
+	}
+	out = append(out, f.dcrs...)
+	out = append(out, f.aggs...)
+	out = append(out, f.bb)
+	return out
 }
 
 // Sink returns the receiving endpoint for host h.
@@ -230,7 +280,14 @@ func (f *Fabric) Injected() int64 { return f.injectedPkts }
 // Inject routes one packet from its source host into the fabric at the
 // current engine time, following the ECMP path selected by the flow hash.
 // Packets addressed to the sending host itself are ignored (loopback).
-func (f *Fabric) Inject(hdr packet.Header) {
+// When faults are active the hash is re-applied over the surviving posts
+// (unless DisableReroute); a packet with no live path is held back and
+// retransmitted on the fault layer's RTO schedule.
+func (f *Fabric) Inject(hdr packet.Header) { f.inject(hdr, 0) }
+
+// inject is Inject plus the delivery-attempt count used by the
+// retransmission budget.
+func (f *Fabric) inject(hdr packet.Header, tries uint8) {
 	src := f.Topo.HostByAddr(hdr.Key.Src)
 	dst := f.Topo.HostByAddr(hdr.Key.Dst)
 	if src == nil || dst == nil {
@@ -239,15 +296,50 @@ func (f *Fabric) Inject(hdr packet.Header) {
 	if src.ID == dst.ID {
 		return
 	}
-	f.injectedPkts++
-	f.hostUp[src.ID].bytesTx += int64(hdr.Size)
+	if tries == 0 {
+		f.injectedPkts++
+	}
 
-	post := int(hdr.Key.FastHash() % postsPerCluster)
-	p := &Packet{Hdr: hdr}
+	hash := hdr.Key.FastHash()
+	post := int(hash % postsPerCluster)
 	rs, rd := src.Rack, dst.Rack
 	cs, cd := src.Cluster, dst.Cluster
 	ds, dd := src.Datacenter, dst.Datacenter
 	ss, sd := src.Site, dst.Site
+
+	if f.faultsActive > 0 {
+		// A dead source access link or source RSW blocks transmission
+		// outright — there is no alternate first hop to re-hash onto.
+		if f.hostLinkDown[src.ID] || f.rswDown[rs] {
+			f.faults.FaultDrops++
+			f.scheduleRetry(hdr, tries)
+			return
+		}
+		if !f.DisableReroute {
+			// Destination-side dead ends are equally post-independent.
+			if f.rswDown[rd] || f.hostLinkDown[dst.ID] {
+				f.faults.FaultDrops++
+				f.scheduleRetry(hdr, tries)
+				return
+			}
+			if rs != rd {
+				chosen := f.pickPost(hash, rs, rd, cs, cd, ds, dd)
+				if chosen < 0 {
+					f.faults.FaultDrops++
+					f.scheduleRetry(hdr, tries)
+					return
+				}
+				if chosen != post {
+					f.faults.ReroutedPkts++
+					f.faults.ReroutedBytes += int64(hdr.Size)
+				}
+				post = chosen
+			}
+		}
+	}
+
+	f.hostUp[src.ID].bytesTx += int64(hdr.Size)
+	p := &Packet{Hdr: hdr, Tries: tries}
 
 	var hops []hop
 	push := func(n Node, port int) { hops = append(hops, hop{n, port}) }
@@ -284,6 +376,36 @@ func (f *Fabric) Inject(hdr packet.Header) {
 	first := hops[0]
 	p.hops = hops[1:]
 	first.node.Receive(p, first.port)
+}
+
+// pickPost returns the ECMP post for a non-intra-rack path under faults:
+// the flow hash applied over the posts whose full path (uplinks, CSWs,
+// FCs on both sides as the locality requires) is alive, or -1 when no
+// post survives. With all four posts alive it returns hash % 4, i.e. the
+// fault-free choice — rerouting only ever moves traffic off dead paths.
+func (f *Fabric) pickPost(hash uint64, rs, rd, cs, cd, ds, dd int) int {
+	var viable [postsPerCluster]int
+	n := 0
+	for p := 0; p < postsPerCluster; p++ {
+		ok := !f.uplinkDown[rs][p] && !f.cswDown[cs][p]
+		if ok && cs != cd {
+			ok = !f.fcDown[ds][p] && !f.cswDown[cd][p]
+			if ok && ds != dd {
+				ok = !f.fcDown[dd][p]
+			}
+		}
+		if ok {
+			ok = !f.uplinkDown[rd][p]
+		}
+		if ok {
+			viable[n] = p
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return viable[hash%uint64(n)]
 }
 
 // LinksByTier returns all links in the given tier for utilization

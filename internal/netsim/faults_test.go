@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/topology"
+)
+
+// faultTestTopo builds a small two-cluster, two-datacenter topology for
+// path-level fault tests.
+func faultTestTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	cl := func() topology.ClusterSpec {
+		return topology.ClusterSpec{Type: topology.ClusterFrontend, Racks: 3, HostsPerRack: 2}
+	}
+	topo, err := topology.Build(topology.Config{Sites: []topology.SiteSpec{{
+		Datacenters: []topology.DatacenterSpec{
+			{Clusters: []topology.ClusterSpec{cl(), cl()}},
+			{Clusters: []topology.ClusterSpec{cl()}},
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// hdrBetween builds a header from host a to host b; port varies the ECMP
+// hash so tests can cover all posts.
+func hdrBetween(topo *topology.Topology, a, b topology.HostID, port uint16) packet.Header {
+	return packet.Header{
+		Key: packet.FlowKey{
+			Src: topo.Hosts[a].Addr, Dst: topo.Hosts[b].Addr,
+			SrcPort: port, DstPort: 80, Proto: packet.TCP,
+		},
+		Size: 1500,
+	}
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	topo := faultTestTopo(t)
+	for _, sc := range FaultScenarios() {
+		a, err := NewFaultSchedule(sc, topo, 0, 42, 10*Second)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if len(a.Events) == 0 {
+			t.Fatalf("%s: empty schedule", sc)
+		}
+		b, _ := NewFaultSchedule(sc, topo, 0, 42, 10*Second)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: schedule is not a pure function of its inputs", sc)
+		}
+		for _, ev := range a.Events {
+			if ev.RecoverAt <= ev.At {
+				t.Fatalf("%s: event %v never recovers", sc, ev.Elem)
+			}
+		}
+	}
+	if _, err := NewFaultSchedule("no-such-scenario", topo, 0, 42, Second); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+// TestCSWDownReroutes pins the headline 4-post property: with one CSW
+// dead, inter-rack intra-cluster traffic re-hashes onto the surviving
+// three posts and nothing is lost; intra-rack traffic is untouched.
+func TestCSWDownReroutes(t *testing.T) {
+	topo := faultTestTopo(t)
+	eng := &Engine{}
+	f := NewFabric(eng, topo, DefaultFabricConfig())
+	f.SetElementDown(topology.Element{Kind: topology.ElemCSW, A: 0, B: 1}, true)
+
+	src := topo.Racks[0].Hosts[0]
+	dstOther := topo.Racks[1].Hosts[0] // same cluster, different rack
+	dstSame := topo.Racks[0].Hosts[1]  // same rack
+	const n = 64
+	for i := 0; i < n; i++ {
+		eng.At(Time(i)*Microsecond, func(i int) func() {
+			return func() {
+				f.Inject(hdrBetween(topo, src, dstOther, uint16(1000+i)))
+				f.Inject(hdrBetween(topo, src, dstSame, uint16(1000+i)))
+			}
+		}(i))
+	}
+	eng.Run(Second)
+
+	if got := f.Sink(dstOther).Packets; got != n {
+		t.Fatalf("inter-rack delivered %d of %d", got, n)
+	}
+	if got := f.Sink(dstSame).Packets; got != n {
+		t.Fatalf("intra-rack delivered %d of %d", got, n)
+	}
+	st := f.Faults()
+	if st.ReroutedPkts == 0 {
+		t.Fatal("no packets rerouted around the dead CSW")
+	}
+	if st.LostPkts != 0 || st.FaultDrops != 0 {
+		t.Fatalf("lost %d / fault-dropped %d packets despite three live posts", st.LostPkts, st.FaultDrops)
+	}
+}
+
+// TestDisableRerouteLosesFlows is the ablation arm: without ECMP
+// re-hashing, flows hashed onto the dead post retransmit into it until
+// the attempt budget runs out and are lost forever.
+func TestDisableRerouteLosesFlows(t *testing.T) {
+	topo := faultTestTopo(t)
+	eng := &Engine{}
+	f := NewFabric(eng, topo, DefaultFabricConfig())
+	f.DisableReroute = true
+	f.SetElementDown(topology.Element{Kind: topology.ElemCSW, A: 0, B: 1}, true)
+
+	src := topo.Racks[0].Hosts[0]
+	dst := topo.Racks[1].Hosts[0]
+	const n = 64
+	for i := 0; i < n; i++ {
+		f.Inject(hdrBetween(topo, src, dst, uint16(1000+i)))
+	}
+	eng.Run(Second)
+
+	st := f.Faults()
+	delivered := f.Sink(dst).Packets
+	if delivered+st.LostPkts != n {
+		t.Fatalf("delivered %d + lost %d != injected %d", delivered, st.LostPkts, n)
+	}
+	if st.LostPkts == 0 {
+		t.Fatal("expected flows pinned to the dead post to be lost")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("expected retransmission attempts before giving up")
+	}
+	if got := st.LostByLocality[topology.IntraCluster]; got != st.LostPkts {
+		t.Fatalf("lost packets misclassified: intra-cluster %d of %d", got, st.LostPkts)
+	}
+}
+
+// TestRSWRecoveryRedelivers drains a rack and recovers it within the
+// retransmission budget: the packet must arrive after the RSW comes back.
+func TestRSWRecoveryRedelivers(t *testing.T) {
+	topo := faultTestTopo(t)
+	eng := &Engine{}
+	f := NewFabric(eng, topo, DefaultFabricConfig())
+	sched := &FaultSchedule{Scenario: "manual", Events: []FaultEvent{{
+		At: 0, RecoverAt: 5 * Millisecond,
+		Elem: topology.Element{Kind: topology.ElemRSW, A: 0},
+	}}}
+	f.ApplyFaults(sched)
+
+	src := topo.Racks[0].Hosts[0]
+	dst := topo.Racks[0].Hosts[1]
+	eng.At(Microsecond, func() { f.Inject(hdrBetween(topo, src, dst, 9)) })
+	eng.Run(Second)
+
+	if got := f.Sink(dst).Packets; got != 1 {
+		t.Fatalf("delivered %d packets after recovery, want 1", got)
+	}
+	st := f.Faults()
+	if st.Retransmits == 0 {
+		t.Fatal("delivery should have required retransmission")
+	}
+	if st.FaultEvents != 1 || st.Recoveries != 1 {
+		t.Fatalf("fault transitions %d/%d, want 1/1", st.FaultEvents, st.Recoveries)
+	}
+	if st.LostPkts != 0 {
+		t.Fatalf("lost %d packets", st.LostPkts)
+	}
+}
+
+// TestPermanentRSWDownLosesIntraRack pins the lost-forever accounting and
+// its locality split.
+func TestPermanentRSWDownLosesIntraRack(t *testing.T) {
+	topo := faultTestTopo(t)
+	eng := &Engine{}
+	f := NewFabric(eng, topo, DefaultFabricConfig())
+	f.SetElementDown(topology.Element{Kind: topology.ElemRSW, A: 0}, true)
+
+	src := topo.Racks[0].Hosts[0]
+	dst := topo.Racks[0].Hosts[1]
+	f.Inject(hdrBetween(topo, src, dst, 9))
+	eng.Run(Second)
+
+	st := f.Faults()
+	if st.LostPkts != 1 {
+		t.Fatalf("lost %d packets, want 1", st.LostPkts)
+	}
+	if st.LostByLocality[topology.IntraRack] != 1 {
+		t.Fatalf("loss not classified intra-rack: %v", st.LostByLocality)
+	}
+	if f.Sink(dst).Packets != 0 {
+		t.Fatal("packet delivered through a dead RSW")
+	}
+}
+
+// TestUplinkFlapDropsQueuedPackets fails a link while packets sit in its
+// egress queue: the queued packets are lost at their departure instants
+// and retransmitted once the link recovers.
+func TestUplinkFlapDropsQueuedPackets(t *testing.T) {
+	topo := faultTestTopo(t)
+	eng := &Engine{}
+	f := NewFabric(eng, topo, DefaultFabricConfig())
+
+	src := topo.Racks[0].Hosts[0]
+	dst := topo.Racks[1].Hosts[0]
+	// Find a port whose ECMP hash the first flow uses, then flap exactly
+	// that uplink just after injection so the queued packet dies in place.
+	hdr := hdrBetween(topo, src, dst, 1234)
+	post := int(hdr.Key.FastHash() % 4)
+	elem := topology.Element{Kind: topology.ElemRSWUplink, A: 0, B: post}
+	f.Inject(hdr)
+	f.SetElementDown(elem, true)
+	eng.At(4*Millisecond, func() { f.SetElementDown(elem, false) })
+	eng.Run(Second)
+
+	st := f.Faults()
+	if st.FaultDrops == 0 {
+		t.Fatal("queued packet should have been fault-dropped on the dead link")
+	}
+	if got := f.Sink(dst).Packets; got != 1 {
+		t.Fatalf("delivered %d packets after link recovery, want 1", got)
+	}
+	if st.LostPkts != 0 {
+		t.Fatalf("lost %d packets", st.LostPkts)
+	}
+}
+
+// TestFaultRunDeterminism runs an identical faulted workload twice and
+// requires identical counters and sink totals.
+func TestFaultRunDeterminism(t *testing.T) {
+	topo := faultTestTopo(t)
+	run := func() (FaultStats, int64) {
+		eng := &Engine{}
+		f := NewFabric(eng, topo, DefaultFabricConfig())
+		sched, err := NewFaultSchedule(ScenarioLinkFlap, topo, 0, 7, 100*Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ApplyFaults(sched)
+		src := topo.Racks[0].Hosts[0]
+		dst := topo.Racks[1].Hosts[0]
+		for i := 0; i < 512; i++ {
+			i := i
+			eng.At(Time(i)*200*Microsecond, func() {
+				f.Inject(hdrBetween(topo, src, dst, uint16(i)))
+			})
+		}
+		eng.Run(Second)
+		return f.Faults(), f.Sink(dst).Packets
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Fatalf("faulted run not deterministic:\n%+v delivered %d\nvs\n%+v delivered %d", s1, d1, s2, d2)
+	}
+	if s1.FaultEvents == 0 || d1 == 0 {
+		t.Fatalf("degenerate run: %+v delivered %d", s1, d1)
+	}
+}

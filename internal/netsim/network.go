@@ -9,6 +9,9 @@ import (
 // Packet is a unit of traffic moving through the simulated network.
 type Packet struct {
 	Hdr packet.Header
+	// Tries counts delivery attempts: 0 for the first transmission,
+	// incremented by the fault layer on each retransmission.
+	Tries uint8
 	// hops is the remaining sequence of (node, egress port) steps.
 	hops []hop
 }
@@ -65,7 +68,16 @@ type Port struct {
 	queued    int64 // bytes currently queued on this port
 	drops     int64
 	forwarded int64
+	down      bool // link fault: packets entering or departing are lost
 }
+
+// SetDown marks the port's link as failed (true) or recovered (false).
+// While down, packets routed to the port — including ones already queued
+// — are handed to the switch's fault-drop path instead of transmitted.
+func (p *Port) SetDown(down bool) { p.down = down }
+
+// Down reports whether the port's link is currently failed.
+func (p *Port) Down() bool { return p.down }
 
 // Drops returns the number of packets dropped at this egress.
 func (p *Port) Drops() int64 { return p.drops }
@@ -78,15 +90,21 @@ func (p *Port) Forwarded() int64 { return p.forwarded }
 // port it is queued on. This is the shallow-shared-buffer commodity
 // design whose occupancy §6.3 measures.
 type Switch struct {
-	eng       *Engine
-	name      string
-	BufBytes  int64 // shared pool capacity
-	used      int64 // bytes currently buffered across all ports
-	ports     []*Port
-	dropTotal int64
+	eng        *Engine
+	name       string
+	BufBytes   int64 // shared pool capacity
+	used       int64 // bytes currently buffered across all ports
+	ports      []*Port
+	dropTotal  int64
+	down       bool  // switch fault: every received or queued packet is lost
+	faultDrops int64 // packets lost to a down switch or port
 
 	// OnDrop, if set, is invoked for each dropped packet.
 	OnDrop func(p *Packet)
+	// OnFaultDrop, if set, is invoked for each packet lost to a fault
+	// (down switch or down link) — the hook the fabric's retransmission
+	// accounting attaches to.
+	OnFaultDrop func(p *Packet)
 }
 
 // NewSwitch creates a switch with the given shared buffer capacity.
@@ -115,6 +133,25 @@ func (s *Switch) Occupancy() int64 { return s.used }
 // Drops returns the total packets dropped across all ports.
 func (s *Switch) Drops() int64 { return s.dropTotal }
 
+// FaultDrops returns the packets lost to switch or link faults here.
+func (s *Switch) FaultDrops() int64 { return s.faultDrops }
+
+// SetDown fails (true) or recovers (false) the whole switch. While down,
+// every packet received — and every packet already queued when the fault
+// fires, at its departure instant — is lost through the fault-drop path.
+func (s *Switch) SetDown(down bool) { s.down = down }
+
+// Down reports whether the switch is currently failed.
+func (s *Switch) Down() bool { return s.down }
+
+// faultDrop loses p to a fault and notifies the fault hook.
+func (s *Switch) faultDrop(p *Packet) {
+	s.faultDrops++
+	if s.OnFaultDrop != nil {
+		s.OnFaultDrop(p)
+	}
+}
+
 // Receive implements Node: queue the packet on egress port, or drop it if
 // the shared buffer is exhausted.
 func (s *Switch) Receive(p *Packet, port int) {
@@ -122,6 +159,10 @@ func (s *Switch) Receive(p *Packet, port int) {
 		panic(fmt.Sprintf("netsim: %s: bad egress port %d", s.name, port))
 	}
 	pt := s.ports[port]
+	if s.down || pt.down {
+		s.faultDrop(p)
+		return
+	}
 	size := int64(p.Hdr.Size)
 	if s.used+size > s.BufBytes {
 		pt.drops++
@@ -142,6 +183,13 @@ func (s *Switch) Receive(p *Packet, port int) {
 	s.eng.At(depart, func() {
 		s.used -= size
 		pt.queued -= size
+		// A fault that fired while the packet sat in the queue loses it
+		// at its departure instant: the buffer is released but nothing
+		// goes on the wire.
+		if s.down || pt.down {
+			s.faultDrop(p)
+			return
+		}
 		pt.forwarded++
 		pt.Link.bytesTx += size
 		peer, nextPort := pt.Peer, pt.PeerPort
