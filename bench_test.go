@@ -448,6 +448,59 @@ func BenchmarkFleetDataset_Parallel(b *testing.B) {
 	}
 }
 
+var (
+	pipeOnce    sync.Once
+	pipeBatches [][]packet.Header
+	pipeHost    topology.HostID
+	pipeCount   int
+)
+
+// pipelineStream synthesizes (once per run) a canned ~1M-header monitored
+// web-host stream, pre-split into collector-sized batches, so the analysis
+// benchmark measures consumption only, never generation.
+func pipelineStream(s *core.System) [][]packet.Header {
+	pipeOnce.Do(func() {
+		const batchLen = 512
+		pipeHost = s.Monitored(topology.RoleWeb)
+		var hdrs []packet.Header
+		// ~15.5k headers/s at tiny scale: 65 s lands just over 2^20.
+		genTraceInto(s, topology.RoleWeb, 65, workload.CollectorFunc(func(h packet.Header) {
+			hdrs = append(hdrs, h)
+		}))
+		pipeCount = len(hdrs)
+		for len(hdrs) > 0 {
+			n := min(batchLen, len(hdrs))
+			pipeBatches = append(pipeBatches, hdrs[:n])
+			hdrs = hdrs[n:]
+		}
+	})
+	return pipeBatches
+}
+
+// BenchmarkAnalysisPipeline measures the batched analysis consumers —
+// packed-key flow table, heavy-hitter bins, locality series — over the
+// canned million-header stream. This is the per-packet hot path the
+// profile showed dominating the suite; allocs/op is the zero-allocation
+// regression gate for it.
+func BenchmarkAnalysisPipeline(b *testing.B) {
+	s := benchSystem()
+	batches := pipelineStream(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flows := analysis.NewFlows(s.Topo, pipeHost)
+		hh := analysis.NewHeavyHitters(s.Topo, pipeHost, analysis.LevelFlow, netsim.Millisecond)
+		loc := analysis.NewLocalitySeries(s.Topo, pipeHost)
+		for _, batch := range batches {
+			flows.Packets(batch)
+			hh.Packets(batch)
+			loc.Packets(batch)
+		}
+		hh.Finish()
+	}
+	b.ReportMetric(float64(pipeCount), "pkts/op")
+}
+
 // BenchmarkSuite_ParallelSpeedup times the full dataset prewarm (every
 // trace bundle plus the fleet dataset — the dominant cost of the suite)
 // sequentially and at GOMAXPROCS width, and reports the ratio. On a

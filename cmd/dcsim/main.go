@@ -21,6 +21,7 @@ import (
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/mirror"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/prof"
 	"fbdcnet/internal/services"
 	"fbdcnet/internal/topology"
 	"fbdcnet/internal/workload"
@@ -49,7 +50,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	faults := flag.String("faults", "", fmt.Sprintf("run the degraded-mode fault experiment for a scenario (%s)",
 		strings.Join(netsim.FaultScenarios(), "|")))
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	cfg := core.QuickConfig()
 	cfg.Seed = *seed

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|small|medium] [-seed N] [-parallel N]
+//	experiments [-scale tiny|small|medium|large] [-seed N] [-parallel N]
 //	            [-short SECONDS] [-long SECONDS] [-only NAME]
-//	            [-faults SCENARIO]
+//	            [-faults SCENARIO] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/prof"
 	"fbdcnet/internal/topology"
 )
 
@@ -28,13 +29,15 @@ func parseScale(s string) (topology.Scale, error) {
 		return topology.ScaleSmall, nil
 	case "medium":
 		return topology.ScaleMedium, nil
+	case "large":
+		return topology.ScaleLarge, nil
 	default:
-		return 0, fmt.Errorf("unknown scale %q (tiny|small|medium)", s)
+		return 0, fmt.Errorf("unknown scale %q (tiny|small|medium|large)", s)
 	}
 }
 
 func main() {
-	scaleFlag := flag.String("scale", "tiny", "fleet scale: tiny|small|medium")
+	scaleFlag := flag.String("scale", "tiny", "fleet scale: tiny|small|medium|large")
 	seed := flag.Uint64("seed", 42, "deterministic experiment seed")
 	short := flag.Int("short", 30, "short (sub-second analyses) trace seconds")
 	long := flag.Int("long", 60, "long (flow analyses) trace seconds")
@@ -43,7 +46,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	faults := flag.String("faults", "", fmt.Sprintf("fault scenario for the degraded-mode section and summary (%s)",
 		strings.Join(netsim.FaultScenarios(), "|")))
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {

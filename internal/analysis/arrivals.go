@@ -20,6 +20,13 @@ func NewPacketSizes() *PacketSizes {
 // Packet implements the collector interface.
 func (ps *PacketSizes) Packet(h packet.Header) { ps.sample.Add(float64(h.Size)) }
 
+// Packets implements the batch collector interface.
+func (ps *PacketSizes) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		ps.sample.Add(float64(h.Size))
+	}
+}
+
 // Sample returns the size distribution in bytes.
 func (ps *PacketSizes) Sample() *stats.Sample { return ps.sample }
 
@@ -28,10 +35,16 @@ func (ps *PacketSizes) Sample() *stats.Sample { return ps.sample }
 // test) and SYN interarrival times (Fig. 14).
 type Arrivals struct {
 	addr     packet.Addr
-	binned   map[netsim.Time]*stats.TimeSeries
+	binned   []arrivalBins // a handful of widths: a slice beats a map
 	synTimes []netsim.Time
 	lastSYN  netsim.Time
 	synGaps  *stats.Sample
+}
+
+// arrivalBins is the count series at one bin width.
+type arrivalBins struct {
+	w  netsim.Time
+	ts *stats.TimeSeries
 }
 
 // NewArrivals creates an arrival tracker binning outbound packets at each
@@ -39,12 +52,11 @@ type Arrivals struct {
 func NewArrivals(addr packet.Addr, binWidths ...netsim.Time) *Arrivals {
 	a := &Arrivals{
 		addr:    addr,
-		binned:  make(map[netsim.Time]*stats.TimeSeries),
 		lastSYN: -1,
 		synGaps: stats.NewSample(0),
 	}
 	for _, w := range binWidths {
-		a.binned[w] = stats.NewTimeSeries(0, float64(w)/float64(netsim.Second))
+		a.binned = append(a.binned, arrivalBins{w, stats.NewTimeSeries(0, float64(w)/float64(netsim.Second))})
 	}
 	return a
 }
@@ -55,8 +67,8 @@ func (a *Arrivals) Packet(h packet.Header) {
 		return
 	}
 	sec := float64(h.Time) / float64(netsim.Second)
-	for _, ts := range a.binned {
-		ts.Add(sec, 1)
+	for _, b := range a.binned {
+		b.ts.Add(sec, 1)
 	}
 	if h.SYN() && h.Flags&packet.FlagACK == 0 {
 		if a.lastSYN >= 0 {
@@ -68,8 +80,26 @@ func (a *Arrivals) Packet(h packet.Header) {
 	}
 }
 
+// Packets implements the batch collector interface.
+func (a *Arrivals) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		a.Packet(h)
+	}
+}
+
+// series returns the count series at the given width, or an empty series
+// when the width was not configured.
+func (a *Arrivals) series(w netsim.Time) *stats.TimeSeries {
+	for _, b := range a.binned {
+		if b.w == w {
+			return b.ts
+		}
+	}
+	return stats.NewTimeSeries(0, 1.0)
+}
+
 // Bins returns the packet-count series at the given width.
-func (a *Arrivals) Bins(w netsim.Time) []float64 { return a.binned[w].Bins() }
+func (a *Arrivals) Bins(w netsim.Time) []float64 { return a.series(w).Bins() }
 
 // SYNInterarrivalsMicros returns the SYN interarrival distribution in
 // microseconds — Figure 14.
@@ -84,7 +114,7 @@ func (a *Arrivals) SYNCount() int { return len(a.synTimes) }
 // paper finds Facebook hosts show continuous arrivals (Fig. 13), i.e. a
 // score near zero.
 func (a *Arrivals) OnOffScore(w netsim.Time) float64 {
-	bins := a.binned[w].Bins()
+	bins := a.series(w).Bins()
 	first, last := -1, -1
 	for i, v := range bins {
 		if v > 0 {
@@ -112,7 +142,7 @@ func (a *Arrivals) OnOffScore(w netsim.Time) float64 {
 // Fig. 13 question: during periods with traffic, do arrivals pause at the
 // bin scale?
 func (a *Arrivals) OnOffScoreActive(w netsim.Time) float64 {
-	bins := a.binned[w].Bins()
+	bins := a.series(w).Bins()
 	perSec := int(netsim.Second / w)
 	if perSec < 1 {
 		perSec = 1

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/openhash"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/stats"
 	"fbdcnet/internal/topology"
@@ -24,18 +25,27 @@ type Concurrency struct {
 	win  netsim.Time
 
 	curWin int64
-	racks  map[int]float64
+	// Per-window accumulators, all Reset (not reallocated) on roll:
+	// bytes per destination rack, and the distinct 5-tuple and host sets.
+	racks openhash.Table[float64]
+	flows openhash.Table[struct{}]
+	hosts openhash.Table[struct{}]
 
 	counts   map[topology.Locality]*stats.Sample
 	countAll *stats.Sample
 	hh       map[topology.Locality]*stats.Sample
 	hhAll    *stats.Sample
-	// distinct 5-tuples and hosts per window, for the §6.4 connection
-	// concurrency numbers.
-	flows   map[packet.FlowKey]struct{}
-	hosts   map[packet.Addr]struct{}
-	flowCnt *stats.Sample
-	hostCnt *stats.Sample
+	flowCnt  *stats.Sample
+	hostCnt  *stats.Sample
+
+	// scratch is the reusable heavy-rack sort buffer of roll.
+	scratch []rackBytes
+}
+
+// rackBytes is one (rack, bytes) pair during heavy-rack extraction.
+type rackBytes struct {
+	rack int
+	b    float64
 }
 
 // NewConcurrency creates a tracker with the given window (use
@@ -49,13 +59,10 @@ func NewConcurrency(topo *topology.Topology, host topology.HostID, win netsim.Ti
 		host:     host,
 		addr:     topo.Hosts[host].Addr,
 		win:      win,
-		racks:    make(map[int]float64),
 		counts:   make(map[topology.Locality]*stats.Sample),
 		countAll: stats.NewSample(0),
 		hh:       make(map[topology.Locality]*stats.Sample),
 		hhAll:    stats.NewSample(0),
-		flows:    make(map[packet.FlowKey]struct{}),
-		hosts:    make(map[packet.Addr]struct{}),
 		flowCnt:  stats.NewSample(0),
 		hostCnt:  stats.NewSample(0),
 	}
@@ -79,9 +86,16 @@ func (c *Concurrency) Packet(h packet.Header) {
 	if dst == nil {
 		return
 	}
-	c.racks[dst.Rack] += float64(h.Size)
-	c.flows[h.Key] = struct{}{}
-	c.hosts[h.Key.Dst] = struct{}{}
+	*c.racks.Slot(uint64(dst.Rack)) += float64(h.Size)
+	c.flows.Slot(packHostFlowKey(h.Key))
+	c.hosts.Slot(uint64(h.Key.Dst))
+}
+
+// Packets implements the batch collector interface.
+func (c *Concurrency) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		c.Packet(h)
+	}
 }
 
 // rackLocality classifies a destination rack relative to the monitored
@@ -103,31 +117,25 @@ func (c *Concurrency) rackLocality(rack int) topology.Locality {
 
 // roll finalizes the current window.
 func (c *Concurrency) roll(next int64) {
-	if len(c.racks) > 0 {
-		perLoc := make(map[topology.Locality]int)
-		for rack := range c.racks {
+	if c.racks.Len() > 0 {
+		var perLoc [topology.InterDatacenter + 1]int
+		total := 0.0
+		items := c.scratch[:0]
+		for i, n := 0, c.racks.Len(); i < n; i++ {
+			rack, b := int(c.racks.Key(i)), *c.racks.Val(i)
 			perLoc[c.rackLocality(rack)]++
+			total += b
+			items = append(items, rackBytes{rack, b})
 		}
-		c.countAll.Add(float64(len(c.racks)))
+		c.scratch = items
+		c.countAll.Add(float64(c.racks.Len()))
 		for _, l := range topology.Localities {
 			c.counts[l].Add(float64(perLoc[l]))
 		}
 
 		// Heavy-hitter racks of the window: minimum set covering half
-		// the bytes.
-		total := 0.0
-		for _, b := range c.racks {
-			total += b
-		}
-		type kv struct {
-			rack int
-			b    float64
-		}
-		items := make([]kv, 0, len(c.racks))
-		for r, b := range c.racks {
-			items = append(items, kv{r, b})
-		}
-		// insertion sort by bytes desc, rack asc (windows are small)
+		// the bytes. Insertion sort by bytes desc, rack asc (windows are
+		// small).
 		for i := 1; i < len(items); i++ {
 			for j := i; j > 0 && (items[j].b > items[j-1].b ||
 				(items[j].b == items[j-1].b && items[j].rack < items[j-1].rack)); j-- {
@@ -135,7 +143,7 @@ func (c *Concurrency) roll(next int64) {
 			}
 		}
 		acc := 0.0
-		hhPerLoc := make(map[topology.Locality]int)
+		var hhPerLoc [topology.InterDatacenter + 1]int
 		hhN := 0
 		for _, it := range items {
 			acc += it.b
@@ -149,12 +157,12 @@ func (c *Concurrency) roll(next int64) {
 		for _, l := range topology.Localities {
 			c.hh[l].Add(float64(hhPerLoc[l]))
 		}
-		c.flowCnt.Add(float64(len(c.flows)))
-		c.hostCnt.Add(float64(len(c.hosts)))
+		c.flowCnt.Add(float64(c.flows.Len()))
+		c.hostCnt.Add(float64(c.hosts.Len()))
 
-		c.racks = make(map[int]float64)
-		c.flows = make(map[packet.FlowKey]struct{})
-		c.hosts = make(map[packet.Addr]struct{})
+		c.racks.Reset()
+		c.flows.Reset()
+		c.hosts.Reset()
 	}
 	c.curWin = next
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/openhash"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/stats"
 	"fbdcnet/internal/topology"
@@ -65,11 +66,20 @@ func (f *Flow) Duration() netsim.Time { return f.End - f.Start }
 // trace. Both directions of a connection are merged under the
 // host-outbound orientation of the key, matching how the paper reports
 // per-flow sizes at a monitored server.
+//
+// Flow state lives in a dense slab indexed through an open-addressing
+// table on packed uint64 keys, so the per-packet hot path does one
+// integer-keyed probe and no allocation. Packets whose oriented key
+// cannot be packed (a foreign trace where neither address is the
+// monitored host, or an address above 2^31) take a spill map, keeping
+// the assembler correct on arbitrary input.
 type Flows struct {
-	topo *topology.Topology
-	host topology.HostID
-	addr packet.Addr
-	m    map[packet.FlowKey]*Flow
+	topo  *topology.Topology
+	host  topology.HostID
+	addr  packet.Addr
+	idx   openhash.Table[int32] // packed key -> slab index + 1
+	slab  []Flow
+	spill map[packet.FlowKey]*Flow // unpackable keys; nil until needed
 }
 
 // NewFlows creates a flow assembler for the monitored host.
@@ -78,26 +88,43 @@ func NewFlows(topo *topology.Topology, host topology.HostID) *Flows {
 		topo: topo,
 		host: host,
 		addr: topo.Hosts[host].Addr,
-		m:    make(map[packet.FlowKey]*Flow),
 	}
 }
 
 // Packet implements the collector interface.
-func (fl *Flows) Packet(h packet.Header) {
+func (fl *Flows) Packet(h packet.Header) { fl.packet(h) }
+
+// Packets implements the batch collector interface.
+func (fl *Flows) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		fl.packet(h)
+	}
+}
+
+func (fl *Flows) packet(h packet.Header) {
 	key := h.Key
 	outbound := key.Src == fl.addr
 	if !outbound {
 		key = key.Reverse()
 	}
-	f, ok := fl.m[key]
-	if !ok {
-		peer := fl.topo.HostByAddr(key.Dst)
-		loc := topology.InterDatacenter
-		if peer != nil {
-			loc = fl.topo.Locality(fl.host, peer.ID)
+	var f *Flow
+	if key.Src == fl.addr && canPackAddr(key.Dst) {
+		p := fl.idx.Slot(packHostFlowKey(key))
+		if *p == 0 {
+			fl.slab = append(fl.slab, fl.newFlow(key, h.Time, outbound))
+			*p = int32(len(fl.slab))
 		}
-		f = &Flow{Key: key, Start: h.Time, Locality: loc, Outbound: outbound}
-		fl.m[key] = f
+		f = &fl.slab[*p-1]
+	} else {
+		f = fl.spill[key]
+		if f == nil {
+			if fl.spill == nil {
+				fl.spill = make(map[packet.FlowKey]*Flow)
+			}
+			nf := fl.newFlow(key, h.Time, outbound)
+			f = &nf
+			fl.spill[key] = f
+		}
 	}
 	f.End = h.Time
 	f.Bytes += int64(h.Size)
@@ -107,12 +134,31 @@ func (fl *Flows) Packet(h packet.Header) {
 	}
 }
 
+// newFlow initializes the record for a newly observed oriented key.
+func (fl *Flows) newFlow(key packet.FlowKey, t netsim.Time, outbound bool) Flow {
+	peer := fl.topo.HostByAddr(key.Dst)
+	loc := topology.InterDatacenter
+	if peer != nil {
+		loc = fl.topo.Locality(fl.host, peer.ID)
+	}
+	return Flow{Key: key, Start: t, Locality: loc, Outbound: outbound}
+}
+
+// each visits every assembled flow: slab flows in first-seen order, then
+// any spilled flows.
+func (fl *Flows) each(f func(*Flow)) {
+	for i := range fl.slab {
+		f(&fl.slab[i])
+	}
+	for _, sp := range fl.spill {
+		f(sp)
+	}
+}
+
 // All returns the assembled flows sorted by start time.
 func (fl *Flows) All() []*Flow {
-	out := make([]*Flow, 0, len(fl.m))
-	for _, f := range fl.m {
-		out = append(out, f)
-	}
+	out := make([]*Flow, 0, fl.Count())
+	fl.each(func(f *Flow) { out = append(out, f) })
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -123,14 +169,14 @@ func (fl *Flows) All() []*Flow {
 }
 
 // Count returns the number of distinct flows.
-func (fl *Flows) Count() int { return len(fl.m) }
+func (fl *Flows) Count() int { return len(fl.slab) + len(fl.spill) }
 
 // SizeCDF returns the flow size distribution in kilobytes, per locality
 // tier and overall — Figure 6. Tiers with no flows are omitted.
 func (fl *Flows) SizeCDF() (perLocality map[topology.Locality]*stats.Sample, all *stats.Sample) {
 	perLocality = make(map[topology.Locality]*stats.Sample)
-	all = stats.NewSample(len(fl.m))
-	for _, f := range fl.m {
+	all = stats.NewSample(fl.Count())
+	fl.each(func(f *Flow) {
 		kb := float64(f.Bytes) / 1024
 		all.Add(kb)
 		s, ok := perLocality[f.Locality]
@@ -139,7 +185,7 @@ func (fl *Flows) SizeCDF() (perLocality map[topology.Locality]*stats.Sample, all
 			perLocality[f.Locality] = s
 		}
 		s.Add(kb)
-	}
+	})
 	return perLocality, all
 }
 
@@ -147,8 +193,8 @@ func (fl *Flows) SizeCDF() (perLocality map[topology.Locality]*stats.Sample, all
 // per locality tier and overall — Figure 7.
 func (fl *Flows) DurationCDF() (perLocality map[topology.Locality]*stats.Sample, all *stats.Sample) {
 	perLocality = make(map[topology.Locality]*stats.Sample)
-	all = stats.NewSample(len(fl.m))
-	for _, f := range fl.m {
+	all = stats.NewSample(fl.Count())
+	fl.each(func(f *Flow) {
 		ms := float64(f.Duration()) / float64(netsim.Millisecond)
 		all.Add(ms)
 		s, ok := perLocality[f.Locality]
@@ -157,7 +203,7 @@ func (fl *Flows) DurationCDF() (perLocality map[topology.Locality]*stats.Sample,
 			perLocality[f.Locality] = s
 		}
 		s.Add(ms)
-	}
+	})
 	return perLocality, all
 }
 
@@ -173,14 +219,14 @@ func (fl *Flows) PerHostSizeCDF() (perLocality map[topology.Locality]*stats.Samp
 		loc   topology.Locality
 	}
 	byHost := make(map[packet.Addr]*hostAgg)
-	for _, f := range fl.m {
+	fl.each(func(f *Flow) {
 		a, ok := byHost[f.Key.Dst]
 		if !ok {
 			a = &hostAgg{loc: f.Locality}
 			byHost[f.Key.Dst] = a
 		}
 		a.bytes += float64(f.Bytes)
-	}
+	})
 	perLocality = make(map[topology.Locality]*stats.Sample)
 	all = stats.NewSample(len(byHost))
 	for _, a := range byHost {

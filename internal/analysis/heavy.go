@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/openhash"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/stats"
 	"fbdcnet/internal/topology"
@@ -14,13 +15,6 @@ import (
 // observed bytes in an interval.
 const HeavyFrac = 0.5
 
-// hhKey identifies a traffic aggregate at some level. For LevelFlow the
-// full 5-tuple is set; for LevelHost only Dst; for LevelRack, Dst holds
-// the destination rack ID.
-type hhKey struct {
-	k packet.FlowKey
-}
-
 // HeavyHitters computes windowed heavy-hitter statistics for one
 // monitored host at one (aggregation level, bin width) pair: per-bin set
 // sizes and rates (Table 4), persistence into the following bin
@@ -28,31 +22,43 @@ type hhKey struct {
 // enclosing second's (Fig. 11). Only outbound traffic is considered.
 //
 // Packets must arrive in non-decreasing time order.
+//
+// Aggregate identities are packed uint64 keys (see packHostFlowKey) in
+// open-addressing tables, and heavy sets are sorted key slices carved out
+// of reusable arenas, so a steady-state bin roll performs no allocation
+// and no composite-struct hashing. Numeric order over packed keys equals
+// the struct-field tie-break order of the original implementation, so
+// every reported statistic is bit-identical.
 type HeavyHitters struct {
 	topo  *topology.Topology
 	addr  packet.Addr
 	level Level
 	bin   netsim.Time
 
-	cur    map[hhKey]float64
+	cur    openhash.Table[float64] // packed key -> bytes in current bin
 	curBin int64
-	prevHH map[hhKey]struct{}
-	prevNo int64 // bin index of prevHH
+	prev   []uint64 // previous bin's heavy set, sorted ascending
+	prevOK bool
+	prevNo int64 // bin index of prev
 
 	// Enclosing-second tracking for the intersection metric.
-	sec    map[hhKey]float64
-	secNo  int64
-	subHHs []map[hhKey]struct{}
+	sec      openhash.Table[float64]
+	secNo    int64
+	subArena []uint64 // concatenated per-bin heavy sets of this second
+	subEnds  []int    // prefix end offsets into subArena, one per bin
 
 	counts    *stats.Sample // |HH| per bin
 	rates     *stats.Sample // per-member rate, Mbps
 	persist   *stats.Sample // |HH_t ∩ HH_t+1| / |HH_t| per consecutive pair
 	intersect *stats.Sample // |HH_sub ∩ HH_sec| / |HH_sub| per subinterval
 
-	// scratch is the reusable sort buffer of heavySet: with millisecond
-	// bins a trace rolls thousands of bins per second of capture, and
-	// allocating the sort slice per roll dominated the profile.
+	// Reusable scratch: the (key, bytes) sort buffer of heavyPrefix and
+	// the sorted-set buffers. With millisecond bins a trace rolls
+	// thousands of bins per second of capture; none of these reallocate
+	// in steady state.
 	scratch []hhItem
+	setBuf  []uint64
+	secBuf  []uint64
 }
 
 // NewHeavyHitters creates a tracker at the given level and bin width.
@@ -65,8 +71,6 @@ func NewHeavyHitters(topo *topology.Topology, host topology.HostID, level Level,
 		addr:      topo.Hosts[host].Addr,
 		level:     level,
 		bin:       bin,
-		cur:       make(map[hhKey]float64),
-		sec:       make(map[hhKey]float64),
 		counts:    stats.NewSample(0),
 		rates:     stats.NewSample(0),
 		persist:   stats.NewSample(0),
@@ -74,19 +78,21 @@ func NewHeavyHitters(topo *topology.Topology, host topology.HostID, level Level,
 	}
 }
 
-// keyFor maps a header to its aggregate identity at the tracker's level.
-func (hh *HeavyHitters) keyFor(h packet.Header) hhKey {
+// keyFor maps a header to its packed aggregate identity at the tracker's
+// level: the full packed flow key, the destination address, or the
+// destination rack ID.
+func (hh *HeavyHitters) keyFor(h packet.Header) uint64 {
 	switch hh.level {
 	case LevelFlow:
-		return hhKey{h.Key}
+		return packHostFlowKey(h.Key)
 	case LevelHost:
-		return hhKey{packet.FlowKey{Dst: h.Key.Dst}}
+		return uint64(h.Key.Dst)
 	default:
 		rack := 0
 		if d := hh.topo.HostByAddr(h.Key.Dst); d != nil {
 			rack = d.Rack
 		}
-		return hhKey{packet.FlowKey{Dst: packet.Addr(rack)}}
+		return uint64(rack)
 	}
 }
 
@@ -104,50 +110,38 @@ func (hh *HeavyHitters) Packet(h packet.Header) {
 		hh.rollSecond(secNo)
 	}
 	k := hh.keyFor(h)
-	hh.cur[k] += float64(h.Size)
-	hh.sec[k] += float64(h.Size)
+	size := float64(h.Size)
+	*hh.cur.Slot(k) += size
+	*hh.sec.Slot(k) += size
+}
+
+// Packets implements the batch collector interface.
+func (hh *HeavyHitters) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		hh.Packet(h)
+	}
 }
 
 // hhItem is one (aggregate, bytes) pair during heavy-set extraction.
 type hhItem struct {
-	k hhKey
+	k uint64
 	v float64
 }
 
-// keyLess is a total order over aggregate keys, the deterministic
-// tie-break for equal byte counts. Comparing fields directly avoids the
-// per-comparison String() allocations the previous lexicographic
-// tie-break paid.
-func keyLess(a, b packet.FlowKey) bool {
-	if a.Src != b.Src {
-		return a.Src < b.Src
-	}
-	if a.Dst != b.Dst {
-		return a.Dst < b.Dst
-	}
-	if a.SrcPort != b.SrcPort {
-		return a.SrcPort < b.SrcPort
-	}
-	if a.DstPort != b.DstPort {
-		return a.DstPort < b.DstPort
-	}
-	return a.Proto < b.Proto
-}
-
-// heavySet extracts the minimum covering set from a byte-count map. The
-// returned map is freshly allocated (callers retain it across bins);
-// scratch is the reusable sort buffer, returned for the caller to store
-// back.
-func heavySet(counts map[hhKey]float64, frac float64, scratch []hhItem) (map[hhKey]struct{}, []hhItem) {
-	if len(counts) == 0 {
-		return nil, scratch
-	}
-	items := scratch[:0]
+// heavyPrefix sorts the table's entries into hh.scratch by bytes
+// descending (packed-key ascending as the deterministic tie-break, which
+// reproduces the struct-field order of the unpacked keys) and returns the
+// length m of the minimum prefix covering HeavyFrac of the total bytes.
+// The heavy set is hh.scratch[:m].
+func (hh *HeavyHitters) heavyPrefix(t *openhash.Table[float64]) int {
+	items := hh.scratch[:0]
 	total := 0.0
-	for k, v := range counts {
-		items = append(items, hhItem{k, v})
+	for i, n := 0, t.Len(); i < n; i++ {
+		v := *t.Val(i)
+		items = append(items, hhItem{t.Key(i), v})
 		total += v
 	}
+	hh.scratch = items
 	slices.SortFunc(items, func(a, b hhItem) int {
 		if a.v != b.v {
 			if a.v > b.v {
@@ -155,43 +149,55 @@ func heavySet(counts map[hhKey]float64, frac float64, scratch []hhItem) (map[hhK
 			}
 			return 1
 		}
-		if keyLess(a.k.k, b.k.k) {
+		if a.k < b.k {
 			return -1
 		}
 		return 1
 	})
-	set := make(map[hhKey]struct{}, len(items)/2+1)
-	acc := 0.0
+	acc, m := 0.0, 0
 	for _, it := range items {
-		set[it.k] = struct{}{}
+		m++
 		acc += it.v
-		if acc >= frac*total {
+		if acc >= HeavyFrac*total {
 			break
 		}
 	}
-	return set, items
+	return m
+}
+
+// sortedSet copies the first m scratch keys into buf and sorts them
+// ascending, for merge-walk intersections.
+func (hh *HeavyHitters) sortedSet(m int, buf []uint64) []uint64 {
+	buf = buf[:0]
+	for i := 0; i < m; i++ {
+		buf = append(buf, hh.scratch[i].k)
+	}
+	slices.Sort(buf)
+	return buf
 }
 
 // rollBin finalizes the current bin: record Table 4 statistics, the
 // persistence fraction versus the previous bin, and stash the set for the
 // enclosing-second intersection.
 func (hh *HeavyHitters) rollBin(next int64) {
-	if len(hh.cur) > 0 {
-		var set map[hhKey]struct{}
-		set, hh.scratch = heavySet(hh.cur, HeavyFrac, hh.scratch)
-		hh.counts.Add(float64(len(set)))
+	if hh.cur.Len() > 0 {
+		m := hh.heavyPrefix(&hh.cur)
+		hh.counts.Add(float64(m))
 		binSec := float64(hh.bin) / float64(netsim.Second)
-		for k := range set {
-			hh.rates.Add(hh.cur[k] * 8 / binSec / 1e6) // Mbps
+		for i := 0; i < m; i++ {
+			hh.rates.Add(hh.scratch[i].v * 8 / binSec / 1e6) // Mbps
 		}
-		if hh.prevHH != nil && hh.prevNo == hh.curBin-1 {
-			hh.persist.Add(overlap(hh.prevHH, set))
+		hh.setBuf = hh.sortedSet(m, hh.setBuf)
+		if hh.prevOK && hh.prevNo == hh.curBin-1 {
+			hh.persist.Add(overlapSorted(hh.prev, hh.setBuf))
 		}
-		hh.prevHH, hh.prevNo = set, hh.curBin
-		hh.subHHs = append(hh.subHHs, set)
-		// Reuse the per-bin accumulator: clear keeps the bucket array, so
-		// steady state rolls bins without reallocating the map.
-		clear(hh.cur)
+		hh.prev = append(hh.prev[:0], hh.setBuf...)
+		hh.prevOK, hh.prevNo = true, hh.curBin
+		hh.subArena = append(hh.subArena, hh.setBuf...)
+		hh.subEnds = append(hh.subEnds, len(hh.subArena))
+		// Reuse the per-bin accumulator: Reset keeps the slot arrays, so
+		// steady state rolls bins without reallocating.
+		hh.cur.Reset()
 	}
 	hh.curBin = next
 }
@@ -199,29 +205,41 @@ func (hh *HeavyHitters) rollBin(next int64) {
 // rollSecond finalizes the enclosing second: intersect each stored
 // subinterval set with the second-level heavy hitters.
 func (hh *HeavyHitters) rollSecond(next int64) {
-	if len(hh.sec) > 0 && len(hh.subHHs) > 0 {
-		var secSet map[hhKey]struct{}
-		secSet, hh.scratch = heavySet(hh.sec, HeavyFrac, hh.scratch)
-		for _, sub := range hh.subHHs {
+	if hh.sec.Len() > 0 && len(hh.subEnds) > 0 {
+		m := hh.heavyPrefix(&hh.sec)
+		hh.secBuf = hh.sortedSet(m, hh.secBuf)
+		start := 0
+		for _, end := range hh.subEnds {
+			sub := hh.subArena[start:end]
+			start = end
 			if len(sub) > 0 {
-				hh.intersect.Add(overlap(sub, secSet))
+				hh.intersect.Add(overlapSorted(sub, hh.secBuf))
 			}
 		}
 	}
-	clear(hh.sec)
-	hh.subHHs = hh.subHHs[:0]
+	hh.sec.Reset()
+	hh.subArena = hh.subArena[:0]
+	hh.subEnds = hh.subEnds[:0]
 	hh.secNo = next
 }
 
-// overlap returns |a ∩ b| / |a| as a percentage.
-func overlap(a, b map[hhKey]struct{}) float64 {
+// overlapSorted returns |a ∩ b| / |a| as a percentage; a and b must be
+// sorted ascending.
+func overlapSorted(a, b []uint64) float64 {
 	if len(a) == 0 {
 		return 0
 	}
-	n := 0
-	for k := range a {
-		if _, ok := b[k]; ok {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
 			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	return 100 * float64(n) / float64(len(a))

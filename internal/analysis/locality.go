@@ -13,7 +13,9 @@ type LocalitySeries struct {
 	topo *topology.Topology
 	host topology.HostID
 	addr packet.Addr
-	bins map[topology.Locality]*stats.TimeSeries
+	// bins is indexed directly by locality; SameHost stays nil (the
+	// paper's Figure 4 has no same-host tier).
+	bins [topology.InterDatacenter + 1]*stats.TimeSeries
 }
 
 // NewLocalitySeries creates the per-second locality series for host.
@@ -22,7 +24,6 @@ func NewLocalitySeries(topo *topology.Topology, host topology.HostID) *LocalityS
 		topo: topo,
 		host: host,
 		addr: topo.Hosts[host].Addr,
-		bins: make(map[topology.Locality]*stats.TimeSeries),
 	}
 	for _, l := range topology.Localities {
 		ls.bins[l] = stats.NewTimeSeries(0, 1.0)
@@ -46,6 +47,13 @@ func (ls *LocalitySeries) Packet(h packet.Header) {
 	ls.bins[loc].Add(float64(h.Time)/float64(netsim.Second), float64(h.Size))
 }
 
+// Packets implements the batch collector interface.
+func (ls *LocalitySeries) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		ls.Packet(h)
+	}
+}
+
 // Series returns the per-second byte series for one locality tier.
 func (ls *LocalitySeries) Series(l topology.Locality) []float64 {
 	return ls.bins[l].Bins()
@@ -55,8 +63,8 @@ func (ls *LocalitySeries) Series(l topology.Locality) []float64 {
 func (ls *LocalitySeries) Share() map[topology.Locality]float64 {
 	totals := make(map[topology.Locality]float64)
 	grand := 0.0
-	for l, ts := range ls.bins {
-		for _, v := range ts.Bins() {
+	for _, l := range topology.Localities {
+		for _, v := range ls.bins[l].Bins() {
 			totals[l] += v
 			grand += v
 		}
@@ -78,9 +86,9 @@ func (ls *LocalitySeries) Stability() map[topology.Locality]float64 {
 	share := ls.Share()
 	out := make(map[topology.Locality]float64)
 	n := 0
-	for _, ts := range ls.bins {
-		if len(ts.Bins()) > n {
-			n = len(ts.Bins())
+	for _, l := range topology.Localities {
+		if len(ls.bins[l].Bins()) > n {
+			n = len(ls.bins[l].Bins())
 		}
 	}
 	for l, frac := range share {
@@ -91,9 +99,9 @@ func (ls *LocalitySeries) Stability() map[topology.Locality]float64 {
 		series := ls.bins[l].Bins()
 		for i := 0; i < n; i++ {
 			total := 0.0
-			for _, ts := range ls.bins {
-				if i < len(ts.Bins()) {
-					total += ts.Bins()[i]
+			for _, lb := range topology.Localities {
+				if bins := ls.bins[lb].Bins(); i < len(bins) {
+					total += bins[i]
 				}
 			}
 			if total == 0 {
@@ -117,16 +125,15 @@ func (ls *LocalitySeries) Stability() map[topology.Locality]float64 {
 type ServiceMix struct {
 	topo  *topology.Topology
 	addr  packet.Addr
-	bytes map[topology.Role]float64
+	bytes [topology.RoleMisc + 1]float64 // indexed by destination role
 	total float64
 }
 
 // NewServiceMix creates the Table 2 accumulator for host.
 func NewServiceMix(topo *topology.Topology, host topology.HostID) *ServiceMix {
 	return &ServiceMix{
-		topo:  topo,
-		addr:  topo.Hosts[host].Addr,
-		bytes: make(map[topology.Role]float64),
+		topo: topo,
+		addr: topo.Hosts[host].Addr,
 	}
 }
 
@@ -143,14 +150,24 @@ func (sm *ServiceMix) Packet(h packet.Header) {
 	sm.total += float64(h.Size)
 }
 
-// Share returns the outbound byte fraction per destination role.
+// Packets implements the batch collector interface.
+func (sm *ServiceMix) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		sm.Packet(h)
+	}
+}
+
+// Share returns the outbound byte fraction per destination role; roles
+// that received no bytes are absent, as in the Table 2 rendering.
 func (sm *ServiceMix) Share() map[topology.Role]float64 {
-	out := make(map[topology.Role]float64, len(sm.bytes))
+	out := make(map[topology.Role]float64)
 	if sm.total == 0 {
 		return out
 	}
 	for r, b := range sm.bytes {
-		out[r] = b / sm.total
+		if b != 0 {
+			out[topology.Role(r)] = b / sm.total
+		}
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/openhash"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/stats"
 	"fbdcnet/internal/topology"
@@ -14,7 +15,7 @@ import (
 type RateSeries struct {
 	topo    *topology.Topology
 	addr    packet.Addr
-	perRack map[int]*stats.TimeSeries
+	perRack openhash.Table[*stats.TimeSeries] // keyed by destination rack
 
 	// Filter, when set, restricts tracking to matching destinations.
 	// Figure 8b/8c consider only the cache follower's response traffic
@@ -25,9 +26,8 @@ type RateSeries struct {
 // NewRateSeries creates a per-destination-rack rate tracker for host.
 func NewRateSeries(topo *topology.Topology, host topology.HostID) *RateSeries {
 	return &RateSeries{
-		topo:    topo,
-		addr:    topo.Hosts[host].Addr,
-		perRack: make(map[int]*stats.TimeSeries),
+		topo: topo,
+		addr: topo.Hosts[host].Addr,
 	}
 }
 
@@ -43,25 +43,31 @@ func (rs *RateSeries) Packet(h packet.Header) {
 	if rs.Filter != nil && !rs.Filter(dst) {
 		return
 	}
-	ts, ok := rs.perRack[dst.Rack]
-	if !ok {
-		ts = stats.NewTimeSeries(0, 1.0)
-		rs.perRack[dst.Rack] = ts
+	slot := rs.perRack.Slot(uint64(dst.Rack))
+	if *slot == nil {
+		*slot = stats.NewTimeSeries(0, 1.0)
 	}
-	ts.Add(float64(h.Time)/float64(netsim.Second), float64(h.Size))
+	(*slot).Add(float64(h.Time)/float64(netsim.Second), float64(h.Size))
+}
+
+// Packets implements the batch collector interface.
+func (rs *RateSeries) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		rs.Packet(h)
+	}
 }
 
 // Racks returns the number of destination racks observed.
-func (rs *RateSeries) Racks() int { return len(rs.perRack) }
+func (rs *RateSeries) Racks() int { return rs.perRack.Len() }
 
 // seconds returns the number of whole seconds covered.
 func (rs *RateSeries) seconds() int {
 	n := 0
-	for _, ts := range rs.perRack {
-		if len(ts.Bins()) > n {
-			n = len(ts.Bins())
+	rs.perRack.Range(func(_ uint64, ts **stats.TimeSeries) {
+		if len((*ts).Bins()) > n {
+			n = len((*ts).Bins())
 		}
-	}
+	})
 	return n
 }
 
@@ -69,13 +75,13 @@ func (rs *RateSeries) seconds() int {
 // second s — one curve of Fig. 8a/8b. Racks silent in that second are
 // excluded, as a flow-rate CDF only covers active flows.
 func (rs *RateSeries) SecondCDF(s int) *stats.Sample {
-	out := stats.NewSample(len(rs.perRack))
-	for _, ts := range rs.perRack {
-		bins := ts.Bins()
+	out := stats.NewSample(rs.perRack.Len())
+	rs.perRack.Range(func(_ uint64, ts **stats.TimeSeries) {
+		bins := (*ts).Bins()
 		if s < len(bins) && bins[s] > 0 {
 			out.Add(bins[s] / 1024)
 		}
-	}
+	})
 	return out
 }
 
@@ -107,8 +113,8 @@ func (rs *RateSeries) SpreadAcrossSeconds() *stats.Sample {
 // about 1.0 is the load-balanced cache pattern.
 func (rs *RateSeries) StabilityCDF() *stats.Sample {
 	out := stats.NewSample(0)
-	for _, ts := range rs.perRack {
-		bins := ts.Bins()
+	rs.perRack.Range(func(_ uint64, ts **stats.TimeSeries) {
+		bins := (*ts).Bins()
 		med := stats.NewSample(len(bins))
 		for _, v := range bins {
 			if v > 0 {
@@ -116,18 +122,18 @@ func (rs *RateSeries) StabilityCDF() *stats.Sample {
 			}
 		}
 		if med.N() < 2 {
-			continue
+			return
 		}
 		m := med.Median()
 		if m <= 0 {
-			continue
+			return
 		}
 		for _, v := range bins {
 			if v > 0 {
 				out.Add(v / m)
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -154,8 +160,8 @@ func (rs *RateSeries) FracWithinFactor(factor float64) float64 {
 // in only 45% of 1-second intervals).
 func (rs *RateSeries) SignificantChangeFrac() float64 {
 	changed, total := 0, 0
-	for _, ts := range rs.perRack {
-		bins := ts.Bins()
+	rs.perRack.Range(func(_ uint64, ts **stats.TimeSeries) {
+		bins := (*ts).Bins()
 		for i := 1; i < len(bins); i++ {
 			if bins[i-1] == 0 {
 				continue
@@ -166,7 +172,7 @@ func (rs *RateSeries) SignificantChangeFrac() float64 {
 				changed++
 			}
 		}
-	}
+	})
 	if total == 0 {
 		return 0
 	}

@@ -48,6 +48,13 @@ func (t *Trains) Packet(h packet.Header) {
 	t.lastAt = h.Time
 }
 
+// Packets implements the batch collector interface.
+func (t *Trains) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		t.Packet(h)
+	}
+}
+
 // Finish flushes the open run. Call at end of trace.
 func (t *Trains) Finish() {
 	if t.runLen > 0 {

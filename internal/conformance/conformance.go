@@ -227,6 +227,8 @@ func scaleName(s topology.Scale) string {
 		return "small"
 	case topology.ScaleMedium:
 		return "medium"
+	case topology.ScaleLarge:
+		return "large"
 	}
 	return fmt.Sprintf("scale(%d)", s)
 }

@@ -130,15 +130,18 @@ func (s *System) runDegradedArm(scenario string, disableReroute bool) (DegradedM
 	}
 
 	var delivered []packet.Header
-	keep := func(p *netsim.Packet) { delivered = append(delivered, p.Hdr) }
+	keep := func(hs []packet.Header) { delivered = append(delivered, hs...) }
 	for id := range s.Topo.Hosts {
-		fab.Sink(topology.HostID(id)).OnPacket = keep
+		fab.Sink(topology.HostID(id)).OnBatch = keep
 	}
 	for _, h := range hdrs {
 		h := h
 		eng.At(h.Time, func() { fab.Inject(h) })
 	}
 	eng.Run(horizon + faultDrainGrace)
+	for id := range s.Topo.Hosts {
+		fab.Sink(topology.HostID(id)).Flush()
+	}
 
 	// The delivered stream is ordered by delivery time; the analyses bin
 	// by the header timestamp, so restore that order first.

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"sync"
+
 	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/packet"
 	"fbdcnet/internal/rng"
+	"fbdcnet/internal/services"
 	"fbdcnet/internal/topology"
 )
 
@@ -54,39 +58,63 @@ func (s *System) fleetTasks() []fleetTask {
 }
 
 // collectFleet runs the sharded synthetic day and merges the partials.
+//
+// Completed shards merge as soon as the task-order frontier reaches them
+// (a worker finishing task i out of order parks it until every earlier
+// task has merged), and merged partials return to a pool for reuse. The
+// merge sequence is therefore exactly task order — bit-identical across
+// worker counts — while live memory stays bounded by the worker count
+// plus the out-of-order window instead of the full task grid, which is
+// what keeps the 10× fleet preset collectable.
 func (s *System) collectFleet() *fbflow.Dataset {
 	tasks := s.fleetTasks()
-	partials := make([]*fbflow.Dataset, len(tasks))
 	tagger := fbflow.NewTagger(s.Topo)
-	runParallel(s.Cfg.TaggerWorkers(), len(tasks), func(i int) {
-		partials[i] = s.collectShard(tagger, tasks[i])
-	})
+	prog := services.NewFleetProgram(s.Pick, s.Cfg.Params)
 	ds := fbflow.NewDataset()
-	for _, p := range partials {
-		ds.Merge(p)
-	}
+
+	var (
+		mu     sync.Mutex
+		parked = make([]*fbflow.Partial, len(tasks))
+		done   = make([]bool, len(tasks))
+		next   int
+		pool   = sync.Pool{New: func() any { return fbflow.NewPartial() }}
+	)
+	runParallel(s.Cfg.TaggerWorkers(), len(tasks), func(i int) {
+		p := pool.Get().(*fbflow.Partial)
+		s.collectShard(tagger, prog, tasks[i], p)
+		mu.Lock()
+		parked[i], done[i] = p, true
+		for next < len(tasks) && done[next] {
+			q := parked[next]
+			parked[next] = nil
+			ds.MergePartial(q)
+			q.Reset()
+			pool.Put(q)
+			next++
+		}
+		mu.Unlock()
+	})
 	return ds
 }
 
-// collectShard generates and tags one task's flows into a fresh partial
-// dataset. The rng stream is a pure function of (seed, window, shard):
-// the sample sequence a shard sees is fixed at configuration time, not at
-// scheduling time.
-func (s *System) collectShard(tagger *fbflow.Tagger, t fleetTask) *fbflow.Dataset {
-	local := fbflow.NewDataset()
+// collectShard generates and tags one task's flows into the caller's
+// partial accumulator. The rng stream is a pure function of (seed,
+// window, shard): the sample sequence a shard sees is fixed at
+// configuration time, not at scheduling time.
+func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram, t fleetTask, into *fbflow.Partial) {
 	r := rng.NewKeyed(s.Cfg.Seed^0xf1ee7, uint64(t.window), uint64(t.shard))
 	load := DiurnalFactor(float64(t.window) / float64(s.Cfg.FleetWindows))
 	minute := int64(t.window)
-	for src := t.lo; src < t.hi; src++ {
-		srcAddr := s.Topo.Hosts[src].Addr
-		s.Pick.FleetFlows(s.Cfg.Params, r, src, s.Cfg.FleetWindowSec, load, s.Cfg.FleetSamples,
-			func(dst topology.HostID, bytes float64) {
-				if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes); ok {
-					local.Add(rec)
-				}
-			})
+	var srcAddr packet.Addr
+	emit := func(dst topology.HostID, bytes float64) {
+		if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes); ok {
+			into.Add(rec)
+		}
 	}
-	return local
+	for src := t.lo; src < t.hi; src++ {
+		srcAddr = s.Topo.Hosts[src].Addr
+		prog.Flows(r, src, s.Cfg.FleetWindowSec, load, s.Cfg.FleetSamples, emit)
+	}
 }
 
 // FleetDurationSec returns the total observed duration of the synthetic

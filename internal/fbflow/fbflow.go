@@ -178,6 +178,22 @@ func (a *Agent) Packet(h packet.Header) {
 	a.p.in <- sample{minute: a.minute(), hdr: h, weight: float64(a.rate)}
 }
 
+// Packets implements the batch collector interface. At production-style
+// rates (1:30,000) nearly every batch falls entirely inside the countdown
+// gap and is skipped with two integer updates instead of a per-packet
+// walk.
+func (a *Agent) Packets(hs []packet.Header) {
+	n := uint64(len(hs))
+	if a.left > n {
+		a.left -= n
+		a.seen += int64(n)
+		return
+	}
+	for _, h := range hs {
+		a.Packet(h)
+	}
+}
+
 // Seen returns the number of packets observed by the agent.
 func (a *Agent) Seen() int64 { return a.seen }
 

@@ -53,6 +53,22 @@ func (w *Writer) Packet(h packet.Header) {
 	w.count++
 }
 
+// Packets implements the batch collector interface: one sticky-error
+// check per batch instead of per header.
+func (w *Writer) Packets(hs []packet.Header) {
+	if w.err != nil {
+		return
+	}
+	for i := range hs {
+		hs[i].MarshalTo(w.buf[:])
+		if _, err := w.w.Write(w.buf[:]); err != nil {
+			w.err = err
+			return
+		}
+		w.count++
+	}
+}
+
 // Count returns the number of headers written.
 func (w *Writer) Count() int64 { return w.count }
 
@@ -136,6 +152,19 @@ func (r *Ring) Packet(h packet.Header) {
 		return
 	}
 	r.hdrs = append(r.hdrs, h)
+}
+
+// Packets implements the batch collector interface: room is checked once
+// and the in-capacity prefix is bulk-copied.
+func (r *Ring) Packets(hs []packet.Header) {
+	room := r.cap - len(r.hdrs)
+	if room > len(hs) {
+		room = len(hs)
+	}
+	if room > 0 {
+		r.hdrs = append(r.hdrs, hs[:room]...)
+	}
+	r.lost += int64(len(hs) - room)
 }
 
 // Headers returns the captured headers in arrival order. The slice is

@@ -80,6 +80,13 @@ func (p *PcapWriter) Packet(h packet.Header) {
 	p.count++
 }
 
+// Packets implements the batch collector interface.
+func (p *PcapWriter) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		p.Packet(h)
+	}
+}
+
 // synthEthernet fills a header-only Ethernet/IPv4/TCP frame for h.
 func synthEthernet(b []byte, h packet.Header) {
 	// Ethernet: MACs derived from host addresses, EtherType IPv4.

@@ -222,6 +222,16 @@ type Sink struct {
 	Delay Moments
 	// OnPacket, if set, is invoked for each delivered packet.
 	OnPacket func(p *Packet)
+	// OnBatch, if set, receives delivered headers batched at
+	// departure-time boundaries: the slab is handed over whenever a
+	// delivery arrives at a later engine time than the buffered ones, so
+	// concatenated batches preserve exact delivery-time order. Call Flush
+	// after the run to hand over the final batch. The slab is reused;
+	// consumers must not retain it.
+	OnBatch func(hs []packet.Header)
+
+	batch   []packet.Header
+	batchAt Time // delivery time of the buffered headers
 }
 
 // NewSink creates a named sink.
@@ -242,6 +252,27 @@ func (s *Sink) Receive(p *Packet, _ int) {
 	}
 	if s.OnPacket != nil {
 		s.OnPacket(p)
+	}
+	if s.OnBatch != nil {
+		now := Time(0)
+		if s.eng != nil {
+			now = s.eng.Now()
+		}
+		if len(s.batch) > 0 && now != s.batchAt {
+			s.OnBatch(s.batch)
+			s.batch = s.batch[:0]
+		}
+		s.batchAt = now
+		s.batch = append(s.batch, p.Hdr)
+	}
+}
+
+// Flush hands any buffered OnBatch headers over; call once after the
+// engine run completes.
+func (s *Sink) Flush() {
+	if s.OnBatch != nil && len(s.batch) > 0 {
+		s.OnBatch(s.batch)
+		s.batch = s.batch[:0]
 	}
 }
 

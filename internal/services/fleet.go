@@ -203,11 +203,20 @@ func (pk *Picker) FleetRate(p Params, role topology.Role) float64 {
 // samplesPerComponent controls the dispersion resolution per mix entry.
 func (pk *Picker) FleetFlows(p Params, r *rng.Source, src topology.HostID,
 	windowSec, loadFactor float64, samplesPerComponent int, emit func(dst topology.HostID, bytes float64)) {
+	runMix(pk.fleetMix(p, pk.Topo.Hosts[src].Role), r, src, windowSec, loadFactor, samplesPerComponent, emit)
+}
+
+// runMix is the shared sampling loop of FleetFlows and FleetProgram.Flows:
+// one rng draw of burst noise per mix entry (consumed even for zero-rate
+// entries, so the stream position is a pure function of the entry count),
+// then samplesPerComponent destination draws.
+func runMix(mix []mixEntry, r *rng.Source, src topology.HostID,
+	windowSec, loadFactor float64, samplesPerComponent int, emit func(dst topology.HostID, bytes float64)) {
 	if samplesPerComponent <= 0 {
 		samplesPerComponent = 8
 	}
-	role := pk.Topo.Hosts[src].Role
-	for _, m := range pk.fleetMix(p, role) {
+	for i := range mix {
+		m := &mix[i]
 		total := m.bytesPerSec * wireOverhead * windowSec * loadFactor
 		// Host-level burst noise: windows are not identical.
 		total *= 0.8 + 0.4*r.Float64()
@@ -223,4 +232,33 @@ func (pk *Picker) FleetFlows(p Params, r *rng.Source, src topology.HostID,
 			emit(dst, per)
 		}
 	}
+}
+
+// FleetProgram is the compiled form of the fleet workload: the per-role
+// mixes built once instead of once per (host, window) call. fleetMix
+// allocates a slice and a closure per entry on every invocation, which
+// dominated the allocation profile of the sharded fleet collector; the
+// program hoists that work to configuration time. The closures only
+// capture the Picker, never the source host, so a precompiled mix is
+// behavior-identical — same rates, same destination samplers, same rng
+// consumption — to one built fresh per call. Safe for concurrent use.
+type FleetProgram struct {
+	pk    *Picker
+	mixes [topology.RoleMisc + 1][]mixEntry
+}
+
+// NewFleetProgram compiles the mixes of every role under params p.
+func NewFleetProgram(pk *Picker, p Params) *FleetProgram {
+	fp := &FleetProgram{pk: pk}
+	for role := topology.Role(0); role <= topology.RoleMisc; role++ {
+		fp.mixes[role] = pk.fleetMix(p, role)
+	}
+	return fp
+}
+
+// Flows is FleetFlows over the precompiled mix: identical emit sequence
+// and rng stream position, zero allocations.
+func (fp *FleetProgram) Flows(r *rng.Source, src topology.HostID,
+	windowSec, loadFactor float64, samplesPerComponent int, emit func(dst topology.HostID, bytes float64)) {
+	runMix(fp.mixes[fp.pk.Topo.Hosts[src].Role], r, src, windowSec, loadFactor, samplesPerComponent, emit)
 }

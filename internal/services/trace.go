@@ -5,6 +5,7 @@ import (
 
 	"fbdcnet/internal/dist"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/openhash"
 	"fbdcnet/internal/topology"
 	"fbdcnet/internal/workload"
 )
@@ -30,17 +31,24 @@ type Trace struct {
 	P  Params
 	pk *Picker
 
-	conns map[connKey]*workload.Conn
+	// conns is the connection pool, keyed by packed
+	// (peer, port, direction, lane) — see connPack.
+	conns openhash.Table[*workload.Conn]
 	// hotMul is the current read-rate multiplier on a cache follower due
 	// to hot objects (§5.2).
 	hotMul float64
 }
 
-type connKey struct {
-	peer topology.HostID
-	port uint16
-	in   bool
-	lane uint8
+// connPack packs a pool key into a uint64 for the open-addressing table:
+// lane in bits 0..7, direction in bit 8, port in 9..24, peer from bit 25.
+// Host IDs are dense indices (< 2^38 would already be absurd), so the key
+// never approaches the table's sentinel.
+func connPack(peer topology.HostID, port uint16, in bool, lane uint8) uint64 {
+	k := uint64(uint32(peer))<<25 | uint64(port)<<9 | uint64(lane)
+	if in {
+		k |= 1 << 8
+	}
+	return k
 }
 
 // poolLanes is the number of pooled connections kept per (peer, port)
@@ -57,7 +65,6 @@ func NewTrace(pk *Picker, host topology.HostID, seed uint64, p Params, sink work
 		G:      workload.NewGen(pk.Topo, host, seed, sink),
 		P:      p,
 		pk:     pk,
-		conns:  make(map[connKey]*workload.Conn),
 		hotMul: 1,
 	}
 	switch pk.Topo.Hosts[host].Role {
@@ -101,8 +108,11 @@ func (t *Trace) conn(peer topology.HostID, port uint16, inbound bool) *workload.
 		}
 		return t.G.NewConn(peer, port, true)
 	}
-	k := connKey{peer, port, inbound, uint8(t.G.R.Intn(poolLanes))}
-	if c, ok := t.conns[k]; ok {
+	// The pooled path creates connections pre-established (no handshake
+	// emission), so nothing can touch the table between Slot and the
+	// store below.
+	slot := t.conns.Slot(connPack(peer, port, inbound, uint8(t.G.R.Intn(poolLanes))))
+	if c := *slot; c != nil {
 		return c
 	}
 	var c *workload.Conn
@@ -111,7 +121,7 @@ func (t *Trace) conn(peer topology.HostID, port uint16, inbound bool) *workload.
 	} else {
 		c = t.G.NewConn(peer, port, false)
 	}
-	t.conns[k] = c
+	*slot = c
 	return c
 }
 

@@ -15,6 +15,11 @@ const (
 	ScaleSmall
 	// ScaleMedium is for the full experiment harness.
 	ScaleMedium
+	// ScaleLarge is 10× ScaleMedium — 138,240 hosts, the ballpark of the
+	// paper's 100k+ machine fleet. The per-host trace analyses cost the
+	// same at any scale; fleet collection and topology-wide passes are
+	// what the batched pipeline must sustain here.
+	ScaleLarge
 )
 
 // Preset returns a Config resembling Facebook's layout at the given scale:
@@ -30,6 +35,8 @@ func Preset(s Scale) Config {
 		racks, hpr = 16, 8
 	case ScaleMedium:
 		racks, hpr = 64, 16
+	case ScaleLarge:
+		racks, hpr = 320, 32
 	default:
 		racks, hpr = 16, 8
 	}
