@@ -12,6 +12,15 @@
 // The baseline file may be the PR-1 bench report (its engine_scheduling
 // and fleet_dataset_parallel sections are understood) or a generic
 // {"baselines": {"BenchmarkName": ns_per_op}} map.
+//
+// Given a pair of run manifests (see internal/obs), benchdiff also diffs
+// their per-stage wall times, flagging stages that regressed beyond
+// -stage-threshold:
+//
+//	benchdiff -manifest-baseline old_manifest.json -manifest-current run_manifest.json
+//
+// Manifest mode and bench mode can run together; either regressing fails
+// the invocation. With only the manifest pair given, stdin is not read.
 package main
 
 import (
@@ -104,6 +113,76 @@ type diff struct {
 	Ratio             float64 // got/baseline; 1.20 = 20% slower
 }
 
+// manifestStages reads a run manifest and returns stage → wall seconds.
+func manifestStages(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m struct {
+		Stages []struct {
+			Name        string  `json:"name"`
+			WallSeconds float64 `json:"wall_seconds"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("benchdiff: parsing manifest %s: %v", path, err)
+	}
+	out := make(map[string]float64, len(m.Stages))
+	for _, st := range m.Stages {
+		out[st.Name] = st.WallSeconds
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no stages in manifest %s", path)
+	}
+	return out, nil
+}
+
+// compareStages joins two manifests' stage timings. Stages present on
+// only one side are skipped (a config change can add or drop sections),
+// as are stages whose baseline is below minSeconds — sub-noise stages
+// would otherwise dominate the regression count.
+func compareStages(current, baseline map[string]float64, minSeconds float64) []diff {
+	var ds []diff
+	for name, got := range current {
+		base, ok := baseline[name]
+		if !ok || base < minSeconds {
+			continue
+		}
+		ds = append(ds, diff{Name: name, BaselineNs: base, GotNs: got, Ratio: got / base})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	return ds
+}
+
+// diffManifests runs manifest mode and returns the number of regressed
+// stages.
+func diffManifests(basePath, curPath string, threshold, minSeconds float64) (int, error) {
+	base, err := manifestStages(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := manifestStages(curPath)
+	if err != nil {
+		return 0, err
+	}
+	ds := compareStages(cur, base, minSeconds)
+	if len(ds) == 0 {
+		return 0, fmt.Errorf("benchdiff: no stage of %s matches one in %s (above %.2fs)", curPath, basePath, minSeconds)
+	}
+	regressed := 0
+	for _, d := range ds {
+		status := "ok"
+		if d.Ratio > 1+threshold {
+			status = fmt.Sprintf("REGRESSION (> %+.0f%%)", 100*threshold)
+			regressed++
+		}
+		fmt.Printf("stage %-46s baseline %9.2fs  now %9.2fs  %+7.1f%%  %s\n",
+			d.Name, d.BaselineNs, d.GotNs, 100*(d.Ratio-1), status)
+	}
+	return regressed, nil
+}
+
 // compare joins measured results with baselines; benchmarks present on
 // only one side are ignored (CI may bench a subset).
 func compare(measured, baselines map[string]float64) []diff {
@@ -123,7 +202,35 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_PR1.json", "baseline bench report (PR bench schema or {\"baselines\": {...}})")
 	threshold := flag.Float64("threshold", 0.20, "fail when ns/op regresses by more than this fraction")
 	input := flag.String("input", "-", "bench output to compare (- = stdin)")
+	manifestBase := flag.String("manifest-baseline", "", "baseline run manifest for stage-timing comparison")
+	manifestCur := flag.String("manifest-current", "", "current run manifest for stage-timing comparison")
+	stageThreshold := flag.Float64("stage-threshold", 0.20, "fail when a stage's wall time regresses by more than this fraction")
+	stageMin := flag.Float64("stage-min-seconds", 0.05, "ignore stages whose baseline wall time is below this many seconds")
 	flag.Parse()
+
+	if (*manifestBase == "") != (*manifestCur == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: -manifest-baseline and -manifest-current must be given together")
+		os.Exit(2)
+	}
+	manifestMode := *manifestBase != ""
+	stageRegressed := 0
+	if manifestMode {
+		var err error
+		stageRegressed, err = diffManifests(*manifestBase, *manifestCur, *stageThreshold, *stageMin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	// With only a manifest pair, don't consume (possibly empty) stdin.
+	if manifestMode && *input == "-" {
+		if stageRegressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d stage(s) regressed beyond %.0f%%\n", stageRegressed, 100**stageThreshold)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: all stages within %.0f%% of baseline\n", 100**stageThreshold)
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *input != "-" {
@@ -167,6 +274,11 @@ func main() {
 	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressed, 100**threshold)
+	}
+	if stageRegressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d stage(s) regressed beyond %.0f%%\n", stageRegressed, 100**stageThreshold)
+	}
+	if regressed+stageRegressed > 0 {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% of baseline\n", len(ds), 100**threshold)

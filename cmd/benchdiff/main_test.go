@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -68,6 +69,92 @@ func TestLoadBaselinesGenericSchema(t *testing.T) {
 	}
 	if base["BenchmarkX"] != 1000 {
 		t.Fatalf("generic baseline = %v, want 1000", base["BenchmarkX"])
+	}
+}
+
+func writeManifest(t *testing.T, name string, stages map[string]float64) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"schema_version": 1, "stages": [`)
+	first := true
+	for stage, wall := range stages {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, `{"name": %q, "runs": 1, "wall_seconds": %g, "cpu_seconds": 0, "allocs": 0, "alloc_bytes": 0}`, stage, wall)
+	}
+	b.WriteString(`]}`)
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestManifestStages(t *testing.T) {
+	path := writeManifest(t, "m.json", map[string]float64{"prewarm": 2.5, "suite:table3": 0.4})
+	got, err := manifestStages(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["prewarm"] != 2.5 || got["suite:table3"] != 0.4 {
+		t.Fatalf("stages = %v", got)
+	}
+	if _, err := manifestStages(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"stages": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := manifestStages(empty); err == nil {
+		t.Error("empty stages: want error")
+	}
+}
+
+func TestCompareStages(t *testing.T) {
+	base := map[string]float64{
+		"prewarm":       10.0,
+		"suite:table3":  1.0,
+		"suite:removed": 2.0,
+		"tiny":          0.01, // below the 0.05s floor: skipped
+	}
+	cur := map[string]float64{
+		"prewarm":      10.5, // +5%: fine
+		"suite:table3": 1.5,  // +50%: regression at 20%
+		"suite:added":  3.0,  // only in current: skipped
+		"tiny":         0.04,
+	}
+	ds := compareStages(cur, base, 0.05)
+	if len(ds) != 2 {
+		t.Fatalf("compared %d stages, want 2: %v", len(ds), ds)
+	}
+	var regressed []string
+	for _, d := range ds {
+		if d.Ratio > 1.20 {
+			regressed = append(regressed, d.Name)
+		}
+	}
+	if len(regressed) != 1 || regressed[0] != "suite:table3" {
+		t.Fatalf("regressions = %v, want [suite:table3]", regressed)
+	}
+}
+
+func TestDiffManifests(t *testing.T) {
+	base := writeManifest(t, "base.json", map[string]float64{"prewarm": 10, "suite:table3": 1})
+	cur := writeManifest(t, "cur.json", map[string]float64{"prewarm": 10.5, "suite:table3": 1.5})
+	n, err := diffManifests(base, cur, 0.20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressed = %d, want 1", n)
+	}
+	// Disjoint stage sets have nothing to compare: that's an error, not a pass.
+	other := writeManifest(t, "other.json", map[string]float64{"unrelated": 1})
+	if _, err := diffManifests(base, other, 0.20, 0.05); err == nil {
+		t.Error("disjoint manifests: want error")
 	}
 }
 

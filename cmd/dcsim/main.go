@@ -3,6 +3,9 @@
 // collection path) and/or a summary of the fleet-wide Fbflow view (the
 // §3.3.1 path).
 //
+// Stdout carries only dataset output (rendered tables, -load summaries);
+// diagnostics such as "wrote N headers" go to stderr through log/slog.
+//
 // Usage:
 //
 //	dcsim -mirror web -seconds 30 -out web.fbm     # write a binary trace
@@ -14,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -21,6 +25,7 @@ import (
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/mirror"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/obs"
 	"fbdcnet/internal/prof"
 	"fbdcnet/internal/services"
 	"fbdcnet/internal/topology"
@@ -52,11 +57,21 @@ func main() {
 		strings.Join(netsim.FaultScenarios(), "|")))
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
+	manifestPath := flag.String("manifest", "", "write the run manifest (config, stage timings, counters) to this file")
+	quiet := flag.Bool("quiet", false, "suppress informational diagnostics on stderr (warnings and errors still print)")
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("starting profiler", "err", err)
 		os.Exit(2)
 	}
 	defer stop()
@@ -66,10 +81,21 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
 	cfg.FaultScenario = *faults
+	cfg.Obs = obs.NewRegistry()
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("building system", "err", err)
 		os.Exit(1)
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, cfg.Obs)
+		if err != nil {
+			logger.Error("starting metrics endpoint", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logger.Info("metrics endpoint listening", "addr", srv.Addr())
 	}
 
 	did := false
@@ -81,8 +107,8 @@ func main() {
 			}
 		}
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown fault scenario %q (have %s)\n",
-				*faults, strings.Join(netsim.FaultScenarios(), "|"))
+			logger.Error("unknown fault scenario", "scenario", *faults,
+				"have", strings.Join(netsim.FaultScenarios(), "|"))
 			os.Exit(2)
 		}
 		fmt.Print(sys.Degraded().Render())
@@ -91,17 +117,17 @@ func main() {
 	if *mirrorRole != "" {
 		role, ok := roleNames[*mirrorRole]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown role %q\n", *mirrorRole)
+			logger.Error("unknown role", "role", *mirrorRole)
 			os.Exit(2)
 		}
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("creating trace file", "err", err)
 			os.Exit(1)
 		}
 		w, err := mirror.NewWriter(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("opening trace writer", "err", err)
 			os.Exit(1)
 		}
 		sink := workload.Fanout{w}
@@ -110,40 +136,42 @@ func main() {
 		if *pcapOut != "" {
 			pf, err = os.Create(*pcapOut)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("creating pcap file", "err", err)
 				os.Exit(1)
 			}
 			pw, err = mirror.NewPcapWriter(pf)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("opening pcap writer", "err", err)
 				os.Exit(1)
 			}
 			sink = append(sink, pw)
 		}
 		host := sys.Monitored(role)
+		sp := cfg.Obs.StartSpan(fmt.Sprintf("mirror:%s:%ds", *mirrorRole, *seconds))
 		tr := services.NewTrace(sys.Pick, host, *seed, cfg.Params, sink)
 		tr.Run(netsim.Time(*seconds) * netsim.Second)
+		sp.End()
 		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			logger.Error("writing trace", "err", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("closing trace file", "err", err)
 			os.Exit(1)
 		}
 		if pw != nil {
 			if err := pw.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "writing pcap:", err)
+				logger.Error("writing pcap", "err", err)
 				os.Exit(1)
 			}
 			if err := pf.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("closing pcap file", "err", err)
 				os.Exit(1)
 			}
-			fmt.Printf("wrote pcap export to %s\n", *pcapOut)
+			logger.Info("wrote pcap export", "path", *pcapOut)
 		}
-		fmt.Printf("wrote %d packet headers for %s host %d to %s\n",
-			w.Count(), role, host, *out)
+		logger.Info("wrote mirror trace", "headers", w.Count(), "role", role.String(),
+			"host", int(host), "path", *out)
 		did = true
 	}
 	if *fleet {
@@ -153,31 +181,31 @@ func main() {
 		if *saveDS != "" {
 			f, err := os.Create(*saveDS)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("creating dataset archive", "err", err)
 				os.Exit(1)
 			}
 			if err := sys.FleetDataset().Save(f); err != nil {
-				fmt.Fprintln(os.Stderr, "archiving dataset:", err)
+				logger.Error("archiving dataset", "err", err)
 				os.Exit(1)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("closing dataset archive", "err", err)
 				os.Exit(1)
 			}
-			fmt.Printf("archived Fbflow dataset to %s\n", *saveDS)
+			logger.Info("archived Fbflow dataset", "path", *saveDS)
 		}
 		did = true
 	}
 	if *loadDS != "" {
 		f, err := os.Open(*loadDS)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("opening dataset archive", "err", err)
 			os.Exit(1)
 		}
 		ds, err := fbflow.Load(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "loading dataset:", err)
+			logger.Error("loading dataset", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("archived dataset: %s total bytes, %d minutes\n",
@@ -190,6 +218,18 @@ func main() {
 	if !did {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *manifestPath != "" {
+		m := cfg.Obs.Manifest(cfg.ManifestMeta("dcsim"))
+		if err := m.Validate(); err != nil {
+			logger.Warn("manifest fails schema validation", "err", err)
+		}
+		if err := m.WriteFile(*manifestPath); err != nil {
+			logger.Error("writing run manifest", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote run manifest", "path", *manifestPath)
 	}
 }
 

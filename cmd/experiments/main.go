@@ -2,21 +2,30 @@
 // evaluation from the synthetic datacenter and prints them in the paper's
 // layout, one section per experiment.
 //
+// Stdout carries only the golden-checked experiment output (or the -json
+// summary); every diagnostic goes to stderr through log/slog, so piping
+// stdout to a file or diff stays clean. A run manifest (configuration,
+// per-stage timings, packet counters) is written alongside the transcript,
+// and -metrics-addr exposes live progress over HTTP while the run is hot.
+//
 // Usage:
 //
 //	experiments [-scale tiny|small|medium|large] [-seed N] [-parallel N]
 //	            [-short SECONDS] [-long SECONDS] [-only NAME]
 //	            [-faults SCENARIO] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-metrics-addr HOST:PORT] [-manifest FILE] [-quiet]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/obs"
 	"fbdcnet/internal/prof"
 	"fbdcnet/internal/topology"
 )
@@ -48,22 +57,27 @@ func main() {
 		strings.Join(netsim.FaultScenarios(), "|")))
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
+	manifestPath := flag.String("manifest", "run_manifest.json", "write the run manifest (config, stage timings, counters) to this file; empty disables")
+	quiet := flag.Bool("quiet", false, "suppress informational diagnostics on stderr (warnings and errors still print)")
 	flag.Parse()
+
+	logger := newLogger(*quiet)
 
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("starting profiler", "err", err)
 		os.Exit(2)
 	}
 	defer stop()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("bad -scale", "err", err)
 		os.Exit(2)
 	}
 	if err := validScenario(*faults); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("bad -faults", "err", err)
 		os.Exit(2)
 	}
 	cfg := core.DefaultConfig()
@@ -74,25 +88,59 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
 	cfg.FaultScenario = *faults
+	cfg.Obs = obs.NewRegistry()
 
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "building system:", err)
+		logger.Error("building system", "err", err)
 		os.Exit(1)
 	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, cfg.Obs)
+		if err != nil {
+			logger.Error("starting metrics endpoint", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logger.Info("metrics endpoint listening", "addr", srv.Addr())
+	}
+
 	if *jsonOut {
 		out, err := sys.Summarize().JSON()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("rendering summary", "err", err)
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
-		return
-	}
-	if core.WriteSuite(os.Stdout, sys, *only) == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
+	} else if core.WriteSuite(os.Stdout, sys, *only) == 0 {
+		logger.Error("no experiment matches filter", "only", *only)
 		os.Exit(2)
 	}
+
+	if *manifestPath != "" {
+		m := cfg.Obs.Manifest(cfg.ManifestMeta("experiments"))
+		if err := m.Validate(); err != nil {
+			logger.Warn("manifest fails schema validation", "err", err)
+		}
+		if err := m.WriteFile(*manifestPath); err != nil {
+			logger.Error("writing run manifest", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote run manifest", "path", *manifestPath)
+	}
+}
+
+// newLogger builds the stderr diagnostic logger: stdout stays reserved
+// for golden-checked experiment output.
+func newLogger(quiet bool) *slog.Logger {
+	level := slog.LevelInfo
+	if quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	return logger
 }
 
 // validScenario rejects unknown -faults values before any work happens.

@@ -1,0 +1,44 @@
+// Command manifestcheck validates a run manifest (written by
+// cmd/experiments or cmd/dcsim via -manifest) against the canonical
+// schema embedded in internal/obs. CI runs it after the smoke suite so a
+// manifest field drifting from the schema fails the build instead of
+// silently shipping malformed telemetry.
+//
+// Usage:
+//
+//	manifestcheck run_manifest.json [more.json ...]
+//
+// Exit status is 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fbdcnet/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck MANIFEST.json [...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "manifestcheck: %v\n", err)
+			bad++
+			continue
+		}
+		if err := obs.ValidateSchema(obs.ManifestSchema, data); err != nil {
+			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("manifestcheck: %s ok\n", path)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

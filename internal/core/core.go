@@ -18,6 +18,7 @@ import (
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/obs"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/services"
 	"fbdcnet/internal/topology"
@@ -65,6 +66,14 @@ type Config struct {
 	// schedule is a pure function of (Seed, Scenario, topology), so the
 	// bit-identical-at-any-parallelism contract is preserved.
 	FaultScenario string
+
+	// Obs, when non-nil, receives counters, stage spans, and progress from
+	// every pipeline stage. Instrumentation observes the computation but
+	// never participates in it: hot paths increment worker-local shards
+	// that fold at the same task-order frontier as result partials, so
+	// enabling metrics cannot perturb any experiment output. Nil disables
+	// collection entirely (every obs method on nil is a no-op).
+	Obs *obs.Registry
 }
 
 // Workers resolves Parallelism to a concrete worker count.
@@ -145,6 +154,11 @@ type System struct {
 	baselineMetrics  DegradedMetrics
 	faultOnce        sync.Once
 	faultRes         *DegradedResult
+
+	// obsIDs caches the metric IDs registered against Cfg.Obs (zero value
+	// when observability is disabled — harmless, since every shard and
+	// registry write is nil-gated before the IDs are used).
+	obsIDs coreObsIDs
 }
 
 type bundleKey struct {
@@ -171,7 +185,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := pick.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{Cfg: cfg, Topo: topo, Pick: pick, bundles: make(map[bundleKey]*bundleSlot)}, nil
+	s := &System{Cfg: cfg, Topo: topo, Pick: pick, bundles: make(map[bundleKey]*bundleSlot)}
+	s.initObs()
+	return s, nil
 }
 
 // MustNewSystem is NewSystem that panics on error.
@@ -243,6 +259,8 @@ func (s *System) Trace(role topology.Role, seconds int) *TraceBundle {
 // generator, rng stream, and sinks are bundle-local, which is what lets
 // Prewarm run bundles on parallel workers with bit-identical results.
 func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
+	sp := s.Cfg.Obs.StartSpan(fmt.Sprintf("trace:%s:%ds", role, seconds))
+	defer sp.End()
 	host := s.Monitored(role)
 	b := &TraceBundle{
 		Role:    role,
@@ -291,6 +309,7 @@ func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 			hh.Finish()
 		}
 	}
+	s.foldTrace(b, tr.G.Batches())
 	return b
 }
 

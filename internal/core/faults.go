@@ -114,6 +114,16 @@ func (s *System) degradedHeaders() []packet.Header {
 // analyses. disableReroute is the ablation arm: ECMP keeps its
 // hash-preferred post even when that path is dead.
 func (s *System) runDegradedArm(scenario string, disableReroute bool) (DegradedMetrics, netsim.FaultStats) {
+	armName := scenario
+	if armName == "" {
+		armName = "baseline"
+	}
+	if disableReroute {
+		armName += ":noreroute"
+	}
+	sp := s.Cfg.Obs.StartSpan("degraded:" + armName)
+	defer sp.End()
+
 	hdrs := s.degradedHeaders()
 	horizon := netsim.Time(s.degradedSeconds()) * netsim.Second
 	focus := s.Monitored(topology.RoleWeb)
@@ -138,10 +148,13 @@ func (s *System) runDegradedArm(scenario string, disableReroute bool) (DegradedM
 		h := h
 		eng.At(h.Time, func() { fab.Inject(h) })
 	}
+	runSpan := s.Cfg.Obs.StartSpan("netsim-run")
 	eng.Run(horizon + faultDrainGrace)
+	runSpan.End()
 	for id := range s.Topo.Hosts {
 		fab.Sink(topology.HostID(id)).Flush()
 	}
+	s.foldFabricStats(fab)
 
 	// The delivered stream is ordered by delivery time; the analyses bin
 	// by the header timestamp, so restore that order first.

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/obs"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/rng"
 	"fbdcnet/internal/services"
@@ -66,49 +68,110 @@ func (s *System) fleetTasks() []fleetTask {
 // worker counts — while live memory stays bounded by the worker count
 // plus the out-of-order window instead of the full task grid, which is
 // what keeps the 10× fleet preset collectable.
+//
+// Each task's obs shard parks and folds at the same frontier as its
+// partial, so the registry's fold sequence is task order too: metric
+// state at any frontier is reproducible at any worker count, and a live
+// scrape can never observe half a shard.
 func (s *System) collectFleet() *fbflow.Dataset {
+	reg := s.Cfg.Obs
+	sp := reg.StartSpan("fleet-collect")
+	defer sp.End()
+
 	tasks := s.fleetTasks()
 	tagger := fbflow.NewTagger(s.Topo)
 	prog := services.NewFleetProgram(s.Pick, s.Cfg.Params)
 	ds := fbflow.NewDataset()
 
+	workers := s.Cfg.TaggerWorkers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	shardsPerWindow := 0
+	if s.Cfg.FleetWindows > 0 {
+		shardsPerWindow = len(tasks) / s.Cfg.FleetWindows
+	}
+	winProg := reg.NewProgress("fleet-windows", int64(s.Cfg.FleetWindows))
+	busyNs := make([]int64, workers+1) // worker-owned slots, summed after the run
+	collectStart := time.Now()
+
 	var (
-		mu     sync.Mutex
-		parked = make([]*fbflow.Partial, len(tasks))
-		done   = make([]bool, len(tasks))
-		next   int
-		pool   = sync.Pool{New: func() any { return fbflow.NewPartial() }}
+		mu        sync.Mutex
+		parked    = make([]*fbflow.Partial, len(tasks))
+		parkedObs = make([]*obs.Shard, len(tasks))
+		done      = make([]bool, len(tasks))
+		next      int
+		pool      = sync.Pool{New: func() any { return fbflow.NewPartial() }}
+		obsPool   = sync.Pool{New: func() any { return reg.NewShard() }}
 	)
-	runParallel(s.Cfg.TaggerWorkers(), len(tasks), func(i int) {
+	runParallelWorkers(workers, len(tasks), func(w, i int) {
+		var t0 time.Time
+		if reg.Enabled() {
+			t0 = time.Now()
+		}
 		p := pool.Get().(*fbflow.Partial)
-		s.collectShard(tagger, prog, tasks[i], p)
+		sh := obsPool.Get().(*obs.Shard)
+		s.collectShard(tagger, prog, tasks[i], p, sh)
+		if reg.Enabled() {
+			d := time.Since(t0)
+			sh.Observe(s.obsIDs.fleetShardUs, d.Microseconds())
+			busyNs[w] += d.Nanoseconds()
+		}
 		mu.Lock()
-		parked[i], done[i] = p, true
+		parked[i], parkedObs[i], done[i] = p, sh, true
+		mergeStart := next
 		for next < len(tasks) && done[next] {
-			q := parked[next]
-			parked[next] = nil
+			q, qs := parked[next], parkedObs[next]
+			parked[next], parkedObs[next] = nil, nil
 			ds.MergePartial(q)
 			q.Reset()
 			pool.Put(q)
+			qs.Fold()
+			obsPool.Put(qs)
 			next++
+		}
+		if reg.Enabled() && next > mergeStart && shardsPerWindow > 0 {
+			winProg.Set(int64(next / shardsPerWindow))
 		}
 		mu.Unlock()
 	})
+
+	if reg.Enabled() {
+		winProg.Set(int64(s.Cfg.FleetWindows))
+		elapsed := time.Since(collectStart).Nanoseconds()
+		var busy int64
+		for _, b := range busyNs {
+			busy += b
+		}
+		if workers > 0 && elapsed > 0 {
+			reg.SetGauge("fbdcnet_fleet_worker_busy_frac",
+				float64(busy)/float64(elapsed*int64(workers)))
+		}
+		if att := reg.CounterValue("fbdcnet_fleet_flow_attempts_total"); att > 0 {
+			reg.SetGauge("fbdcnet_fleet_sampling_coverage",
+				float64(reg.CounterValue("fbdcnet_fleet_records_total"))/float64(att))
+		}
+	}
 	return ds
 }
 
 // collectShard generates and tags one task's flows into the caller's
 // partial accumulator. The rng stream is a pure function of (seed,
 // window, shard): the sample sequence a shard sees is fixed at
-// configuration time, not at scheduling time.
-func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram, t fleetTask, into *fbflow.Partial) {
+// configuration time, not at scheduling time. The obs shard counts
+// offered versus sampled flows; a nil shard (observability disabled)
+// costs two predicted branches per flow.
+func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram, t fleetTask, into *fbflow.Partial, sh *obs.Shard) {
 	r := rng.NewKeyed(s.Cfg.Seed^0xf1ee7, uint64(t.window), uint64(t.shard))
 	load := DiurnalFactor(float64(t.window) / float64(s.Cfg.FleetWindows))
 	minute := int64(t.window)
+	ids := &s.obsIDs
 	var srcAddr packet.Addr
 	emit := func(dst topology.HostID, bytes float64) {
+		sh.Inc(ids.fleetAttempts)
 		if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes); ok {
 			into.Add(rec)
+			sh.Inc(ids.fleetRecords)
 		}
 	}
 	for src := t.lo; src < t.hi; src++ {

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fbdcnet/internal/analysis"
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/obs"
+	"fbdcnet/internal/topology"
+)
+
+// This file is the only bridge between the experiment engine and the
+// observability layer. Subsystems (netsim, workload, analysis, openhash)
+// stay obs-free — they expose plain single-goroutine counters, and core
+// folds those into the registry at stage boundaries. Hot parallel paths
+// (fleet collection) increment worker-local obs.Shards that park and fold
+// at the same task-order frontier as their fbflow.Partials.
+
+// coreObsIDs caches every counter and histogram ID the engine folds into.
+// All registration happens in initObs, before any shard exists.
+type coreObsIDs struct {
+	// Fleet collection (fbflow tagging stage).
+	fleetAttempts obs.CounterID // flows offered to the tagger
+	fleetRecords  obs.CounterID // sampled records merged into the dataset
+	fleetShardUs  obs.HistID    // per-shard wall time, µs
+
+	// Simulated fabric (degraded-mode packet runs).
+	netsimInjected    obs.CounterID
+	netsimEnqueues    obs.CounterID
+	netsimForwarded   obs.CounterID
+	netsimDrops       obs.CounterID
+	netsimFaultDrops  obs.CounterID
+	netsimRerouted    obs.CounterID
+	netsimRetransmits obs.CounterID
+	netsimFaultEvents obs.CounterID
+
+	// Mirror-trace generation (workload layer).
+	tracePackets obs.CounterID
+	traceBatches obs.CounterID
+
+	// Analysis open-addressing tables.
+	analysisRows    obs.CounterID
+	analysisGrows   obs.CounterID
+	analysisLoadPct obs.HistID
+}
+
+// initObs registers the engine's metrics against Cfg.Obs. A nil registry
+// makes every Counter call return the zero ID; the zero IDs are never
+// dereferenced because shards and registry writes are nil-gated.
+func (s *System) initObs() {
+	r := s.Cfg.Obs
+	if r == nil {
+		return
+	}
+	ids := &s.obsIDs
+	ids.fleetAttempts = r.Counter("fbdcnet_fleet_flow_attempts_total",
+		"flows offered to the fbflow tagger during fleet collection")
+	ids.fleetRecords = r.Counter("fbdcnet_fleet_records_total",
+		"sampled fbflow records merged into the fleet dataset")
+	ids.fleetShardUs = r.Histogram("fbdcnet_fleet_shard_us",
+		"wall time of one fleet collection shard, microseconds")
+
+	ids.netsimInjected = r.Counter("fbdcnet_netsim_injected_total",
+		"packets injected into simulated fabrics")
+	ids.netsimEnqueues = r.Counter("fbdcnet_netsim_enqueues_total",
+		"packets accepted into switch buffers across all hops")
+	ids.netsimForwarded = r.Counter("fbdcnet_netsim_forwarded_total",
+		"packets transmitted from switch egress ports")
+	ids.netsimDrops = r.Counter("fbdcnet_netsim_drops_total",
+		"packets lost to shared-buffer exhaustion")
+	ids.netsimFaultDrops = r.Counter("fbdcnet_netsim_fault_drops_total",
+		"packets lost to down switches or links")
+	ids.netsimRerouted = r.Counter("fbdcnet_netsim_rerouted_total",
+		"packets ECMP re-hashed around dead paths")
+	ids.netsimRetransmits = r.Counter("fbdcnet_netsim_retransmits_total",
+		"retransmission attempts scheduled by the fault layer")
+	ids.netsimFaultEvents = r.Counter("fbdcnet_netsim_fault_events_total",
+		"fault onset transitions applied to fabric elements")
+
+	ids.tracePackets = r.Counter("fbdcnet_workload_packets_total",
+		"packet headers emitted by mirror-trace generators")
+	ids.traceBatches = r.Counter("fbdcnet_workload_batches_total",
+		"header slabs handed from generators to collectors")
+
+	ids.analysisRows = r.Counter("fbdcnet_analysis_rows_total",
+		"entries held in analysis open-addressing tables at trace end")
+	ids.analysisGrows = r.Counter("fbdcnet_analysis_table_grows_total",
+		"rehashes performed by analysis open-addressing tables")
+	ids.analysisLoadPct = r.Histogram("fbdcnet_analysis_table_load_pct",
+		"load factor (percent) of analysis tables at trace end")
+}
+
+// foldTrace folds one finished trace bundle's counters: headers and
+// batches (total and per role) plus the table statistics of every
+// analysis attached to the capture.
+func (s *System) foldTrace(b *TraceBundle, batches int64) {
+	r := s.Cfg.Obs
+	if r == nil {
+		return
+	}
+	r.AddCounter(s.obsIDs.tracePackets, b.Packets)
+	r.AddCounter(s.obsIDs.traceBatches, batches)
+	role := b.Role.String()
+	r.Count(obs.Series("fbdcnet_workload_headers_total", "role", role), float64(b.Packets))
+	r.Count(obs.Series("fbdcnet_workload_role_batches_total", "role", role), float64(batches))
+	s.foldTableStats(b.Flows.TableStats())
+	s.foldTableStats(b.Conc.TableStats())
+	for _, m := range b.HH {
+		for _, hh := range m {
+			s.foldTableStats(hh.TableStats())
+		}
+	}
+}
+
+// foldTableStats folds open-addressing table statistics into the
+// aggregate counters, the per-table labeled series, and the load-factor
+// histogram.
+func (s *System) foldTableStats(stats []analysis.TableStats) {
+	r := s.Cfg.Obs
+	if r == nil {
+		return
+	}
+	for _, ts := range stats {
+		r.AddCounter(s.obsIDs.analysisRows, int64(ts.Rows))
+		r.AddCounter(s.obsIDs.analysisGrows, int64(ts.Grows))
+		if ts.Cap > 0 {
+			r.Observe(s.obsIDs.analysisLoadPct, int64(ts.LoadPct()))
+		}
+		r.Count(obs.Series("fbdcnet_analysis_table_rows_total", "table", ts.Name), float64(ts.Rows))
+	}
+}
+
+// foldFabricStats folds one simulated-fabric run: the switch-level packet
+// accounting plus the fault layer's reroute/retransmission counters.
+func (s *System) foldFabricStats(fab *netsim.Fabric) {
+	r := s.Cfg.Obs
+	if r == nil {
+		return
+	}
+	st := fab.Stats()
+	r.AddCounter(s.obsIDs.netsimInjected, st.Injected)
+	r.AddCounter(s.obsIDs.netsimEnqueues, st.Enqueues)
+	r.AddCounter(s.obsIDs.netsimForwarded, st.Forwarded)
+	r.AddCounter(s.obsIDs.netsimDrops, st.Drops)
+	r.AddCounter(s.obsIDs.netsimFaultDrops, st.FaultDrops)
+	fs := fab.Faults()
+	r.AddCounter(s.obsIDs.netsimRerouted, fs.ReroutedPkts)
+	r.AddCounter(s.obsIDs.netsimRetransmits, fs.Retransmits)
+	r.AddCounter(s.obsIDs.netsimFaultEvents, fs.FaultEvents)
+}
+
+// scaleName names a topology scale for the run manifest.
+func scaleName(sc topology.Scale) string {
+	switch sc {
+	case topology.ScaleTiny:
+		return "tiny"
+	case topology.ScaleSmall:
+		return "small"
+	case topology.ScaleMedium:
+		return "medium"
+	case topology.ScaleLarge:
+		return "large"
+	default:
+		return "unknown"
+	}
+}
+
+// ManifestMeta describes this configuration for the run manifest.
+func (c Config) ManifestMeta(tool string) obs.RunMeta {
+	return obs.RunMeta{
+		Tool: tool,
+		Config: map[string]any{
+			"scale":            scaleName(c.Scale),
+			"seed":             c.Seed,
+			"short_trace_sec":  c.ShortTraceSec,
+			"long_trace_sec":   c.LongTraceSec,
+			"fleet_windows":    c.FleetWindows,
+			"fleet_window_sec": c.FleetWindowSec,
+			"fleet_samples":    c.FleetSamples,
+			"parallelism":      c.Workers(),
+			"taggers":          c.TaggerWorkers(),
+			"fault_scenario":   c.FaultScenario,
+		},
+	}
+}

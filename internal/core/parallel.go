@@ -18,12 +18,20 @@ import (
 // the sequential path is literally the parallel path at width 1, not a
 // separate code path that could drift.
 func runParallel(workers, n int, task func(i int)) {
+	runParallelWorkers(workers, n, func(_, i int) { task(i) })
+}
+
+// runParallelWorkers is runParallel with the worker index exposed, for
+// callers that keep worker-local state (obs shards, busy-time slots).
+// Worker indices are dense in [0, min(workers, n)); the sequential path
+// runs everything as worker 0.
+func runParallelWorkers(workers, n int, task func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 		return
 	}
@@ -31,16 +39,16 @@ func runParallel(workers, n int, task func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				task(i)
+				task(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -53,6 +61,8 @@ func runParallel(workers, n int, task func(i int)) {
 // to generating them lazily one at a time; only wall-clock changes.
 // Experiments that run afterwards hit the memo and stay read-only.
 func (s *System) Prewarm() {
+	sp := s.Cfg.Obs.StartSpan("prewarm")
+	defer sp.End()
 	var tasks []func()
 	for _, role := range MonitoredRoles {
 		role := role
@@ -66,5 +76,12 @@ func (s *System) Prewarm() {
 	if s.Cfg.FaultScenario != "" {
 		tasks = append(tasks, func() { s.Degraded() })
 	}
-	runParallel(s.Cfg.Workers(), len(tasks), func(i int) { tasks[i]() })
+	// Progress uses monotone Set with a completion counter, so re-warming
+	// (Summarize after WriteSuite hits only memos) never over-counts.
+	prog := s.Cfg.Obs.NewProgress("prewarm-bundles", int64(len(tasks)))
+	var completed atomic.Int64
+	runParallel(s.Cfg.Workers(), len(tasks), func(i int) {
+		tasks[i]()
+		prog.Set(completed.Add(1))
+	})
 }

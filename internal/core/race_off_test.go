@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the binary was built with -race. The heavy
+// obs-perturbation check skips itself under the race detector — two
+// suite runs per worker count would multiply past CI's timeout — and
+// runs in the non-race coverage job instead.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates the multi-minute perturbation check out of
+// race-detector jobs; see race_off_test.go for the default.
+const raceEnabled = true

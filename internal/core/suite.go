@@ -77,15 +77,23 @@ func WriteSuite(w io.Writer, sys *System, only string) int {
 			sys.Cfg.Workers(), time.Since(warmStart).Seconds())
 	}
 
-	ran := 0
+	var secs []SuiteSection
 	for _, e := range SuiteSections(sys) {
 		if only != "" && !strings.Contains(e.Name, only) {
 			continue
 		}
+		secs = append(secs, e)
+	}
+	prog := sys.Cfg.Obs.NewProgress("suite-sections", int64(len(secs)))
+	ran := 0
+	for _, e := range secs {
+		sp := sys.Cfg.Obs.StartSpan("suite:" + e.Name)
 		start := time.Now()
 		out := e.Run(sys)
+		sp.End()
 		fmt.Fprintf(w, "=== %s (%.1fs) ===\n%s\n", e.Name, time.Since(start).Seconds(), out)
 		ran++
+		prog.Set(int64(ran))
 	}
 	return ran
 }

@@ -277,6 +277,29 @@ func (f *Fabric) RSWOfHost(h topology.HostID) *Switch {
 // Injected returns the number of packets injected so far.
 func (f *Fabric) Injected() int64 { return f.injectedPkts }
 
+// FabricStats is a point-in-time aggregate of the fabric's switch
+// counters, taken for observability. Collecting it walks every switch,
+// so it is meant for end-of-run folding, not per-packet paths.
+type FabricStats struct {
+	Injected   int64 // packets injected at hosts
+	Enqueues   int64 // packets accepted into switch buffers (all hops)
+	Forwarded  int64 // packets transmitted from switch egresses
+	Drops      int64 // packets lost to buffer exhaustion
+	FaultDrops int64 // packets lost to down switches or links
+}
+
+// Stats aggregates counters across every switch in the fabric.
+func (f *Fabric) Stats() FabricStats {
+	st := FabricStats{Injected: f.injectedPkts}
+	for _, sw := range f.allSwitches() {
+		st.Enqueues += sw.Enqueues()
+		st.Forwarded += sw.Forwarded()
+		st.Drops += sw.Drops()
+		st.FaultDrops += sw.FaultDrops()
+	}
+	return st
+}
+
 // Inject routes one packet from its source host into the fabric at the
 // current engine time, following the ECMP path selected by the flow hash.
 // Packets addressed to the sending host itself are ignored (loopback).

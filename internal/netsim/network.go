@@ -95,6 +95,7 @@ type Switch struct {
 	BufBytes   int64 // shared pool capacity
 	used       int64 // bytes currently buffered across all ports
 	ports      []*Port
+	enqueues   int64 // packets accepted into the shared buffer
 	dropTotal  int64
 	down       bool  // switch fault: every received or queued packet is lost
 	faultDrops int64 // packets lost to a down switch or port
@@ -132,6 +133,19 @@ func (s *Switch) Occupancy() int64 { return s.used }
 
 // Drops returns the total packets dropped across all ports.
 func (s *Switch) Drops() int64 { return s.dropTotal }
+
+// Enqueues returns the packets accepted into the shared buffer (the
+// complement of Drops and FaultDrops on the receive path).
+func (s *Switch) Enqueues() int64 { return s.enqueues }
+
+// Forwarded returns the packets transmitted across all egress ports.
+func (s *Switch) Forwarded() int64 {
+	var n int64
+	for _, p := range s.ports {
+		n += p.forwarded
+	}
+	return n
+}
 
 // FaultDrops returns the packets lost to switch or link faults here.
 func (s *Switch) FaultDrops() int64 { return s.faultDrops }
@@ -174,6 +188,7 @@ func (s *Switch) Receive(p *Packet, port int) {
 	}
 	s.used += size
 	pt.queued += size
+	s.enqueues++
 	start := s.eng.Now()
 	if pt.busyUntil > start {
 		start = pt.busyUntil

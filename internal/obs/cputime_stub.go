@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// processCPUNs is unavailable off unix; spans record wall time only.
+func processCPUNs() int64 { return 0 }

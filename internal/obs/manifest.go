@@ -1,0 +1,188 @@
+package obs
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestSchemaVersion is bumped whenever the manifest layout changes
+// incompatibly; the schema in testdata pins it.
+const ManifestSchemaVersion = 1
+
+// ManifestSchema is the JSON schema every emitted manifest must satisfy
+// (cmd/manifestcheck and the obs tests validate against it).
+//
+//go:embed testdata/manifest.schema.json
+var ManifestSchema []byte
+
+// RunMeta identifies the run a manifest describes. Config carries the
+// flattened experiment configuration (scale preset, seed, trace
+// durations, fault scenario, parallelism) as reported by the caller.
+type RunMeta struct {
+	Tool   string
+	Config map[string]any
+}
+
+// StageRecord is one pipeline stage's accumulated timing in the
+// manifest. CPUSeconds and allocation deltas are process-wide: exact for
+// stages that run alone, an upper bound for stages overlapping on the
+// parallel engine.
+type StageRecord struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+// HistRecord is one histogram's digest in the manifest: power-of-two
+// bucket counts keyed by their upper bound, plus sum and count.
+type HistRecord struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// ProgressRecord is one task's final completion state.
+type ProgressRecord struct {
+	Task  string `json:"task"`
+	Done  int64  `json:"done"`
+	Total int64  `json:"total"`
+}
+
+// Manifest is the machine-readable record of one run, written alongside
+// the experiment transcript: what was configured, where the time and
+// packets went, and how completely the samplers covered the fleet.
+type Manifest struct {
+	SchemaVersion int                `json:"schema_version"`
+	Tool          string             `json:"tool"`
+	GoVersion     string             `json:"go_version"`
+	GitRev        string             `json:"git_rev"`
+	StartedAt     string             `json:"started_at"`
+	WallSeconds   float64            `json:"wall_seconds"`
+	Config        map[string]any     `json:"config"`
+	Stages        []StageRecord      `json:"stages"`
+	Counters      map[string]int64   `json:"counters"`
+	Series        map[string]float64 `json:"series"`
+	Gauges        map[string]float64 `json:"gauges"`
+	Histograms    []HistRecord       `json:"histograms"`
+	Progress      []ProgressRecord   `json:"progress"`
+}
+
+// GitRev returns the VCS revision stamped into the binary, or "" when
+// built without VCS metadata (e.g. go test binaries).
+func GitRev() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// Manifest snapshots the registry into a manifest for meta. Safe to call
+// on a nil registry (stages and counters come out empty).
+func (r *Registry) Manifest(meta RunMeta) *Manifest {
+	m := &Manifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Tool:          meta.Tool,
+		GoVersion:     runtime.Version(),
+		GitRev:        GitRev(),
+		Config:        meta.Config,
+		Counters:      map[string]int64{},
+		Series:        map[string]float64{},
+		Gauges:        map[string]float64{},
+		Stages:        []StageRecord{},
+		Histograms:    []HistRecord{},
+		Progress:      []ProgressRecord{},
+	}
+	if m.Config == nil {
+		m.Config = map[string]any{}
+	}
+	if r == nil {
+		m.StartedAt = time.Now().UTC().Format(time.RFC3339)
+		return m
+	}
+	m.StartedAt = r.start.UTC().Format(time.RFC3339)
+	m.WallSeconds = time.Since(r.start).Seconds()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, name := range r.counterNames {
+		m.Counters[name] = r.counters[i]
+	}
+	for s, v := range r.series {
+		m.Series[s] = v
+	}
+	for g, v := range r.gauges {
+		m.Gauges[g] = v
+	}
+	for _, name := range r.spanOrder {
+		st := r.spans[name]
+		m.Stages = append(m.Stages, StageRecord{
+			Name:        name,
+			Runs:        st.count,
+			WallSeconds: float64(st.wallNs) / 1e9,
+			CPUSeconds:  float64(st.cpuNs) / 1e9,
+			Allocs:      st.allocs,
+			AllocBytes:  st.bytes,
+		})
+	}
+	for i, name := range r.histNames {
+		h := &r.hists[i]
+		rec := HistRecord{Name: name, Count: h.count, Sum: h.sum, Buckets: map[string]int64{}}
+		for b, c := range h.buckets {
+			if c != 0 {
+				rec.Buckets[fmt.Sprint(bucketBound(b))] = c
+			}
+		}
+		m.Histograms = append(m.Histograms, rec)
+	}
+	for _, name := range r.progOrder {
+		st := r.progress[name]
+		m.Progress = append(m.Progress, ProgressRecord{Task: name, Done: st.done, Total: st.total})
+	}
+	return m
+}
+
+// bucketBound returns the inclusive upper bound of bucket b: values v
+// with bucketOf(v) == b satisfy v <= 2^b - 1 (bucket 0 holds v <= 0).
+func bucketBound(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<b - 1
+}
+
+// WriteFile writes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate checks the manifest's JSON encoding against the embedded
+// schema — the same check cmd/manifestcheck applies to emitted files.
+func (m *Manifest) Validate() error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return ValidateSchema(ManifestSchema, data)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// A minimal JSON-Schema validator covering the subset the manifest
+// schema uses: type, required, properties, additionalProperties (bool or
+// schema), items, minimum, and enum. Implemented here so the CI smoke
+// job can validate emitted manifests without pulling a dependency.
+
+// schemaNode is the decoded form of one (sub)schema.
+type schemaNode struct {
+	Type                 any                    `json:"type"` // string or []string
+	Required             []string               `json:"required"`
+	Properties           map[string]*schemaNode `json:"properties"`
+	AdditionalProperties json.RawMessage        `json:"additionalProperties"`
+	Items                *schemaNode            `json:"items"`
+	Minimum              *float64               `json:"minimum"`
+	Enum                 []any                  `json:"enum"`
+}
+
+// ValidateSchema checks doc (a JSON document) against schema (a JSON
+// schema in the supported subset). It returns the first violation found,
+// with a JSON-pointer-style path.
+func ValidateSchema(schema, doc []byte) error {
+	var node schemaNode
+	if err := json.Unmarshal(schema, &node); err != nil {
+		return fmt.Errorf("obs: parsing schema: %v", err)
+	}
+	var v any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return fmt.Errorf("obs: parsing document: %v", err)
+	}
+	return validateNode(&node, v, "$")
+}
+
+// typeNames normalizes the schema's type field to a list.
+func (n *schemaNode) typeNames() []string {
+	switch t := n.Type.(type) {
+	case string:
+		return []string{t}
+	case []any:
+		out := make([]string, 0, len(t))
+		for _, e := range t {
+			if s, ok := e.(string); ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// typeOf names v's JSON type, distinguishing integer-valued numbers.
+func matchesType(v any, want string) bool {
+	switch want {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "null":
+		return v == nil
+	case "number":
+		_, ok := v.(float64)
+		return ok
+	case "integer":
+		f, ok := v.(float64)
+		return ok && f == math.Trunc(f)
+	}
+	return false
+}
+
+func validateNode(n *schemaNode, v any, path string) error {
+	if n == nil {
+		return nil
+	}
+	if types := n.typeNames(); len(types) > 0 {
+		ok := false
+		for _, t := range types {
+			if matchesType(v, t) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: value %v does not match type %v", path, compact(v), types)
+		}
+	}
+	if len(n.Enum) > 0 {
+		ok := false
+		for _, e := range n.Enum {
+			if fmt.Sprint(e) == fmt.Sprint(v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: value %v not in enum %v", path, compact(v), n.Enum)
+		}
+	}
+	if n.Minimum != nil {
+		if f, ok := v.(float64); ok && f < *n.Minimum {
+			return fmt.Errorf("%s: %v below minimum %v", path, f, *n.Minimum)
+		}
+	}
+	if obj, ok := v.(map[string]any); ok {
+		for _, req := range n.Required {
+			if _, present := obj[req]; !present {
+				return fmt.Errorf("%s: missing required property %q", path, req)
+			}
+		}
+		var addl *schemaNode
+		addlForbidden := false
+		if len(n.AdditionalProperties) > 0 {
+			var b bool
+			if err := json.Unmarshal(n.AdditionalProperties, &b); err == nil {
+				addlForbidden = !b
+			} else {
+				addl = &schemaNode{}
+				if err := json.Unmarshal(n.AdditionalProperties, addl); err != nil {
+					return fmt.Errorf("%s: bad additionalProperties schema: %v", path, err)
+				}
+			}
+		}
+		for k, sub := range obj {
+			p := path + "." + k
+			if ps, ok := n.Properties[k]; ok {
+				if err := validateNode(ps, sub, p); err != nil {
+					return err
+				}
+				continue
+			}
+			if addlForbidden {
+				return fmt.Errorf("%s: unexpected property %q", path, k)
+			}
+			if addl != nil {
+				if err := validateNode(addl, sub, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if arr, ok := v.([]any); ok && n.Items != nil {
+		for i, sub := range arr {
+			if err := validateNode(n.Items, sub, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// compact renders a value tersely for error messages.
+func compact(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil || len(data) > 60 {
+		return fmt.Sprintf("%.60v", v)
+	}
+	return string(data)
+}

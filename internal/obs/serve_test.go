@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := populated()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, ctype, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type %q", ctype)
+	}
+	if !strings.Contains(body, "fbdcnet_test_pkts_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, _, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Fbdcnet *Manifest `json:"fbdcnet"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Fbdcnet == nil || vars.Fbdcnet.Counters["fbdcnet_test_pkts_total"] != 42 {
+		t.Errorf("/debug/vars fbdcnet var = %+v", vars.Fbdcnet)
+	}
+
+	for _, path := range []string{"/", "/progress"} {
+		code, _, body = get(t, base+path)
+		if code != http.StatusOK {
+			t.Fatalf("%s status %d", path, code)
+		}
+		if !strings.Contains(body, "windows") || !strings.Contains(body, "stage-a") {
+			t.Errorf("%s missing progress/stage lines:\n%s", path, body)
+		}
+	}
+
+	code, _, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("/nope status %d, want 404", code)
+	}
+}
+
+// TestServeTwice pins that a second Serve (same process, new registry)
+// works and repoints the process-wide expvar publication instead of
+// panicking on a duplicate expvar.Publish.
+func TestServeTwice(t *testing.T) {
+	r1 := NewRegistry()
+	r1.AddCounter(r1.Counter("first_total", ""), 1)
+	s1, err := Serve("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	r2 := NewRegistry()
+	r2.AddCounter(r2.Counter("second_total", ""), 2)
+	s2, err := Serve("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, _, body := get(t, "http://"+s2.Addr()+"/debug/vars")
+	if !strings.Contains(body, "second_total") {
+		t.Errorf("expvar not repointed to the live registry:\n%s", body)
+	}
+}

@@ -21,10 +21,11 @@ const sentinel = ^uint64(0)
 // Table is an open-addressing map from packed uint64 keys to V.
 // The zero value is ready to use.
 type Table[V any] struct {
-	keys []uint64 // slot -> key, or sentinel
-	vals []V      // slot -> value, parallel to keys
-	used []int32  // slots in insertion order
-	mask uint64   // len(keys)-1
+	keys  []uint64 // slot -> key, or sentinel
+	vals  []V      // slot -> value, parallel to keys
+	used  []int32  // slots in insertion order
+	mask  uint64   // len(keys)-1
+	grows int32    // cumulative grow() calls, for observability
 }
 
 // hash finalizes a packed key (splitmix64 finalizer): packed keys are
@@ -78,6 +79,7 @@ func (t *Table[V]) Slot(k uint64) *V {
 
 // grow doubles the slot arrays and rehashes, preserving insertion order.
 func (t *Table[V]) grow() {
+	t.grows++
 	n := 2 * len(t.keys)
 	if n < 16 {
 		n = 16
@@ -121,6 +123,14 @@ func (t *Table[V]) Range(f func(k uint64, v *V)) {
 		f(t.keys[s], &t.vals[s])
 	}
 }
+
+// Cap returns the current slot-array capacity (0 before first insert).
+func (t *Table[V]) Cap() int { return len(t.keys) }
+
+// Grows returns how many times the table has rehashed since creation —
+// Reset keeps the count, so it reflects lifetime churn, the number the
+// observability layer reports to spot under-sized steady-state tables.
+func (t *Table[V]) Grows() int { return int(t.grows) }
 
 // Key returns the i'th inserted key, 0 <= i < Len().
 func (t *Table[V]) Key(i int) uint64 { return t.keys[t.used[i]] }

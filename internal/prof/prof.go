@@ -9,12 +9,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // Start begins CPU profiling into cpuPath (when non-empty) and returns a
 // stop function that ends the CPU profile and writes a heap profile to
-// memPath (when non-empty). The stop function is safe to call exactly
-// once, typically via defer on the main success path.
+// memPath (when non-empty). The stop function is idempotent: only the
+// first call has an effect, so deferring it and calling it explicitly on
+// an error path cannot double-close the profile.
 func Start(cpuPath, memPath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -27,26 +29,29 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("prof: starting CPU profile: %v", err)
 		}
 	}
+	var once sync.Once
 	return func() {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "prof: closing CPU profile:", err)
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "prof: closing CPU profile:", err)
+				}
 			}
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
-				return
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+					return
+				}
+				runtime.GC() // materialize the final live-heap numbers
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "prof: writing heap profile:", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+				}
 			}
-			runtime.GC() // materialize the final live-heap numbers
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "prof: writing heap profile:", err)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
-			}
-		}
+		})
 	}, nil
 }

@@ -1,0 +1,79 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoProfiles(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent even when nothing was profiled
+}
+
+func TestStartUnwritableCPUPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("unwritable cpu path: want error")
+	}
+}
+
+func TestStartCPUProfileAlreadyRunning(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "cpu1.prof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// A second CPU profile cannot start while the first runs; Start must
+	// surface pprof's error and close its own file.
+	if _, err := Start(filepath.Join(dir, "cpu2.prof"), ""); err == nil {
+		t.Fatal("second concurrent CPU profile: want error")
+	}
+}
+
+func TestStopWritesProfilesOnce(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+
+	// A second stop must not rewrite the heap profile (or re-stop the CPU
+	// profile): remove the file and check it stays gone.
+	if err := os.Remove(mem); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if _, err := os.Stat(mem); !os.IsNotExist(err) {
+		t.Errorf("double stop rewrote %s", mem)
+	}
+}
+
+func TestStopUnwritableMemPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "mem.prof")
+	stop, err := Start("", bad)
+	if err != nil {
+		t.Fatal(err) // mem path errors surface at stop, not Start
+	}
+	stop() // must not panic; the error goes to stderr
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Errorf("heap profile unexpectedly written to %s", bad)
+	}
+}

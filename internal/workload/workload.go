@@ -108,6 +108,7 @@ type Gen struct {
 	batch     Batch
 	nextPort  uint16
 	emitted   int64
+	batches   int64
 	lastEmit  netsim.Time
 	reordered int64
 }
@@ -142,6 +143,7 @@ func (g *Gen) Run(dur netsim.Time) {
 // flush first.
 func (g *Gen) Flush() {
 	if len(g.batch) > 0 {
+		g.batches++
 		g.sink.Packets(g.batch)
 		g.batch.Reset()
 	}
@@ -149,6 +151,10 @@ func (g *Gen) Flush() {
 
 // Emitted returns the number of packets delivered to the collector.
 func (g *Gen) Emitted() int64 { return g.emitted }
+
+// Batches returns the number of slabs handed to the collector — the
+// batched-dispatch amortization the observability layer reports.
+func (g *Gen) Batches() int64 { return g.batches }
 
 // emit stamps one header at the current engine time and buffers it for
 // batched delivery. Emission is monotone because the engine executes
@@ -166,6 +172,7 @@ func (g *Gen) emit(h packet.Header) {
 	g.emitted++
 	g.batch.Append(h)
 	if g.batch.Full(genBatchSize) {
+		g.batches++
 		g.sink.Packets(g.batch)
 		g.batch.Reset()
 	}
