@@ -18,6 +18,7 @@ import (
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/services"
+	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 	"fbdcnet/internal/workload"
 )
@@ -499,6 +500,47 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 		hh.Finish()
 	}
 	b.ReportMetric(float64(pipeCount), "pkts/op")
+}
+
+// BenchmarkTelemetryFabric measures the fabric delivery hot path with
+// telemetry detached — the nil-sink fast path every non-telemetry
+// experiment rides — and with a rate-1 sink attached (full per-hop
+// recording). The off arm is the regression gate (BENCH_PR5.json): the
+// fabric must not pay for instrumentation it does not use; the sampled
+// arm is reported for scale only.
+func BenchmarkTelemetryFabric(b *testing.B) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	hosts := len(topo.Hosts)
+	run := func(b *testing.B, rate float64) {
+		const pkts = 4096
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := &netsim.Engine{}
+			f := netsim.NewFabric(eng, topo, netsim.DefaultFabricConfig())
+			if rate > 0 {
+				f.AttachTelemetry(telemetry.NewSink(42, rate))
+			}
+			for j := 0; j < pkts; j++ {
+				src := topology.HostID(j % hosts)
+				dst := topology.HostID((j*31 + 17) % hosts)
+				if src == dst {
+					dst = (dst + 1) % topology.HostID(hosts)
+				}
+				f.Inject(packet.Header{
+					Key: packet.FlowKey{
+						Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+						SrcPort: uint16(1024 + j), DstPort: 80, Proto: packet.TCP,
+					},
+					Size: 1500,
+				})
+			}
+			eng.Run(netsim.Second)
+		}
+		b.ReportMetric(pkts, "pkts/op")
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("sampled", func(b *testing.B) { run(b, 1) })
 }
 
 // BenchmarkSuite_ParallelSpeedup times the full dataset prewarm (every

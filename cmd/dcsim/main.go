@@ -12,6 +12,7 @@
 //	dcsim -fleet                                   # print the fleet view
 //	dcsim -fleet -parallel 4                       # same view, 4 workers
 //	dcsim -faults csw-down                         # degraded-mode fault run
+//	dcsim -telemetry -paths-out paths.jsonl        # INT path records + occupancy
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"fbdcnet/internal/obs"
 	"fbdcnet/internal/prof"
 	"fbdcnet/internal/services"
+	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 	"fbdcnet/internal/workload"
 )
@@ -55,6 +57,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	faults := flag.String("faults", "", fmt.Sprintf("run the degraded-mode fault experiment for a scenario (%s)",
 		strings.Join(netsim.FaultScenarios(), "|")))
+	telem := flag.Bool("telemetry", false, "run the in-fabric telemetry experiment and print its report")
+	traceSample := flag.Float64("trace-sample", 0.1, "in-band telemetry flow sampling fraction (0 disables)")
+	queueInterval := flag.Int("queue-interval", 200, "queue occupancy sampling interval, microseconds")
+	pathsOut := flag.String("paths-out", "", "with -telemetry: write retained path records (JSONL, readable by traceview -paths) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
@@ -81,6 +87,8 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
 	cfg.FaultScenario = *faults
+	cfg.TraceSample = *traceSample
+	cfg.QueueInterval = netsim.Time(*queueInterval) * netsim.Microsecond
 	cfg.Obs = obs.NewRegistry()
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -112,6 +120,31 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Print(sys.Degraded().Render())
+		did = true
+	}
+	if *telem {
+		res := sys.Telemetry()
+		if res == nil {
+			logger.Error("-telemetry needs a positive -trace-sample")
+			os.Exit(2)
+		}
+		fmt.Print(res.Render())
+		if *pathsOut != "" {
+			f, err := os.Create(*pathsOut)
+			if err != nil {
+				logger.Error("creating path record file", "err", err)
+				os.Exit(1)
+			}
+			if err := telemetry.WriteRecords(f, res.Records, res.Switches); err != nil {
+				logger.Error("writing path records", "err", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				logger.Error("closing path record file", "err", err)
+				os.Exit(1)
+			}
+			logger.Info("wrote telemetry path records", "records", len(res.Records), "path", *pathsOut)
+		}
 		did = true
 	}
 	if *mirrorRole != "" {

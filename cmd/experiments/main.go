@@ -12,7 +12,8 @@
 //
 //	experiments [-scale tiny|small|medium|large] [-seed N] [-parallel N]
 //	            [-short SECONDS] [-long SECONDS] [-only NAME]
-//	            [-faults SCENARIO] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-faults SCENARIO] [-trace-sample FRAC] [-queue-interval US]
+//	            [-paths-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	            [-metrics-addr HOST:PORT] [-manifest FILE] [-quiet]
 package main
 
@@ -27,6 +28,7 @@ import (
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/obs"
 	"fbdcnet/internal/prof"
+	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 )
 
@@ -55,6 +57,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	faults := flag.String("faults", "", fmt.Sprintf("fault scenario for the degraded-mode section and summary (%s)",
 		strings.Join(netsim.FaultScenarios(), "|")))
+	traceSample := flag.Float64("trace-sample", 0.1, "in-band telemetry flow sampling fraction (0 disables the telemetry section)")
+	queueInterval := flag.Int("queue-interval", 200, "queue occupancy sampling interval, microseconds")
+	pathsOut := flag.String("paths-out", "", "write retained telemetry path records (JSONL, readable by traceview -paths) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
@@ -88,7 +93,13 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
 	cfg.FaultScenario = *faults
+	cfg.TraceSample = *traceSample
+	cfg.QueueInterval = netsim.Time(*queueInterval) * netsim.Microsecond
 	cfg.Obs = obs.NewRegistry()
+	if *pathsOut != "" && cfg.TraceSample <= 0 {
+		logger.Error("-paths-out needs a positive -trace-sample")
+		os.Exit(2)
+	}
 
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -118,6 +129,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pathsOut != "" {
+		if err := writePaths(*pathsOut, sys); err != nil {
+			logger.Error("writing telemetry path records", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote telemetry path records", "path", *pathsOut)
+	}
+
 	if *manifestPath != "" {
 		m := cfg.Obs.Manifest(cfg.ManifestMeta("experiments"))
 		if err := m.Validate(); err != nil {
@@ -141,6 +160,24 @@ func newLogger(quiet bool) *slog.Logger {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 	return logger
+}
+
+// writePaths exports the telemetry experiment's retained path records as
+// JSONL for traceview -paths.
+func writePaths(path string, sys *core.System) error {
+	res := sys.Telemetry()
+	if res == nil {
+		return fmt.Errorf("telemetry disabled")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteRecords(f, res.Records, res.Switches); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // validScenario rejects unknown -faults values before any work happens.

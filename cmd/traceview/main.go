@@ -4,35 +4,57 @@
 // distribution, top flows by bytes, and SYN counts — a minimal
 // tcpdump-style triage tool.
 //
+// With -paths the argument is instead a telemetry path-record file (the
+// JSONL written by `experiments -paths-out` / `dcsim -telemetry
+// -paths-out`), and traceview prints each sampled packet's hop-by-hop
+// walk through the fabric with queue depths and delays.
+//
 // Usage:
 //
 //	traceview trace.fbm
 //	traceview capture.pcap
+//	traceview -paths paths.jsonl
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"fbdcnet/internal/mirror"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/render"
 	"fbdcnet/internal/stats"
+	"fbdcnet/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: traceview <trace.fbm>")
+	paths := flag.Bool("paths", false, "treat the argument as a telemetry path-record file (JSONL)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-paths] <trace.fbm|paths.jsonl>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *paths {
+		recs, err := telemetry.ReadRecords(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reading path records:", err)
+			os.Exit(1)
+		}
+		fmt.Print(renderPaths(recs))
+		return
+	}
+
 	forEach, err := openTrace(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -75,6 +97,54 @@ func main() {
 	for _, kv := range top {
 		fmt.Printf("  %-48s %s\n", kv.Key, render.SI(kv.Val))
 	}
+}
+
+// pathsShown caps how many records print hop by hop; the header totals
+// always cover the whole file.
+const pathsShown = 20
+
+// renderPaths prints the path-record report: status totals, then each
+// record's hop-by-hop walk (switch, tier, egress port, disposal reason,
+// queue depth at enqueue, queuing delay, hop timestamp).
+func renderPaths(recs []telemetry.FileRecord) string {
+	var b strings.Builder
+	var hops int
+	status := map[string]int{}
+	for _, r := range recs {
+		hops += len(r.Hops)
+		status[r.Status]++
+	}
+	fmt.Fprintf(&b, "telemetry path records: %d, hops: %d\n", len(recs), hops)
+	keys := make([]string, 0, len(status))
+	for k := range status {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString("status:")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, status[k])
+	}
+	b.WriteByte('\n')
+	for i := range recs {
+		if i == pathsShown {
+			fmt.Fprintf(&b, "... %d more records\n", len(recs)-pathsShown)
+			break
+		}
+		r := &recs[i]
+		mark := ""
+		if r.Rerouted {
+			mark = " rerouted"
+		}
+		fmt.Fprintf(&b, "%s:%d > %s:%d %dB try %d post %d%s %s in %.1fµs\n",
+			r.Src, r.SrcPort, r.Dst, r.DstPort, r.Size, r.Tries, r.Post, mark,
+			r.Status, float64(r.Done-r.Injected)/1e3)
+		for _, h := range r.Hops {
+			fmt.Fprintf(&b, "  %-10s %-4s port %-3d %-12s qdepth %-8s qdelay %8.1fµs @%10.1fµs\n",
+				h.Switch, h.Tier, h.Port, h.Reason, render.SI(float64(h.QDepth)),
+				float64(h.QDelayNs)/1e3, float64(h.AtNs)/1e3)
+		}
+	}
+	return b.String()
 }
 
 // openTrace sniffs the file's magic and returns an iterator over either

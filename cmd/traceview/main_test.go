@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/telemetry"
+)
+
+// TestRenderPaths pins the -paths report against a canned path-record
+// file so the JSONL schema and the rendered layout stay in sync.
+func TestRenderPaths(t *testing.T) {
+	f, err := os.Open("testdata/paths.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadRecords(f)
+	if err != nil {
+		t.Fatalf("reading canned records: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("canned file has %d records, want 2", len(recs))
+	}
+
+	got := renderPaths(recs)
+	for _, want := range []string{
+		"telemetry path records: 2, hops: 4",
+		"status: buffer-drop=1 delivered=1",
+		"10.0.0.5:33412 > 10.0.1.9:80 1500B try 0 post 2 delivered in 12.4µs",
+		"rsw0",
+		"csw0.1",
+		"qdepth 3.1k",
+		"10.0.2.7:51022 > 10.0.0.5:9000 9000B try 1 post 0 rerouted buffer-drop",
+		"rsw2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report is missing %q\nfull report:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "more records") {
+		t.Errorf("report truncated a 2-record file:\n%s", got)
+	}
+}

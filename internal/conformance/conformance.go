@@ -152,6 +152,8 @@ func isFractional(path string) bool {
 		"edge_util_mean", "hadoop_matrix_diag", "frontend_matrix_diag",
 		"fault_injection.delivered_frac", "fault_injection.baseline_delivered_frac",
 		"fault_injection.locality_delivered.",
+		"telemetry.delivered_frac", "telemetry.buffer_drop_frac",
+		"telemetry.web_occ", "telemetry.hadoop_occ",
 	} {
 		if strings.HasPrefix(path, p) {
 			return true

@@ -67,6 +67,19 @@ type Config struct {
 	// bit-identical-at-any-parallelism contract is preserved.
 	FaultScenario string
 
+	// TraceSample is the in-band telemetry flow sampling fraction: each
+	// flow is selected by rng.NewKeyed(Seed, "telemetry", flowHash), so
+	// the traced set is a pure function of (Seed, flow key) and identical
+	// at any Parallelism. 0 disables the telemetry experiment entirely —
+	// untraced fabrics pay only nil checks and the suite omits the
+	// telemetry section.
+	TraceSample float64
+	// QueueInterval is the fixed interval at which every switch port's
+	// queued bytes are sampled into occupancy timelines during the
+	// telemetry experiment. Large topologies stretch it to stay within a
+	// per-window sample budget.
+	QueueInterval netsim.Time
+
 	// Obs, when non-nil, receives counters, stage spans, and progress from
 	// every pipeline stage. Instrumentation observes the computation but
 	// never participates in it: hot paths increment worker-local shards
@@ -105,6 +118,8 @@ func DefaultConfig() Config {
 		FleetWindows:   24,
 		FleetWindowSec: 60,
 		FleetSamples:   8,
+		TraceSample:    0.1,
+		QueueInterval:  200 * netsim.Microsecond,
 	}
 }
 
@@ -154,6 +169,10 @@ type System struct {
 	baselineMetrics  DegradedMetrics
 	faultOnce        sync.Once
 	faultRes         *DegradedResult
+
+	// In-fabric telemetry memo (nil result when TraceSample is 0).
+	telemOnce sync.Once
+	telemRes  *TelemetryResult
 
 	// obsIDs caches the metric IDs registered against Cfg.Obs (zero value
 	// when observability is disabled — harmless, since every shard and

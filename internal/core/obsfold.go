@@ -1,9 +1,12 @@
 package core
 
 import (
+	"strings"
+
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 )
 
@@ -40,6 +43,14 @@ type coreObsIDs struct {
 	analysisRows    obs.CounterID
 	analysisGrows   obs.CounterID
 	analysisLoadPct obs.HistID
+
+	// In-fabric telemetry (sampled path records).
+	telemSampled     obs.CounterID
+	telemHops        obs.CounterID
+	telemDelivered   obs.CounterID
+	telemDropped     obs.CounterID
+	telemRerouted    obs.CounterID
+	telemRetransmits obs.CounterID
 }
 
 // initObs registers the engine's metrics against Cfg.Obs. A nil registry
@@ -86,6 +97,19 @@ func (s *System) initObs() {
 		"rehashes performed by analysis open-addressing tables")
 	ids.analysisLoadPct = r.Histogram("fbdcnet_analysis_table_load_pct",
 		"load factor (percent) of analysis tables at trace end")
+
+	ids.telemSampled = r.Counter("fbdcnet_telemetry_sampled_total",
+		"delivery attempts of telemetry-sampled flows (path records opened)")
+	ids.telemHops = r.Counter("fbdcnet_telemetry_hops_total",
+		"switch traversals recorded on sampled path records")
+	ids.telemDelivered = r.Counter("fbdcnet_telemetry_delivered_total",
+		"sampled attempts that reached their destination host")
+	ids.telemDropped = r.Counter("fbdcnet_telemetry_dropped_total",
+		"sampled attempts lost in the fabric, any cause")
+	ids.telemRerouted = r.Counter("fbdcnet_telemetry_rerouted_total",
+		"sampled attempts ECMP re-hashed off their hash post")
+	ids.telemRetransmits = r.Counter("fbdcnet_telemetry_retransmits_total",
+		"sampled attempts that were fault-layer retries")
 }
 
 // foldTrace folds one finished trace bundle's counters: headers and
@@ -147,6 +171,43 @@ func (s *System) foldFabricStats(fab *netsim.Fabric) {
 	r.AddCounter(s.obsIDs.netsimFaultEvents, fs.FaultEvents)
 }
 
+// foldTelemetry folds the merged telemetry experiment result: path-
+// record totals, per-reason drop series, per-tier hop series and
+// queuing-delay gauges, and the per-arm occupancy peaks.
+func (s *System) foldTelemetry(res *TelemetryResult) {
+	r := s.Cfg.Obs
+	if r == nil {
+		return
+	}
+	a := &res.Agg
+	r.AddCounter(s.obsIDs.telemSampled, a.Sampled)
+	r.AddCounter(s.obsIDs.telemHops, a.HopsTotal)
+	r.AddCounter(s.obsIDs.telemDelivered, a.Delivered)
+	r.AddCounter(s.obsIDs.telemDropped, a.Dropped)
+	r.AddCounter(s.obsIDs.telemRerouted, a.Rerouted)
+	r.AddCounter(s.obsIDs.telemRetransmits, a.Retransmit)
+	for rc := telemetry.ReasonBufferDrop; rc < telemetry.NumReasons; rc++ {
+		if v := a.DropsByReason[rc]; v > 0 {
+			r.Count(obs.Series("fbdcnet_telemetry_drops_total", "reason", rc.String()), float64(v))
+		}
+	}
+	for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+		ts := &a.Tiers[t]
+		if ts.Hops == 0 {
+			continue
+		}
+		r.Count(obs.Series("fbdcnet_telemetry_tier_hops_total", "tier", t.String()), float64(ts.Hops))
+		r.SetGauge(obs.Series("fbdcnet_telemetry_tier_qdelay_mean_us", "tier", t.String()),
+			ts.MeanQDelay()/1e3)
+	}
+	for i := range res.Arms {
+		arm := &res.Arms[i]
+		name := strings.ToLower(arm.Role.String())
+		r.SetGauge(obs.Series("fbdcnet_telemetry_occ_p99_peak", "arm", name), MaxOf(arm.OccP99))
+		r.SetGauge(obs.Series("fbdcnet_telemetry_occ_max_peak", "arm", name), MaxOf(arm.OccMax))
+	}
+}
+
 // scaleName names a topology scale for the run manifest.
 func scaleName(sc topology.Scale) string {
 	switch sc {
@@ -168,16 +229,18 @@ func (c Config) ManifestMeta(tool string) obs.RunMeta {
 	return obs.RunMeta{
 		Tool: tool,
 		Config: map[string]any{
-			"scale":            scaleName(c.Scale),
-			"seed":             c.Seed,
-			"short_trace_sec":  c.ShortTraceSec,
-			"long_trace_sec":   c.LongTraceSec,
-			"fleet_windows":    c.FleetWindows,
-			"fleet_window_sec": c.FleetWindowSec,
-			"fleet_samples":    c.FleetSamples,
-			"parallelism":      c.Workers(),
-			"taggers":          c.TaggerWorkers(),
-			"fault_scenario":   c.FaultScenario,
+			"scale":             scaleName(c.Scale),
+			"seed":              c.Seed,
+			"short_trace_sec":   c.ShortTraceSec,
+			"long_trace_sec":    c.LongTraceSec,
+			"fleet_windows":     c.FleetWindows,
+			"fleet_window_sec":  c.FleetWindowSec,
+			"fleet_samples":     c.FleetSamples,
+			"parallelism":       c.Workers(),
+			"taggers":           c.TaggerWorkers(),
+			"fault_scenario":    c.FaultScenario,
+			"trace_sample":      c.TraceSample,
+			"queue_interval_us": int64(c.QueueInterval / netsim.Microsecond),
 		},
 	}
 }

@@ -76,6 +76,9 @@ func (s *System) Prewarm() {
 	if s.Cfg.FaultScenario != "" {
 		tasks = append(tasks, func() { s.Degraded() })
 	}
+	if s.Cfg.TraceSample > 0 {
+		tasks = append(tasks, func() { s.Telemetry() })
+	}
 	// Progress uses monotone Set with a completion counter, so re-warming
 	// (Summarize after WriteSuite hits only memos) never over-counts.
 	prog := s.Cfg.Obs.NewProgress("prewarm-bundles", int64(len(tasks)))

@@ -32,6 +32,13 @@ func TestParallelDeterminism(t *testing.T) {
 				t.Fatalf("scenario %q: summary is missing rerouted-byte counters: %+v",
 					scenario, sum.FaultInjection)
 			}
+			// QuickConfig samples telemetry by default; its digest rides in
+			// the same byte-compared JSON, pinning path records, occupancy
+			// quantiles, and hotspot ranking at every worker count.
+			if sum.Telemetry == nil || sum.Telemetry.SampledAttempts == 0 {
+				t.Fatalf("scenario %q: summary is missing telemetry samples: %+v",
+					scenario, sum.Telemetry)
+			}
 			if want == nil {
 				want = data
 				continue

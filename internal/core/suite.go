@@ -52,6 +52,11 @@ func SuiteSections(s *System) []SuiteSection {
 		{"section52", func(s *System) string { return s.Section52().Render() }},
 		{"ext-dayoverday", func(s *System) string { return s.DayOverDay().Render() }},
 	}
+	if s.Cfg.TraceSample > 0 {
+		secs = append(secs, SuiteSection{"telemetry", func(s *System) string {
+			return s.Telemetry().Render()
+		}})
+	}
 	if s.Cfg.FaultScenario != "" {
 		secs = append(secs, SuiteSection{"degraded", func(s *System) string {
 			return s.Degraded().Render()

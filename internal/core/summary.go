@@ -5,6 +5,7 @@ import (
 
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 )
 
@@ -60,6 +61,28 @@ type Summary struct {
 	// Fault injection digest, present only when Config.FaultScenario is
 	// set.
 	FaultInjection *FaultSummary `json:"fault_injection,omitempty"`
+
+	// In-fabric telemetry digest, present only when Config.TraceSample is
+	// positive.
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+}
+
+// TelemetrySummary digests the in-fabric telemetry experiment: path-
+// record accounting, ToR queuing latency, and the Web/Hadoop occupancy
+// contrast (peaks of the per-window quantile timelines).
+type TelemetrySummary struct {
+	SampledAttempts  int64   `json:"sampled_attempts"`
+	SampledHops      int64   `json:"sampled_hops"`
+	DeliveredFrac    float64 `json:"delivered_frac"`
+	BufferDropFrac   float64 `json:"buffer_drop_frac"`
+	RSWQDelayMeanUs  float64 `json:"rsw_qdelay_mean_us"`
+	RSWQDelayP99Us   float64 `json:"rsw_qdelay_p99_us"`
+	DeliverMeanUs    float64 `json:"deliver_mean_us"`
+	WebOccP99Peak    float64 `json:"web_occ_p99_peak"`
+	WebOccMaxPeak    float64 `json:"web_occ_max_peak"`
+	HadoopOccP99Peak float64 `json:"hadoop_occ_p99_peak"`
+	HadoopOccMaxPeak float64 `json:"hadoop_occ_max_peak"`
+	HotspotPeakBytes int64   `json:"hotspot_peak_bytes"`
 }
 
 // FaultSummary digests the degraded-mode run of the configured fault
@@ -194,6 +217,35 @@ func (s *System) Summarize() *Summary {
 			LostIntraRack:     d.Faults.LostByLocality[topology.IntraRack],
 			LocalityDelivered: d.Degraded.LocalityBytes,
 		}
+	}
+
+	if tel := s.Telemetry(); tel != nil {
+		a := &tel.Agg
+		rsw := &a.Tiers[telemetry.TierRSW]
+		tsum := &TelemetrySummary{
+			SampledAttempts: a.Sampled,
+			SampledHops:     a.HopsTotal,
+			DeliveredFrac:   a.DeliveredFrac(),
+			RSWQDelayMeanUs: rsw.MeanQDelay() / 1e3,
+			RSWQDelayP99Us:  rsw.QDelayQuantile(0.99) / 1e3,
+			DeliverMeanUs:   a.MeanDeliverNs() / 1e3,
+		}
+		if a.Sampled > 0 {
+			tsum.BufferDropFrac = float64(a.DropsByReason[telemetry.ReasonBufferDrop]) / float64(a.Sampled)
+		}
+		for i := range tel.Arms {
+			arm := &tel.Arms[i]
+			switch arm.Role {
+			case topology.RoleWeb:
+				tsum.WebOccP99Peak, tsum.WebOccMaxPeak = MaxOf(arm.OccP99), MaxOf(arm.OccMax)
+			case topology.RoleHadoop:
+				tsum.HadoopOccP99Peak, tsum.HadoopOccMaxPeak = MaxOf(arm.OccP99), MaxOf(arm.OccMax)
+			}
+		}
+		if len(tel.Hotspots) > 0 {
+			tsum.HotspotPeakBytes = tel.Hotspots[0].PeakBytes
+		}
+		sum.Telemetry = tsum
 	}
 
 	return sum

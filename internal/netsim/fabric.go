@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbdcnet/internal/packet"
+	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 )
 
@@ -112,6 +113,9 @@ type Fabric struct {
 	hostLinkDown []bool   // per host access link
 	faultsActive int
 	faults       FaultStats
+	// telem, when attached, samples flows for in-band path records and
+	// receives the per-port occupancy series (see AttachTelemetry).
+	telem *telemetry.Sink
 	// DisableReroute turns off ECMP re-hashing around dead paths: packets
 	// keep their hash-preferred post even when it is down, so they drop
 	// and retransmit into the same dead path. This is the ablation arm
@@ -263,6 +267,68 @@ func (f *Fabric) allSwitches() []*Switch {
 	return out
 }
 
+// AttachTelemetry wires an in-band telemetry sink into the fabric:
+// every switch registers its identity (in a fixed edge-outward order, so
+// IDs are stable across runs and across the per-window fabrics of one
+// experiment), host sinks finalize records at delivery, and Inject opens
+// a record for each sampled flow's packets. Attach before injecting any
+// traffic; a fabric without telemetry pays only nil checks.
+func (f *Fabric) AttachTelemetry(ts *telemetry.Sink) {
+	f.telem = ts
+	for _, sw := range f.rsws {
+		sw.setTelemetry(ts, telemetry.TierRSW)
+	}
+	for _, post := range f.csws {
+		for _, sw := range post {
+			sw.setTelemetry(ts, telemetry.TierCSW)
+		}
+	}
+	for _, post := range f.fcs {
+		for _, sw := range post {
+			sw.setTelemetry(ts, telemetry.TierFC)
+		}
+	}
+	for _, sw := range f.dcrs {
+		sw.setTelemetry(ts, telemetry.TierDCR)
+	}
+	for _, sw := range f.aggs {
+		sw.setTelemetry(ts, telemetry.TierAGG)
+	}
+	f.bb.setTelemetry(ts, telemetry.TierBB)
+	for _, sk := range f.sinks {
+		sk.Telem = ts
+	}
+}
+
+// Telemetry returns the attached telemetry sink (nil when untraced).
+func (f *Fabric) Telemetry() *telemetry.Sink { return f.telem }
+
+// StartQueueSampling schedules fixed-interval reads of every switch
+// port's queued bytes into the attached telemetry sink's pooled columnar
+// buffers, from one interval after the current time until the given
+// horizon. No-op without an attached sink or with a non-positive
+// interval.
+func (f *Fabric) StartQueueSampling(interval, until Time) {
+	if f.telem == nil || interval <= 0 {
+		return
+	}
+	for _, sw := range f.allSwitches() {
+		sw := sw
+		os := f.telem.NewOccSeries(sw.telemID, len(sw.ports))
+		var tick func()
+		tick = func() {
+			row := os.Extend(int64(f.Eng.Now()))
+			for pi, pt := range sw.ports {
+				row[pi] = pt.queued
+			}
+			if f.Eng.Now()+interval <= until {
+				f.Eng.After(interval, tick)
+			}
+		}
+		f.Eng.After(interval, tick)
+	}
+}
+
 // Sink returns the receiving endpoint for host h.
 func (f *Fabric) Sink(h topology.HostID) *Sink { return f.sinks[h] }
 
@@ -329,12 +395,14 @@ func (f *Fabric) inject(hdr packet.Header, tries uint8) {
 	cs, cd := src.Cluster, dst.Cluster
 	ds, dd := src.Datacenter, dst.Datacenter
 	ss, sd := src.Site, dst.Site
+	rerouted := false
 
 	if f.faultsActive > 0 {
 		// A dead source access link or source RSW blocks transmission
 		// outright — there is no alternate first hop to re-hash onto.
 		if f.hostLinkDown[src.ID] || f.rswDown[rs] {
 			f.faults.FaultDrops++
+			f.telemDeadEnd(hdr, tries)
 			f.scheduleRetry(hdr, tries)
 			return
 		}
@@ -342,6 +410,7 @@ func (f *Fabric) inject(hdr packet.Header, tries uint8) {
 			// Destination-side dead ends are equally post-independent.
 			if f.rswDown[rd] || f.hostLinkDown[dst.ID] {
 				f.faults.FaultDrops++
+				f.telemDeadEnd(hdr, tries)
 				f.scheduleRetry(hdr, tries)
 				return
 			}
@@ -349,12 +418,14 @@ func (f *Fabric) inject(hdr packet.Header, tries uint8) {
 				chosen := f.pickPost(hash, rs, rd, cs, cd, ds, dd)
 				if chosen < 0 {
 					f.faults.FaultDrops++
+					f.telemDeadEnd(hdr, tries)
 					f.scheduleRetry(hdr, tries)
 					return
 				}
 				if chosen != post {
 					f.faults.ReroutedPkts++
 					f.faults.ReroutedBytes += int64(hdr.Size)
+					rerouted = true
 				}
 				post = chosen
 			}
@@ -363,6 +434,9 @@ func (f *Fabric) inject(hdr packet.Header, tries uint8) {
 
 	f.hostUp[src.ID].bytesTx += int64(hdr.Size)
 	p := &Packet{Hdr: hdr, Tries: tries}
+	if f.telem != nil && f.telem.Sampled(hdr.Key) {
+		p.Rec = f.telem.Start(hdr.Key, hdr.Size, tries, uint8(post), rerouted, int64(f.Eng.Now()))
+	}
 
 	var hops []hop
 	push := func(n Node, port int) { hops = append(hops, hop{n, port}) }
@@ -399,6 +473,14 @@ func (f *Fabric) inject(hdr packet.Header, tries uint8) {
 	first := hops[0]
 	p.hops = hops[1:]
 	first.node.Receive(p, first.port)
+}
+
+// telemDeadEnd records a sampled packet lost to a fault dead end at
+// injection: no live ECMP path exists, so no hop ever sees the packet.
+func (f *Fabric) telemDeadEnd(hdr packet.Header, tries uint8) {
+	if f.telem != nil && f.telem.Sampled(hdr.Key) {
+		f.telem.Drop(hdr.Key, hdr.Size, tries, telemetry.ReasonNoLivePath, int64(f.Eng.Now()))
+	}
 }
 
 // pickPost returns the ECMP post for a non-intra-rack path under faults:

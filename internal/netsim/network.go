@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbdcnet/internal/packet"
+	"fbdcnet/internal/telemetry"
 )
 
 // Packet is a unit of traffic moving through the simulated network.
@@ -12,6 +13,12 @@ type Packet struct {
 	// Tries counts delivery attempts: 0 for the first transmission,
 	// incremented by the fault layer on each retransmission.
 	Tries uint8
+	// Rec, when non-nil, is the in-band telemetry path record this
+	// sampled packet carries: each switch appends a hop, and whichever
+	// element disposes of the packet (sink delivery, buffer drop, fault)
+	// finalizes it with the terminal reason code. Nil for unsampled
+	// packets — every telemetry touch is a nil check on this field.
+	Rec *telemetry.PathRecord
 	// hops is the remaining sequence of (node, egress port) steps.
 	hops []hop
 }
@@ -106,6 +113,33 @@ type Switch struct {
 	// (down switch or down link) — the hook the fabric's retransmission
 	// accounting attaches to.
 	OnFaultDrop func(p *Packet)
+
+	// In-band telemetry registration (Fabric.AttachTelemetry). telem is
+	// nil on untraced fabrics; sampled packets cannot then exist, so the
+	// recording paths below stay behind p.Rec nil checks.
+	telem     *telemetry.Sink
+	telemID   uint32
+	telemTier telemetry.Tier
+}
+
+// setTelemetry registers the switch's identity with an attached sink.
+func (s *Switch) setTelemetry(ts *telemetry.Sink, tier telemetry.Tier) {
+	s.telem = ts
+	s.telemTier = tier
+	s.telemID = ts.RegisterSwitch(s.name, tier, len(s.ports))
+}
+
+// TelemetryID returns the dense switch ID assigned by an attached
+// telemetry sink (0 when untraced).
+func (s *Switch) TelemetryID() uint32 { return s.telemID }
+
+// faultReason maps the down flags to the telemetry reason code at a
+// fault drop: a down switch wins over a down link.
+func (s *Switch) faultReason() telemetry.Reason {
+	if s.down {
+		return telemetry.ReasonSwitchDown
+	}
+	return telemetry.ReasonLinkDown
 }
 
 // NewSwitch creates a switch with the given shared buffer capacity.
@@ -174,6 +208,13 @@ func (s *Switch) Receive(p *Packet, port int) {
 	}
 	pt := s.ports[port]
 	if s.down || pt.down {
+		if p.Rec != nil {
+			reason := s.faultReason()
+			now := int64(s.eng.Now())
+			p.Rec.AddHop(s.telemID, s.telemTier, uint16(port), reason, s.used, 0, now)
+			s.telem.Finish(p.Rec, reason, now)
+			p.Rec = nil
+		}
 		s.faultDrop(p)
 		return
 	}
@@ -181,18 +222,30 @@ func (s *Switch) Receive(p *Packet, port int) {
 	if s.used+size > s.BufBytes {
 		pt.drops++
 		s.dropTotal++
+		if p.Rec != nil {
+			now := int64(s.eng.Now())
+			p.Rec.AddHop(s.telemID, s.telemTier, uint16(port), telemetry.ReasonBufferDrop, s.used, 0, now)
+			s.telem.Finish(p.Rec, telemetry.ReasonBufferDrop, now)
+			p.Rec = nil
+		}
 		if s.OnDrop != nil {
 			s.OnDrop(p)
 		}
 		return
 	}
-	s.used += size
-	pt.queued += size
-	s.enqueues++
 	start := s.eng.Now()
 	if pt.busyUntil > start {
 		start = pt.busyUntil
 	}
+	if p.Rec != nil {
+		// Queue depth is the shared-pool usage ahead of this packet;
+		// queuing delay is the wait behind earlier departures on the port.
+		p.Rec.AddHop(s.telemID, s.telemTier, uint16(port), telemetry.ReasonForwarded,
+			s.used, int64(start-s.eng.Now()), int64(s.eng.Now()))
+	}
+	s.used += size
+	pt.queued += size
+	s.enqueues++
 	depart := start + pt.Link.TxTime(p.Hdr.Size)
 	pt.busyUntil = depart
 	s.eng.At(depart, func() {
@@ -202,6 +255,12 @@ func (s *Switch) Receive(p *Packet, port int) {
 		// at its departure instant: the buffer is released but nothing
 		// goes on the wire.
 		if s.down || pt.down {
+			if p.Rec != nil {
+				reason := s.faultReason()
+				p.Rec.FailLastHop(reason)
+				s.telem.Finish(p.Rec, reason, int64(s.eng.Now()))
+				p.Rec = nil
+			}
 			s.faultDrop(p)
 			return
 		}
@@ -237,6 +296,9 @@ type Sink struct {
 	Delay Moments
 	// OnPacket, if set, is invoked for each delivered packet.
 	OnPacket func(p *Packet)
+	// Telem, if set, finalizes the path records of sampled packets at
+	// delivery (set by Fabric.AttachTelemetry).
+	Telem *telemetry.Sink
 	// OnBatch, if set, receives delivered headers batched at
 	// departure-time boundaries: the slab is handed over whenever a
 	// delivery arrives at a later engine time than the buffered ones, so
@@ -264,6 +326,14 @@ func (s *Sink) Receive(p *Packet, _ int) {
 	s.Bytes += int64(p.Hdr.Size)
 	if s.eng != nil {
 		s.Delay.Add(float64(s.eng.Now() - p.Hdr.Time))
+	}
+	if p.Rec != nil && s.Telem != nil {
+		now := int64(0)
+		if s.eng != nil {
+			now = int64(s.eng.Now())
+		}
+		s.Telem.Finish(p.Rec, telemetry.ReasonDelivered, now)
+		p.Rec = nil
 	}
 	if s.OnPacket != nil {
 		s.OnPacket(p)

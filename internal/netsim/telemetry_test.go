@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"testing"
+
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/telemetry"
+	"fbdcnet/internal/topology"
+)
+
+// attachAllSampled wires a rate-1 telemetry sink so every flow records.
+func attachAllSampled(f *Fabric) *telemetry.Sink {
+	ts := telemetry.NewSink(42, 1)
+	f.AttachTelemetry(ts)
+	return ts
+}
+
+// TestPathRecordHops checks that a sampled inter-cluster packet records
+// every switch traversal with the expected tiers, ECMP post, and
+// monotone hop times, and finalizes as delivered.
+func TestPathRecordHops(t *testing.T) {
+	eng, f, topo := newTestFabric(t)
+	ts := attachAllSampled(f)
+	src, dst := pickPair(t, topo, topology.IntraDatacenter)
+	inject(f, src, dst, 1000)
+	eng.Run(Second)
+
+	if len(ts.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(ts.Records))
+	}
+	r := ts.Records[0]
+	if r.Status != telemetry.ReasonDelivered {
+		t.Fatalf("status = %v", r.Status)
+	}
+	wantTiers := []telemetry.Tier{
+		telemetry.TierRSW, telemetry.TierCSW, telemetry.TierFC,
+		telemetry.TierCSW, telemetry.TierRSW,
+	}
+	if len(r.Hops) != len(wantTiers) {
+		t.Fatalf("hops = %d, want %d", len(r.Hops), len(wantTiers))
+	}
+	hdr := packet.Header{Key: packet.FlowKey{
+		Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+		SrcPort: 1000, DstPort: 80, Proto: packet.TCP,
+	}}
+	if want := uint8(hdr.Key.FastHash() % 4); r.Post != want {
+		t.Errorf("post = %d, want hash choice %d", r.Post, want)
+	}
+	sw := ts.Switches()
+	for i, h := range r.Hops {
+		if h.Tier != wantTiers[i] {
+			t.Errorf("hop %d tier = %v, want %v", i, h.Tier, wantTiers[i])
+		}
+		if h.Reason != telemetry.ReasonForwarded {
+			t.Errorf("hop %d reason = %v", i, h.Reason)
+		}
+		if i > 0 && h.At < r.Hops[i-1].At {
+			t.Errorf("hop %d time regresses: %d < %d", i, h.At, r.Hops[i-1].At)
+		}
+		if int(h.Switch) >= len(sw) {
+			t.Fatalf("hop %d switch id %d unregistered", i, h.Switch)
+		}
+	}
+	if sw[r.Hops[0].Switch].Tier != telemetry.TierRSW {
+		t.Errorf("first hop registered as %v", sw[r.Hops[0].Switch].Tier)
+	}
+	if r.Done <= r.Injected {
+		t.Errorf("done %d not after injected %d", r.Done, r.Injected)
+	}
+	if ts.Agg.Delivered != 1 || ts.Agg.HopsTotal != int64(len(wantTiers)) {
+		t.Errorf("agg: %+v", ts.Agg)
+	}
+}
+
+// TestPathRecordBufferDrop forces shared-buffer exhaustion and checks the
+// drop is attributed to the RSW tier with the buffer-drop reason.
+func TestPathRecordBufferDrop(t *testing.T) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	eng := &Engine{}
+	cfg := DefaultFabricConfig()
+	cfg.RSWBufBytes = 1500 // one packet fills the ToR
+	f := NewFabric(eng, topo, cfg)
+	ts := attachAllSampled(f)
+	src, dst := pickPair(t, topo, topology.IntraRack)
+	for i := 0; i < 4; i++ {
+		f.Inject(packet.Header{
+			Key: packet.FlowKey{
+				Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+				SrcPort: uint16(2000 + i), DstPort: 80, Proto: packet.TCP,
+			},
+			Size: 1500,
+		})
+	}
+	eng.Run(Second)
+	if ts.Agg.DropsByReason[telemetry.ReasonBufferDrop] == 0 {
+		t.Fatalf("no buffer drops recorded: %+v", ts.Agg)
+	}
+	if ts.Agg.DropMatrix[telemetry.ReasonBufferDrop][telemetry.TierRSW] !=
+		ts.Agg.DropsByReason[telemetry.ReasonBufferDrop] {
+		t.Fatalf("buffer drops not attributed to RSW: %v", ts.Agg.DropMatrix)
+	}
+	if ts.Agg.Delivered+ts.Agg.Dropped != ts.Agg.Sampled {
+		t.Fatalf("attempts unaccounted: %+v", ts.Agg)
+	}
+}
+
+// TestPathRecordFaultReasons covers the fault reason codes: a down switch
+// mid-path, and the no-live-path dead end when the destination rack dies.
+func TestPathRecordFaultReasons(t *testing.T) {
+	topo := faultTestTopo(t)
+	eng := &Engine{}
+	f := NewFabric(eng, topo, DefaultFabricConfig())
+	ts := attachAllSampled(f)
+	f.DisableReroute = true // keep the hash post so the dead CSW is hit
+	f.SetElementDown(topology.Element{Kind: topology.ElemCSW, A: 0, B: 0}, true)
+	var delivered, switchDown int
+	for port := uint16(1); port <= 40; port++ {
+		f.Inject(hdrBetween(topo, 0, 5, port)) // intra-cluster, crosses a CSW
+	}
+	eng.Run(Second)
+	for _, r := range ts.Records {
+		switch r.Status {
+		case telemetry.ReasonDelivered:
+			delivered++
+		case telemetry.ReasonSwitchDown:
+			switchDown++
+			last := r.Hops[len(r.Hops)-1]
+			if last.Tier != telemetry.TierCSW {
+				t.Errorf("switch-down drop at tier %v, want CSW", last.Tier)
+			}
+		}
+	}
+	if delivered == 0 || switchDown == 0 {
+		t.Fatalf("want both delivered and switch-down records, got %d/%d (agg %+v)",
+			delivered, switchDown, ts.Agg)
+	}
+	if ts.Agg.DropMatrix[telemetry.ReasonSwitchDown][telemetry.TierCSW] == 0 {
+		t.Errorf("switch-down not attributed to CSW tier: %v", ts.Agg.DropMatrix)
+	}
+
+	// Destination RSW down with reroute on: post-independent dead end.
+	eng2 := &Engine{}
+	f2 := NewFabric(eng2, topo, DefaultFabricConfig())
+	ts2 := attachAllSampled(f2)
+	f2.SetElementDown(topology.Element{Kind: topology.ElemRSW, A: topo.Hosts[5].Rack}, true)
+	f2.Inject(hdrBetween(topo, 0, 5, 7))
+	eng2.Run(Second)
+	if ts2.Agg.DropsByReason[telemetry.ReasonNoLivePath] == 0 {
+		t.Fatalf("no no-live-path record: %+v", ts2.Agg)
+	}
+
+	// Reroute around a single dead CSW must mark records rerouted.
+	eng3 := &Engine{}
+	f3 := NewFabric(eng3, topo, DefaultFabricConfig())
+	ts3 := attachAllSampled(f3)
+	f3.SetElementDown(topology.Element{Kind: topology.ElemCSW, A: 0, B: 0}, true)
+	for port := uint16(1); port <= 40; port++ {
+		f3.Inject(hdrBetween(topo, 0, 5, port))
+	}
+	eng3.Run(Second)
+	if ts3.Agg.Rerouted == 0 {
+		t.Fatalf("no rerouted records around dead CSW: %+v", ts3.Agg)
+	}
+	if ts3.Agg.Rerouted == ts3.Agg.Sampled {
+		t.Fatalf("every flow marked rerouted: %+v", ts3.Agg)
+	}
+}
+
+// TestQueueSampling checks the fixed-interval occupancy series: every
+// switch emits one series, rows land at exact interval multiples, and a
+// busy RSW shows nonzero queued bytes.
+func TestQueueSampling(t *testing.T) {
+	eng, f, topo := newTestFabric(t)
+	ts := attachAllSampled(f)
+	f.StartQueueSampling(10*Microsecond, 5*Millisecond)
+	src, dst := pickPair(t, topo, topology.IntraRack)
+	for i := 0; i < 50; i++ {
+		f.Inject(packet.Header{
+			Key: packet.FlowKey{
+				Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+				SrcPort: uint16(3000 + i), DstPort: 80, Proto: packet.TCP,
+			},
+			Size: 1500,
+		})
+	}
+	eng.Run(5 * Millisecond)
+
+	nSwitches := len(f.allSwitches())
+	if len(ts.Occ) != nSwitches {
+		t.Fatalf("series = %d, want one per switch (%d)", len(ts.Occ), nSwitches)
+	}
+	var sawQueued bool
+	for _, os := range ts.Occ {
+		if os.Samples() == 0 {
+			t.Fatalf("switch %d emitted no samples", os.Switch)
+		}
+		for i := 0; i < os.Samples(); i++ {
+			if os.Times[i]%int64(10*Microsecond) != 0 {
+				t.Fatalf("sample at %d ns off the interval grid", os.Times[i])
+			}
+			if os.Total(i) > 0 {
+				sawQueued = true
+			}
+		}
+	}
+	if !sawQueued {
+		t.Fatal("no sample caught queued bytes on a loaded fabric")
+	}
+	rswID, ok := ts.SwitchByName(f.RSWOfHost(src).Name())
+	if !ok {
+		t.Fatal("source RSW not registered")
+	}
+	var found bool
+	for _, os := range ts.Occ {
+		if os.Switch == rswID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no occupancy series for the source RSW")
+	}
+}
+
+// TestUnsampledFastPathAllocParity pins the nil-record fast path: with a
+// telemetry sink attached but the flow unsampled, injecting and draining
+// a packet allocates exactly as much as on an untraced fabric.
+func TestUnsampledFastPathAllocParity(t *testing.T) {
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	src, dst := pickPair(t, topo, topology.IntraCluster)
+	hdr := packet.Header{
+		Key: packet.FlowKey{
+			Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+			SrcPort: 4000, DstPort: 80, Proto: packet.TCP,
+		},
+		Size: 1500,
+	}
+	measure := func(traced bool) float64 {
+		eng := &Engine{}
+		f := NewFabric(eng, topo, DefaultFabricConfig())
+		if traced {
+			ts := telemetry.NewSink(42, 0) // rate 0: nothing samples
+			f.AttachTelemetry(ts)
+			ts.Sampled(hdr.Key) // memoize the per-flow decision
+		}
+		// Warm the engine heap so its growth doesn't count.
+		f.Inject(hdr)
+		eng.Run(Second)
+		return testing.AllocsPerRun(200, func() {
+			f.Inject(hdr)
+			eng.Run(eng.Now() + Second)
+		})
+	}
+	plain := measure(false)
+	traced := measure(true)
+	if traced > plain {
+		t.Fatalf("unsampled fast path allocates more with telemetry attached: %.2f vs %.2f/op",
+			traced, plain)
+	}
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FileHop is the on-disk form of one hop, with the switch resolved to its
+// name so record files stand alone.
+type FileHop struct {
+	Switch   string `json:"switch"`
+	Tier     string `json:"tier"`
+	Port     uint16 `json:"port"`
+	Reason   string `json:"reason"`
+	QDepth   int64  `json:"qdepth_bytes"`
+	QDelayNs int64  `json:"qdelay_ns"`
+	AtNs     int64  `json:"at_ns"`
+}
+
+// FileRecord is the on-disk form of one path record: one JSON object per
+// line (JSONL), human-greppable and streamable.
+type FileRecord struct {
+	Src      string    `json:"src"`
+	Dst      string    `json:"dst"`
+	SrcPort  uint16    `json:"sport"`
+	DstPort  uint16    `json:"dport"`
+	Proto    uint8     `json:"proto"`
+	Size     uint32    `json:"size"`
+	Tries    uint8     `json:"tries"`
+	Post     uint8     `json:"post"`
+	Rerouted bool      `json:"rerouted,omitempty"`
+	Status   string    `json:"status"`
+	Injected int64     `json:"injected_ns"`
+	Done     int64     `json:"done_ns"`
+	Hops     []FileHop `json:"hops"`
+}
+
+// ToFileRecord resolves a record against the switch table.
+func ToFileRecord(r *PathRecord, switches []SwitchInfo) FileRecord {
+	fr := FileRecord{
+		Src:     r.Key.Src.String(),
+		Dst:     r.Key.Dst.String(),
+		SrcPort: r.Key.SrcPort, DstPort: r.Key.DstPort,
+		Proto: uint8(r.Key.Proto),
+		Size:  r.Size, Tries: r.Tries, Post: r.Post, Rerouted: r.Rerouted,
+		Status:   r.Status.String(),
+		Injected: r.Injected, Done: r.Done,
+		Hops: make([]FileHop, 0, len(r.Hops)),
+	}
+	for i := range r.Hops {
+		h := &r.Hops[i]
+		name := fmt.Sprintf("sw%d", h.Switch)
+		if int(h.Switch) < len(switches) {
+			name = switches[h.Switch].Name
+		}
+		fr.Hops = append(fr.Hops, FileHop{
+			Switch: name, Tier: h.Tier.String(), Port: h.Port,
+			Reason: h.Reason.String(),
+			QDepth: h.QDepth, QDelayNs: h.QDelay, AtNs: h.At,
+		})
+	}
+	return fr
+}
+
+// WriteRecords streams records to w as JSONL, resolving switch IDs
+// against the registration table.
+func WriteRecords(w io.Writer, recs []*PathRecord, switches []SwitchInfo) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(ToFileRecord(r, switches)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a JSONL record file.
+func ReadRecords(r io.Reader) ([]FileRecord, error) {
+	var out []FileRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var fr FileRecord
+		if err := json.Unmarshal(b, &fr); err != nil {
+			return nil, fmt.Errorf("telemetry: record file line %d: %v", line, err)
+		}
+		out = append(out, fr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

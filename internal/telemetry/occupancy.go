@@ -1,0 +1,78 @@
+package telemetry
+
+import "sync"
+
+// OccSeries is the columnar queue-occupancy time series of one switch:
+// one row per fixed-interval sample, one column per egress port. Rows are
+// stored port-major in a single flat slice so a whole run reuses two
+// backing arrays regardless of sample count.
+type OccSeries struct {
+	Switch uint32
+	Ports  int
+	Times  []int64 // sample instants, ns
+	Vals   []int64 // len(Times)*Ports; Vals[i*Ports+p] = queued bytes on port p
+}
+
+// Extend appends one sample row at time t and returns the row's value
+// slice for the caller to fill (one queued-bytes entry per port).
+func (o *OccSeries) Extend(t int64) []int64 {
+	o.Times = append(o.Times, t)
+	n := len(o.Vals)
+	if n+o.Ports <= cap(o.Vals) {
+		o.Vals = o.Vals[:n+o.Ports]
+	} else {
+		o.Vals = append(o.Vals, make([]int64, o.Ports)...)
+	}
+	row := o.Vals[n : n+o.Ports]
+	for i := range row {
+		row[i] = 0
+	}
+	return row
+}
+
+// Samples returns the number of sample rows.
+func (o *OccSeries) Samples() int { return len(o.Times) }
+
+// Row returns the per-port values of sample i (shared, do not retain).
+func (o *OccSeries) Row(i int) []int64 { return o.Vals[i*o.Ports : (i+1)*o.Ports] }
+
+// Total returns the summed occupancy across ports at sample i — the
+// switch's shared-buffer usage at that instant.
+func (o *OccSeries) Total(i int) int64 {
+	var t int64
+	for _, v := range o.Row(i) {
+		t += v
+	}
+	return t
+}
+
+// reset clears the series for reuse, keeping capacity.
+func (o *OccSeries) reset() {
+	o.Switch, o.Ports = 0, 0
+	o.Times = o.Times[:0]
+	o.Vals = o.Vals[:0]
+}
+
+// BufferPool recycles OccSeries backing arrays across the per-task sinks
+// of a parallel experiment. It is safe for concurrent use; determinism is
+// unaffected because every row is fully overwritten before it is read.
+type BufferPool struct {
+	p sync.Pool
+}
+
+// NewBufferPool creates an empty pool.
+func NewBufferPool() *BufferPool { return &BufferPool{} }
+
+// Get returns a cleared series, reusing pooled capacity when available.
+func (bp *BufferPool) Get() *OccSeries {
+	if v := bp.p.Get(); v != nil {
+		return v.(*OccSeries)
+	}
+	return new(OccSeries)
+}
+
+// Put returns a series to the pool.
+func (bp *BufferPool) Put(o *OccSeries) {
+	o.reset()
+	bp.p.Put(o)
+}

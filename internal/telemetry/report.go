@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// TierStats accumulates per-hop queuing behaviour for one switch tier.
+// Queuing-delay quantiles come from a power-of-two histogram (the same
+// bucketing the obs layer uses), which merges exactly and keeps the
+// aggregate deterministic under any fold order of equal-keyed partials.
+type TierStats struct {
+	Hops      int64
+	QDelaySum int64 // ns
+	QDelayMax int64
+	QDepthSum int64 // bytes
+	QDepthMax int64
+
+	delayHist [65]int64 // bucket i counts delays with bit-length i
+}
+
+// addHop folds one hop.
+func (t *TierStats) addHop(h *Hop) {
+	t.Hops++
+	t.QDelaySum += h.QDelay
+	if h.QDelay > t.QDelayMax {
+		t.QDelayMax = h.QDelay
+	}
+	t.QDepthSum += h.QDepth
+	if h.QDepth > t.QDepthMax {
+		t.QDepthMax = h.QDepth
+	}
+	t.delayHist[bits.Len64(uint64(h.QDelay))]++
+}
+
+// Merge folds another tier's stats into t.
+func (t *TierStats) Merge(o *TierStats) {
+	t.Hops += o.Hops
+	t.QDelaySum += o.QDelaySum
+	if o.QDelayMax > t.QDelayMax {
+		t.QDelayMax = o.QDelayMax
+	}
+	t.QDepthSum += o.QDepthSum
+	if o.QDepthMax > t.QDepthMax {
+		t.QDepthMax = o.QDepthMax
+	}
+	for i, c := range o.delayHist {
+		t.delayHist[i] += c
+	}
+}
+
+// MeanQDelay returns the mean queuing delay in ns (0 when empty).
+func (t *TierStats) MeanQDelay() float64 {
+	if t.Hops == 0 {
+		return 0
+	}
+	return float64(t.QDelaySum) / float64(t.Hops)
+}
+
+// MeanQDepth returns the mean enqueue-time buffer depth in bytes.
+func (t *TierStats) MeanQDepth() float64 {
+	if t.Hops == 0 {
+		return 0
+	}
+	return float64(t.QDepthSum) / float64(t.Hops)
+}
+
+// QDelayQuantile returns an upper bound on the p-quantile of queuing
+// delay (ns): the top of the histogram bucket where the cumulative count
+// crosses p. Resolution is a factor of two — coarse, but exact to merge
+// and stable to compare.
+func (t *TierStats) QDelayQuantile(p float64) float64 {
+	if t.Hops == 0 {
+		return 0
+	}
+	target := int64(p * float64(t.Hops))
+	if target >= t.Hops {
+		target = t.Hops - 1
+	}
+	var cum int64
+	for i, c := range t.delayHist {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return 0
+			}
+			// Bucket upper bound, clamped to the observed maximum so the
+			// quantile never reports above the recorded extreme.
+			ub := float64(int64(1) << uint(i))
+			if ub > float64(t.QDelayMax) {
+				return float64(t.QDelayMax)
+			}
+			return ub
+		}
+	}
+	return float64(t.QDelayMax)
+}
+
+// Agg is the mergeable digest of every record a sink finished: the
+// per-task partial that folds at the task-order frontier, exactly like an
+// fbflow.Partial or obs.Shard.
+type Agg struct {
+	Sampled    int64 // records opened (delivery attempts of sampled flows)
+	Delivered  int64
+	Dropped    int64 // terminal drops of any cause
+	Rerouted   int64 // attempts ECMP re-hashed off their hash post
+	Retransmit int64 // attempts with Tries > 0
+	HopsTotal  int64
+
+	// DropsByReason counts terminal drops per cause; DropMatrix attributes
+	// them to the tier of the hop that lost the packet (no-live-path drops
+	// never reach a hop and appear only in DropsByReason).
+	DropsByReason [NumReasons]int64
+	DropMatrix    [NumReasons][NumTiers]int64
+
+	Tiers [NumTiers]TierStats
+
+	// End-to-end delivery latency of sampled packets, ns.
+	DeliverNsSum int64
+	DeliverNsMax int64
+}
+
+// fold accumulates one finished record.
+func (a *Agg) fold(r *PathRecord) {
+	a.HopsTotal += int64(len(r.Hops))
+	for i := range r.Hops {
+		h := &r.Hops[i]
+		if h.Tier < NumTiers {
+			a.Tiers[h.Tier].addHop(h)
+		}
+	}
+	switch r.Status {
+	case ReasonDelivered:
+		a.Delivered++
+		d := r.Done - r.Injected
+		a.DeliverNsSum += d
+		if d > a.DeliverNsMax {
+			a.DeliverNsMax = d
+		}
+	default:
+		a.Dropped++
+		if r.Status < NumReasons {
+			a.DropsByReason[r.Status]++
+			if n := len(r.Hops); n > 0 && r.Hops[n-1].Tier < NumTiers {
+				a.DropMatrix[r.Status][r.Hops[n-1].Tier]++
+			}
+		}
+	}
+}
+
+// Merge folds another aggregate into a. Merging in task order reproduces
+// the sequential fold bit for bit.
+func (a *Agg) Merge(o *Agg) {
+	a.Sampled += o.Sampled
+	a.Delivered += o.Delivered
+	a.Dropped += o.Dropped
+	a.Rerouted += o.Rerouted
+	a.Retransmit += o.Retransmit
+	a.HopsTotal += o.HopsTotal
+	for i := range o.DropsByReason {
+		a.DropsByReason[i] += o.DropsByReason[i]
+	}
+	for i := range o.DropMatrix {
+		for j := range o.DropMatrix[i] {
+			a.DropMatrix[i][j] += o.DropMatrix[i][j]
+		}
+	}
+	for i := range o.Tiers {
+		a.Tiers[i].Merge(&o.Tiers[i])
+	}
+	a.DeliverNsSum += o.DeliverNsSum
+	if o.DeliverNsMax > a.DeliverNsMax {
+		a.DeliverNsMax = o.DeliverNsMax
+	}
+}
+
+// DeliveredFrac returns delivered attempts over sampled attempts.
+func (a *Agg) DeliveredFrac() float64 {
+	if a.Sampled == 0 {
+		return 0
+	}
+	return float64(a.Delivered) / float64(a.Sampled)
+}
+
+// MeanDeliverNs returns the mean end-to-end latency of delivered sampled
+// packets, ns.
+func (a *Agg) MeanDeliverNs() float64 {
+	if a.Delivered == 0 {
+		return 0
+	}
+	return float64(a.DeliverNsSum) / float64(a.Delivered)
+}
+
+// PortHotspot ranks one switch egress port by its peak sampled queue
+// occupancy across a run.
+type PortHotspot struct {
+	Switch    uint32
+	Port      int
+	PeakBytes int64
+	Drops     int64 // reserved for callers that join drop counters in
+}
+
+// Hotspots scans a sink's occupancy series and merges per-port peaks into
+// the byPort map keyed switch<<16|port. Call once per sink at the fold
+// frontier, then rank the merged map with RankHotspots.
+func Hotspots(s *Sink, byPort map[uint64]int64) {
+	for _, os := range s.Occ {
+		for i := 0; i < os.Samples(); i++ {
+			row := os.Row(i)
+			for p, v := range row {
+				k := uint64(os.Switch)<<16 | uint64(p)
+				if v > byPort[k] {
+					byPort[k] = v
+				}
+			}
+		}
+	}
+}
+
+// RankHotspots converts a merged peak map into the top-n ranking, ordered
+// by peak bytes descending with (switch, port) as the deterministic tie
+// break.
+func RankHotspots(byPort map[uint64]int64, n int) []PortHotspot {
+	out := make([]PortHotspot, 0, len(byPort))
+	for k, v := range byPort {
+		if v <= 0 {
+			continue
+		}
+		out = append(out, PortHotspot{Switch: uint32(k >> 16), Port: int(k & 0xffff), PeakBytes: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PeakBytes != b.PeakBytes {
+			return a.PeakBytes > b.PeakBytes
+		}
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		return a.Port < b.Port
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// OccQuantiles computes the (p50, p99, max) of a switch's shared-buffer
+// occupancy over one series, as fractions of bufBytes. The quantiles are
+// taken over the fixed-interval samples by sorting a scratch slice the
+// caller provides (grown as needed and returned for reuse).
+func OccQuantiles(os *OccSeries, bufBytes int64, scratch []int64) (p50, p99, max float64, outScratch []int64) {
+	n := os.Samples()
+	if n == 0 || bufBytes <= 0 {
+		return 0, 0, 0, scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]int64, n)
+	}
+	scratch = scratch[:n]
+	var m int64
+	for i := 0; i < n; i++ {
+		t := os.Total(i)
+		scratch[i] = t
+		if t > m {
+			m = t
+		}
+	}
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	q := func(p float64) float64 {
+		idx := int(p * float64(n-1))
+		return float64(scratch[idx]) / float64(bufBytes)
+	}
+	return q(0.5), q(0.99), float64(m) / float64(bufBytes), scratch
+}

@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/packet"
+)
+
+func testKey(i int) packet.FlowKey {
+	return packet.FlowKey{
+		Src: packet.Addr(i), Dst: packet.Addr(i + 1000),
+		SrcPort: uint16(10000 + i), DstPort: 80, Proto: packet.TCP,
+	}
+}
+
+// TestSamplingDeterministic pins the tentpole sampling contract: the
+// selected flow set is a pure function of (seed, flow key) — identical
+// across sinks, call orders, and hence worker counts — and tracks the
+// configured rate.
+func TestSamplingDeterministic(t *testing.T) {
+	a := NewSink(42, 0.1)
+	b := NewSink(42, 0.1)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := testKey(i)
+		va := a.Sampled(k)
+		// Query b in reverse arrival order: decisions must not depend on
+		// observation order.
+		vb := b.Sampled(testKey(n - 1 - i))
+		_ = vb
+		if va {
+			hits++
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := testKey(i)
+		if a.Sampled(k) != b.Sampled(k) {
+			t.Fatalf("flow %d: sampling decision differs between sinks", i)
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("sample rate 0.1 selected %.4f of flows", frac)
+	}
+	// A different seed must select a different set.
+	c := NewSink(43, 0.1)
+	same := 0
+	for i := 0; i < n; i++ {
+		if a.Sampled(testKey(i)) == c.Sampled(testKey(i)) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed 42 and 43 selected identical flow sets")
+	}
+	if s := NewSink(42, 0); s.Sampled(testKey(1)) {
+		t.Fatal("rate 0 sampled a flow")
+	}
+	if s := NewSink(42, 1); !s.Sampled(testKey(1)) {
+		t.Fatal("rate 1 skipped a flow")
+	}
+}
+
+// TestAllocFreeFastPath pins the zero-alloc contract of the per-packet
+// and per-hop hot paths: a memoized sampling probe and an in-capacity hop
+// append may not allocate.
+func TestAllocFreeFastPath(t *testing.T) {
+	s := NewSink(42, 0.1)
+	k := testKey(7)
+	s.Sampled(k) // memoize
+	if n := testing.AllocsPerRun(1000, func() { s.Sampled(k) }); n != 0 {
+		t.Fatalf("memoized Sampled allocates %.2f/op", n)
+	}
+	r := &PathRecord{Hops: make([]Hop, 0, MaxHops)}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Hops = r.Hops[:0]
+		for i := 0; i < MaxHops; i++ {
+			r.AddHop(uint32(i), TierRSW, 1, ReasonForwarded, 100, 10, 1000)
+		}
+	}); n != 0 {
+		t.Fatalf("AddHop within MaxHops allocates %.2f/op", n)
+	}
+	// Finishing into a warm pool (records beyond MaxRecords) reuses
+	// records without allocating.
+	s.MaxRecords = 0
+	rec := s.Start(k, 100, 0, 1, false, 0)
+	s.Finish(rec, ReasonDelivered, 50)
+	if n := testing.AllocsPerRun(1000, func() {
+		r := s.Start(k, 100, 0, 1, false, 0)
+		r.AddHop(1, TierRSW, 2, ReasonForwarded, 64, 5, 10)
+		s.Finish(r, ReasonDelivered, 50)
+	}); n != 0 {
+		t.Fatalf("pooled Start/Finish allocates %.2f/op", n)
+	}
+}
+
+// TestAggFold checks record folding and task-order merging.
+func TestAggFold(t *testing.T) {
+	s := NewSink(1, 1)
+	r := s.Start(testKey(1), 1500, 0, 2, false, 100)
+	r.AddHop(0, TierRSW, 3, ReasonForwarded, 4096, 2000, 100)
+	r.AddHop(5, TierCSW, 1, ReasonForwarded, 0, 0, 4000)
+	s.Finish(r, ReasonDelivered, 9100)
+
+	r = s.Start(testKey(2), 900, 1, 0, true, 200)
+	r.AddHop(0, TierRSW, 3, ReasonBufferDrop, 1<<15, 0, 200)
+	s.Finish(r, ReasonBufferDrop, 200)
+
+	s.Drop(testKey(3), 64, 0, ReasonNoLivePath, 300)
+
+	a := s.Agg
+	if a.Sampled != 3 || a.Delivered != 1 || a.Dropped != 2 {
+		t.Fatalf("counts: %+v", a)
+	}
+	if a.Rerouted != 1 || a.Retransmit != 1 || a.HopsTotal != 3 {
+		t.Fatalf("flags: %+v", a)
+	}
+	if a.DropsByReason[ReasonBufferDrop] != 1 || a.DropsByReason[ReasonNoLivePath] != 1 {
+		t.Fatalf("drop reasons: %v", a.DropsByReason)
+	}
+	if a.DropMatrix[ReasonBufferDrop][TierRSW] != 1 {
+		t.Fatalf("drop matrix: %v", a.DropMatrix)
+	}
+	if a.Tiers[TierRSW].Hops != 2 || a.Tiers[TierCSW].Hops != 1 {
+		t.Fatalf("tier hops: rsw=%d csw=%d", a.Tiers[TierRSW].Hops, a.Tiers[TierCSW].Hops)
+	}
+	if got := a.Tiers[TierRSW].MeanQDelay(); got != 1000 {
+		t.Fatalf("rsw mean qdelay = %v", got)
+	}
+	if got := a.MeanDeliverNs(); got != 9000 {
+		t.Fatalf("mean deliver = %v", got)
+	}
+
+	// Merging two copies doubles every count.
+	var m Agg
+	m.Merge(&a)
+	m.Merge(&a)
+	if m.Sampled != 2*a.Sampled || m.HopsTotal != 2*a.HopsTotal ||
+		m.Tiers[TierRSW].Hops != 2*a.Tiers[TierRSW].Hops ||
+		m.DropMatrix[ReasonBufferDrop][TierRSW] != 2 {
+		t.Fatalf("merge mismatch: %+v", m)
+	}
+	if m.Tiers[TierRSW].QDelayQuantile(0.99) < m.Tiers[TierRSW].MeanQDelay() {
+		t.Fatalf("p99 below mean: p99=%v mean=%v",
+			m.Tiers[TierRSW].QDelayQuantile(0.99), m.Tiers[TierRSW].MeanQDelay())
+	}
+}
+
+// TestOccSeries exercises the columnar buffer, pooling, quantiles, and
+// hotspot ranking.
+func TestOccSeries(t *testing.T) {
+	pool := NewBufferPool()
+	s := NewSink(1, 0)
+	s.Buffers = pool
+	os := s.NewOccSeries(3, 2)
+	for i := 0; i < 100; i++ {
+		row := os.Extend(int64(i) * 1000)
+		row[0] = int64(i)
+		row[1] = int64(2 * i)
+	}
+	if os.Samples() != 100 {
+		t.Fatalf("samples = %d", os.Samples())
+	}
+	if got := os.Total(10); got != 30 {
+		t.Fatalf("total(10) = %d", got)
+	}
+	p50, p99, max, _ := OccQuantiles(os, 300, nil)
+	if max != float64(99+198)/300 {
+		t.Fatalf("max = %v", max)
+	}
+	if p50 <= 0 || p99 < p50 || max < p99 {
+		t.Fatalf("quantiles disordered: p50=%v p99=%v max=%v", p50, p99, max)
+	}
+
+	byPort := map[uint64]int64{}
+	Hotspots(s, byPort)
+	ranked := RankHotspots(byPort, 10)
+	if len(ranked) != 2 {
+		t.Fatalf("hotspots = %d", len(ranked))
+	}
+	if ranked[0].Switch != 3 || ranked[0].Port != 1 || ranked[0].PeakBytes != 198 {
+		t.Fatalf("top hotspot = %+v", ranked[0])
+	}
+
+	// Release returns buffers to the pool; the next series reuses the
+	// arrays with cleared state.
+	s.Release()
+	os2 := pool.Get()
+	if os2.Samples() != 0 || len(os2.Vals) != 0 {
+		t.Fatalf("pooled series not reset: %d samples", os2.Samples())
+	}
+}
+
+// TestRecordFileRoundTrip pins the JSONL record format traceview reads.
+func TestRecordFileRoundTrip(t *testing.T) {
+	s := NewSink(42, 1)
+	s.RegisterSwitch("rsw0", TierRSW, 8)
+	s.RegisterSwitch("csw0.1", TierCSW, 4)
+	r := s.Start(testKey(9), 1500, 0, 1, true, 10)
+	r.AddHop(0, TierRSW, 2, ReasonForwarded, 512, 1200, 10)
+	r.AddHop(1, TierCSW, 0, ReasonForwarded, 0, 0, 2210)
+	s.Finish(r, ReasonDelivered, 4400)
+
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, s.Records, s.Switches()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"switch":"csw0.1"`) {
+		t.Fatalf("switch name not resolved:\n%s", buf.String())
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("records = %d", len(got))
+	}
+	fr := got[0]
+	if fr.Status != "delivered" || len(fr.Hops) != 2 || fr.Hops[0].Switch != "rsw0" ||
+		fr.Hops[0].QDelayNs != 1200 || fr.Hops[1].Tier != "CSW" || !fr.Rerouted {
+		t.Fatalf("round trip mismatch: %+v", fr)
+	}
+	if _, err := ReadRecords(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}
+
+// TestRecordRetention checks the MaxRecords cap and pooling.
+func TestRecordRetention(t *testing.T) {
+	s := NewSink(1, 1)
+	s.MaxRecords = 2
+	for i := 0; i < 5; i++ {
+		r := s.Start(testKey(i), 100, 0, 0, false, int64(i))
+		s.Finish(r, ReasonDelivered, int64(i)+10)
+	}
+	if len(s.Records) != 2 {
+		t.Fatalf("retained %d records, want 2", len(s.Records))
+	}
+	if s.Agg.Sampled != 5 || s.Agg.Delivered != 5 {
+		t.Fatalf("aggregate missed pooled records: %+v", s.Agg)
+	}
+	if s.Records[0].Injected != 0 || s.Records[1].Injected != 1 {
+		t.Fatal("retention is not completion-ordered")
+	}
+}
+
+// TestStreamKey pins the FNV-1a fold rng keying depends on.
+func TestStreamKey(t *testing.T) {
+	if StreamKey("telemetry") == StreamKey("") || StreamKey("a") == StreamKey("b") {
+		t.Fatal("stream keys collide")
+	}
+	// FNV-1a of the empty string is the offset basis.
+	if StreamKey("") != 14695981039346656037 {
+		t.Fatalf("empty key = %d", StreamKey(""))
+	}
+}
