@@ -304,7 +304,7 @@ func BenchmarkBaseline_Literature(b *testing.B) {
 	var onoff float64
 	var concurrent float64
 	for i := 0; i < b.N; i++ {
-		arr := analysis.NewArrivals(s.Topo.Hosts[host].Addr, 15*netsim.Millisecond)
+		arr := analysis.NewArrivals(s.Topo.Addr(host), 15*netsim.Millisecond)
 		conc := analysis.NewConcurrency(s.Topo, host, analysis.ConcurrencyWindow)
 		baseline.Generate(s.Topo, host, 1, baseline.DefaultOnOffParams(),
 			5*netsim.Second, workload.Fanout{workload.CollectorFunc(arr.Packet), workload.CollectorFunc(conc.Packet)})
@@ -387,11 +387,11 @@ func BenchmarkSection52_HotObjects(b *testing.B) {
 func BenchmarkBaseline_PacketTrains(b *testing.B) {
 	s := benchSystem()
 	host := s.Monitored(topology.RoleCacheFollower)
-	addr := s.Topo.Hosts[host].Addr
+	addr := s.Topo.Addr(host)
 	var fb, lit float64
 	for i := 0; i < b.N; i++ {
 		fbT := analysis.NewTrains(addr, netsim.Millisecond)
-		litT := analysis.NewTrains(s.Topo.Hosts[s.Monitored(topology.RoleHadoop)].Addr, netsim.Millisecond)
+		litT := analysis.NewTrains(s.Topo.Addr(s.Monitored(topology.RoleHadoop)), netsim.Millisecond)
 		baseline.Generate(s.Topo, s.Monitored(topology.RoleHadoop), 3,
 			baseline.DefaultOnOffParams(), 3*netsim.Second, workload.CollectorFunc(litT.Packet))
 		litT.Finish()
@@ -510,7 +510,7 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 // arm is reported for scale only.
 func BenchmarkTelemetryFabric(b *testing.B) {
 	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
-	hosts := len(topo.Hosts)
+	hosts := topo.NumHosts()
 	run := func(b *testing.B, rate float64) {
 		const pkts = 4096
 		b.ReportAllocs()
@@ -529,7 +529,7 @@ func BenchmarkTelemetryFabric(b *testing.B) {
 				}
 				f.Inject(packet.Header{
 					Key: packet.FlowKey{
-						Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+						Src: topo.Addr(src), Dst: topo.Addr(dst),
 						SrcPort: uint16(1024 + j), DstPort: 80, Proto: packet.TCP,
 					},
 					Size: 1500,
@@ -598,9 +598,9 @@ func BenchmarkBaseline_AllToAll(b *testing.B) {
 		var rackB, total float64
 		baseline.GenerateAllToAll(s.Topo, host, 5, baseline.DefaultAllToAllParams(),
 			2*netsim.Second, workload.CollectorFunc(func(h packet.Header) {
-				dst := s.Topo.HostByAddr(h.Key.Dst)
+				dst, ok := s.Topo.HostByAddr(h.Key.Dst)
 				total += float64(h.Size)
-				if dst != nil && dst.Rack == s.Topo.Hosts[host].Rack {
+				if ok && s.Topo.HostRack(dst) == s.Topo.HostRack(host) {
 					rackB += float64(h.Size)
 				}
 			}))

@@ -33,17 +33,29 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one result line of `go test -bench` output, capturing
 // the benchmark name (GOMAXPROCS suffix stripped) and its ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPair matches one custom ReportMetric value on a bench line, e.g.
+// "5.841 bytes/host". Units are arbitrary non-space tokens.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+)\s+([^\s]+)`)
 
 // parseBenchOutput extracts ns/op per benchmark from go test -bench
-// output. Repeated runs of one benchmark keep the fastest (least noisy)
-// observation.
+// output, plus every custom b.ReportMetric value under the key
+// "BenchmarkName:unit" (e.g. "BenchmarkTopologyFleetState:bytes/host").
+// Repeated runs of one benchmark keep the lowest (least noisy)
+// observation per metric.
 func parseBenchOutput(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
+	record := func(key string, v float64) {
+		if prev, ok := out[key]; !ok || v < prev {
+			out[key] = v
+		}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,8 +67,13 @@ func parseBenchOutput(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		record(m[1], ns)
+		for _, mm := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil || mm[2] == "B/op" || mm[2] == "allocs/op" {
+				continue
+			}
+			record(m[1]+":"+mm[2], v)
 		}
 	}
 	return out, sc.Err()
@@ -269,8 +286,12 @@ func main() {
 			status = fmt.Sprintf("REGRESSION (> %+.0f%%)", 100**threshold)
 			regressed++
 		}
-		fmt.Printf("%-52s baseline %12.0f ns/op  now %12.0f ns/op  %+7.1f%%  %s\n",
-			d.Name, d.BaselineNs, d.GotNs, 100*(d.Ratio-1), status)
+		unit := "ns/op"
+		if i := strings.LastIndex(d.Name, ":"); i >= 0 {
+			unit = d.Name[i+1:]
+		}
+		fmt.Printf("%-52s baseline %12.2f %s  now %12.2f %s  %+7.1f%%  %s\n",
+			d.Name, d.BaselineNs, unit, d.GotNs, unit, 100*(d.Ratio-1), status)
 	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressed, 100**threshold)

@@ -10,6 +10,7 @@
 //
 //	dcsim -mirror web -seconds 30 -out web.fbm     # write a binary trace
 //	dcsim -fleet                                   # print the fleet view
+//	dcsim -fleet -scale xlarge -matrix -windows 1  # million-host matrix window
 //	dcsim -fleet -parallel 4                       # same view, 4 workers
 //	dcsim -faults csw-down                         # degraded-mode fault run
 //	dcsim -telemetry -paths-out paths.jsonl        # INT path records + occupancy
@@ -51,6 +52,10 @@ func main() {
 	out := flag.String("out", "trace.fbm", "output trace file")
 	pcapOut := flag.String("pcap", "", "also export the mirror trace as a pcap file")
 	fleet := flag.Bool("fleet", false, "run the fleet-wide Fbflow view and print its summary")
+	scaleFlag := flag.String("scale", "tiny", "fleet scale: "+strings.Join(topology.ScaleNames(), "|"))
+	matrix := flag.Bool("matrix", false, "with -fleet: synthesize traffic as rack-pair demand matrices instead of per-host flow sampling")
+	windows := flag.Int("windows", 0, "override the number of fleet observation windows (0 = config default)")
+	memCeilingMB := flag.Int64("mem-ceiling-mb", 0, "stamp this memory ceiling (MiB) into the run manifest; cmd/manifestcheck asserts the fleet heap peak stayed under it (0 = no ceiling)")
 	saveDS := flag.String("save", "", "with -fleet: archive the Fbflow dataset to this file")
 	loadDS := flag.String("load", "", "print the summary of a previously archived Fbflow dataset")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
@@ -83,6 +88,18 @@ func main() {
 	defer stop()
 
 	cfg := core.QuickConfig()
+	scale, ok := topology.ParseScale(*scaleFlag)
+	if !ok {
+		logger.Error("unknown scale", "scale", *scaleFlag,
+			"have", strings.Join(topology.ScaleNames(), "|"))
+		os.Exit(2)
+	}
+	cfg.Scale = scale
+	cfg.FleetMatrix = *matrix
+	cfg.MemCeilingBytes = *memCeilingMB << 20
+	if *windows > 0 {
+		cfg.FleetWindows = *windows
+	}
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel

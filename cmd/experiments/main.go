@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	experiments [-scale tiny|small|medium|large] [-seed N] [-parallel N]
+//	experiments [-scale tiny|small|medium|large|xlarge] [-seed N] [-parallel N]
+//	            [-matrix] [-windows N] [-mem-ceiling-mb N]
 //	            [-short SECONDS] [-long SECONDS] [-only NAME]
 //	            [-faults SCENARIO] [-trace-sample FRAC] [-queue-interval US]
 //	            [-paths-out FILE] [-cpuprofile FILE] [-memprofile FILE]
@@ -33,22 +34,18 @@ import (
 )
 
 func parseScale(s string) (topology.Scale, error) {
-	switch s {
-	case "tiny":
-		return topology.ScaleTiny, nil
-	case "small":
-		return topology.ScaleSmall, nil
-	case "medium":
-		return topology.ScaleMedium, nil
-	case "large":
-		return topology.ScaleLarge, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (tiny|small|medium|large)", s)
+	sc, ok := topology.ParseScale(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown scale %q (%s)", s, strings.Join(topology.ScaleNames(), "|"))
 	}
+	return sc, nil
 }
 
 func main() {
-	scaleFlag := flag.String("scale", "tiny", "fleet scale: tiny|small|medium|large")
+	scaleFlag := flag.String("scale", "tiny", "fleet scale: "+strings.Join(topology.ScaleNames(), "|"))
+	matrix := flag.Bool("matrix", false, "synthesize fleet traffic as rack-pair demand matrices instead of per-host flow sampling (million-host scales)")
+	memCeilingMB := flag.Int64("mem-ceiling-mb", 0, "stamp this memory ceiling (MiB) into the run manifest; cmd/manifestcheck asserts the fleet heap peak stayed under it (0 = no ceiling)")
+	windows := flag.Int("windows", 0, "override the number of fleet observation windows (0 = config default)")
 	seed := flag.Uint64("seed", 42, "deterministic experiment seed")
 	short := flag.Int("short", 30, "short (sub-second analyses) trace seconds")
 	long := flag.Int("long", 60, "long (flow analyses) trace seconds")
@@ -95,6 +92,11 @@ func main() {
 	cfg.FaultScenario = *faults
 	cfg.TraceSample = *traceSample
 	cfg.QueueInterval = netsim.Time(*queueInterval) * netsim.Microsecond
+	cfg.FleetMatrix = *matrix
+	cfg.MemCeilingBytes = *memCeilingMB << 20
+	if *windows > 0 {
+		cfg.FleetWindows = *windows
+	}
 	cfg.Obs = obs.NewRegistry()
 	if *pathsOut != "" && cfg.TraceSample <= 0 {
 		logger.Error("-paths-out needs a positive -trace-sample")

@@ -4,6 +4,11 @@
 // manifest field drifting from the schema fails the build instead of
 // silently shipping malformed telemetry.
 //
+// When the manifest's config carries a positive mem_ceiling_bytes stamp,
+// manifestcheck also asserts the recorded fleet heap peak
+// (fbdcnet_fleet_heap_peak_bytes gauge) stayed under the ceiling — the
+// CI memory gate for million-host runs.
+//
 // Usage:
 //
 //	manifestcheck run_manifest.json [more.json ...]
@@ -12,11 +17,39 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
 	"fbdcnet/internal/obs"
 )
+
+// heapPeakGauge is the gauge the fleet collector records after merging
+// the dataset; see core.collectFleet.
+const heapPeakGauge = "fbdcnet_fleet_heap_peak_bytes"
+
+// checkMemCeiling enforces the manifest's own memory budget. A missing
+// ceiling (or a ceiling of zero) means no budget was set; a set ceiling
+// with no recorded heap peak is an error — the gate must not pass
+// vacuously when the fleet stage did not run or observability was off.
+func checkMemCeiling(m *obs.Manifest) error {
+	raw, ok := m.Config["mem_ceiling_bytes"]
+	if !ok {
+		return nil
+	}
+	ceiling, ok := raw.(float64) // JSON numbers decode as float64
+	if !ok || ceiling <= 0 {
+		return nil
+	}
+	peak, ok := m.Gauges[heapPeakGauge]
+	if !ok {
+		return fmt.Errorf("mem_ceiling_bytes=%d set but %s gauge absent", int64(ceiling), heapPeakGauge)
+	}
+	if peak > ceiling {
+		return fmt.Errorf("fleet heap peak %.0f bytes exceeds ceiling %d", peak, int64(ceiling))
+	}
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -32,6 +65,17 @@ func main() {
 			continue
 		}
 		if err := obs.ValidateSchema(obs.ManifestSchema, data); err != nil {
+			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		if err := checkMemCeiling(&m); err != nil {
 			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
 			bad++
 			continue

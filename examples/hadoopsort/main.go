@@ -28,7 +28,7 @@ func main() {
 	loc := analysis.NewLocalitySeries(sys.Topo, host)
 	flows := analysis.NewFlows(sys.Topo, host)
 	sizes := analysis.NewPacketSizes()
-	arr := analysis.NewArrivals(sys.Topo.Hosts[host].Addr, 100*netsim.Millisecond)
+	arr := analysis.NewArrivals(sys.Topo.Addr(host), 100*netsim.Millisecond)
 
 	p := services.DefaultParams()
 	// Shorter phases so a 40-second run shows several busy/quiet cycles.

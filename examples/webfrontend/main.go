@@ -47,7 +47,7 @@ func main() {
 	for _, role := range []topology.Role{topology.RoleWeb, topology.RoleCacheFollower} {
 		host := sys.Monitored(role)
 		mix := analysis.NewServiceMix(topo, host)
-		arr := analysis.NewArrivals(topo.Hosts[host].Addr)
+		arr := analysis.NewArrivals(topo.Addr(host))
 		tr := services.NewTrace(sys.Pick, host, 7, services.DefaultParams(), workload.Fanout{mix, arr})
 		tr.Run(15 * netsim.Second)
 		fmt.Printf("\n%s host %d: %d packets, %d new flows\n", role, host, tr.Emitted(), arr.SYNCount())
@@ -64,10 +64,11 @@ func main() {
 	pipe := fbflow.NewPipeline(topo, 2, ds.Add)
 	r := rng.New(1)
 	for _, rid := range topo.Clusters[fe].Racks {
-		for _, h := range topo.Racks[rid].Hosts {
+		for i := 0; i < int(topo.Racks[rid].NumHosts); i++ {
+			h := topo.Racks[rid].Host(i)
 			sys.Pick.FleetFlows(services.DefaultParams(), r, h, 60, 1.0, 8,
 				func(dst topology.HostID, bytes float64) {
-					pipe.AddFlow(0, topo.Hosts[h].Addr, topo.Hosts[dst].Addr, bytes)
+					pipe.AddFlow(0, topo.Addr(h), topo.Addr(dst), bytes)
 				})
 		}
 	}

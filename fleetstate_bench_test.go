@@ -1,0 +1,74 @@
+package fbdcnet
+
+import (
+	"runtime"
+	"testing"
+
+	"fbdcnet/internal/core"
+	"fbdcnet/internal/obs"
+	"fbdcnet/internal/services"
+	"fbdcnet/internal/topology"
+)
+
+// fleetStateBytesPerHost measures the steady-state heap cost of the fleet
+// state — topology plus the picker's precomputed peer sets — normalized per
+// host. This is the number the struct-of-arrays layout is accountable for:
+// BENCH_PR6.json records the pre- and post-refactor values on the large
+// preset and benchdiff gates against regression.
+func fleetStateBytesPerHost(s topology.Scale) (perHost float64, hosts int) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	topo := topology.MustBuild(topology.Preset(s))
+	pick := services.NewPicker(topo)
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	hosts = topo.NumHosts()
+	perHost = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(hosts)
+	runtime.KeepAlive(pick)
+	return perHost, hosts
+}
+
+// BenchmarkTopologyFleetState reports heap bytes per host of the built
+// fleet state at the large preset (138,240 hosts). ns/op covers the build
+// cost; bytes/host is the layout metric gated by BENCH_PR6.json.
+func BenchmarkTopologyFleetState(b *testing.B) {
+	var perHost float64
+	var hosts int
+	for i := 0; i < b.N; i++ {
+		perHost, hosts = fleetStateBytesPerHost(topology.ScaleLarge)
+	}
+	b.ReportMetric(perHost, "bytes/host")
+	b.ReportMetric(float64(hosts), "hosts")
+}
+
+// BenchmarkFleetCollectXLarge runs one matrix-mode fleet collection
+// window over the ~1.1M-host xlarge preset — the CI scale gate for the
+// columnar layout plus vectorised traffic-matrix synthesis. Each op
+// builds the system and collects one window; records/op and hosts are
+// reported for context. BENCH_PR6.json gates the wall time.
+func BenchmarkFleetCollectXLarge(b *testing.B) {
+	var cells int64
+	var hosts int
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Scale = topology.ScaleXLarge
+		cfg.Seed = 42
+		cfg.FleetWindows = 1
+		cfg.FleetWindowSec = 60
+		cfg.FleetMatrix = true
+		cfg.TraceSample = 0
+		cfg.Obs = obs.NewRegistry()
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds := sys.FleetDataset(); ds.TotalBytes() <= 0 {
+			b.Fatal("xlarge window produced no traffic")
+		}
+		cells = cfg.Obs.CounterValue("fbdcnet_fleet_matrix_cells_total")
+		hosts = sys.Topo.NumHosts()
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+	b.ReportMetric(float64(hosts), "hosts")
+}

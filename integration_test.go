@@ -172,7 +172,7 @@ func TestECMPSpreadsAcrossPosts(t *testing.T) {
 		t.Fatal("no intra-cluster pair")
 	}
 
-	rack := topo.Hosts[src].Rack
+	rack := topo.HostRack(src)
 	before := make([]int64, 4)
 	for p := 0; p < 4; p++ {
 		// Uplink byte counters start at zero; sample after injection.
@@ -181,7 +181,7 @@ func TestECMPSpreadsAcrossPosts(t *testing.T) {
 	for port := 0; port < 1000; port++ {
 		fabric.Inject(packet.Header{
 			Key: packet.FlowKey{
-				Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+				Src: topo.Addr(src), Dst: topo.Addr(dst),
 				SrcPort: uint16(10000 + port), DstPort: 80, Proto: packet.TCP,
 			},
 			Size: 100,

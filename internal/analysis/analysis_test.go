@@ -21,7 +21,7 @@ func mk(topo *topology.Topology, src, dst topology.HostID, t netsim.Time, size u
 	return packet.Header{
 		Time: t,
 		Key: packet.FlowKey{
-			Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+			Src: topo.Addr(src), Dst: topo.Addr(dst),
 			SrcPort: sport, DstPort: dport, Proto: packet.TCP,
 		},
 		Size:  size,
@@ -114,7 +114,7 @@ func TestPerHostSizeCDFAggregates(t *testing.T) {
 func TestLocalitySeriesShares(t *testing.T) {
 	topo := tinyTopo(t)
 	ls := NewLocalitySeries(topo, 0)
-	rackPeer := topo.Racks[topo.Hosts[0].Rack].Hosts[1]
+	rackPeer := topo.Racks[topo.HostRack(0)].Host(1)
 	far := topology.HostID(topo.NumHosts() - 1)
 	ls.Packet(mk(topo, 0, rackPeer, 0, 300, 1, 2, 0))
 	ls.Packet(mk(topo, 0, far, netsim.Second, 700, 1, 2, 0))
@@ -196,15 +196,15 @@ func TestHeavyHittersPersistence(t *testing.T) {
 func TestHeavyHittersRackAggregation(t *testing.T) {
 	topo := tinyTopo(t)
 	// Two hosts in the same destination rack: at rack level one key.
-	rack := topo.Racks[topo.Hosts[0].Rack]
+	rack := topo.Racks[topo.HostRack(0)]
 	_ = rack
 	h5, h6 := topology.HostID(5), topology.HostID(6)
-	if topo.Hosts[h5].Rack != topo.Hosts[h6].Rack {
+	if topo.HostRack(h5) != topo.HostRack(h6) {
 		// find two same-rack hosts distinct from 0
 		found := false
 		for _, r := range topo.Racks {
-			if len(r.Hosts) >= 2 && r.Hosts[0] != 0 {
-				h5, h6 = r.Hosts[0], r.Hosts[1]
+			if int(r.NumHosts) >= 2 && r.Host(0) != 0 {
+				h5, h6 = r.Host(0), r.Host(1)
 				found = true
 				break
 			}
@@ -254,7 +254,7 @@ func TestPacketSizes(t *testing.T) {
 
 func TestArrivalsSYNAndBins(t *testing.T) {
 	topo := tinyTopo(t)
-	a := NewArrivals(topo.Hosts[0].Addr, 15*netsim.Millisecond, 100*netsim.Millisecond)
+	a := NewArrivals(topo.Addr(0), 15*netsim.Millisecond, 100*netsim.Millisecond)
 	// SYNs 2 ms apart.
 	for i := int64(0); i < 5; i++ {
 		a.Packet(mk(topo, 0, 1, i*2*int64(netsim.Millisecond), 74, uint16(i), 80, packet.FlagSYN))
@@ -276,7 +276,7 @@ func TestArrivalsSYNAndBins(t *testing.T) {
 
 func TestOnOffScore(t *testing.T) {
 	topo := tinyTopo(t)
-	a := NewArrivals(topo.Hosts[0].Addr, 10*netsim.Millisecond)
+	a := NewArrivals(topo.Addr(0), 10*netsim.Millisecond)
 	// Continuous arrivals: every 10-ms bin occupied (offset from the
 	// exact boundary to avoid float rounding at bin edges).
 	for i := int64(0); i < 100; i++ {
@@ -287,7 +287,7 @@ func TestOnOffScore(t *testing.T) {
 		t.Fatalf("continuous traffic on/off score %v", s)
 	}
 
-	b := NewArrivals(topo.Hosts[0].Addr, 10*netsim.Millisecond)
+	b := NewArrivals(topo.Addr(0), 10*netsim.Millisecond)
 	// Bursty: packets only in every 10th bin.
 	for i := int64(0); i < 10; i++ {
 		b.Packet(mk(topo, 0, 1, i*int64(100*netsim.Millisecond), 100, 1, 2, 0))
@@ -301,10 +301,10 @@ func TestConcurrencyWindows(t *testing.T) {
 	topo := tinyTopo(t)
 	c := NewConcurrency(topo, 0, ConcurrencyWindow)
 	// Window 0: three racks, one dominant.
-	clusterHosts := topo.Clusters[topo.Hosts[0].Cluster].Racks
-	h1 := topo.Racks[clusterHosts[1]].Hosts[0]
-	h2 := topo.Racks[clusterHosts[2]].Hosts[0]
-	h3 := topo.Racks[clusterHosts[3]].Hosts[0]
+	clusterHosts := topo.Clusters[topo.HostCluster(0)].Racks
+	h1 := topo.Racks[clusterHosts[1]].Host(0)
+	h2 := topo.Racks[clusterHosts[2]].Host(0)
+	h3 := topo.Racks[clusterHosts[3]].Host(0)
 	c.Packet(mk(topo, 0, h1, 0, 800, 1, 2, 0))
 	c.Packet(mk(topo, 0, h2, 100, 100, 1, 2, 0))
 	c.Packet(mk(topo, 0, h3, 200, 100, 1, 2, 0))
@@ -330,9 +330,9 @@ func TestRateSeriesStability(t *testing.T) {
 	topo := tinyTopo(t)
 	rs := NewRateSeries(topo, 0)
 	// Steady rack: 1000 B/s for 10 s to one rack; bursty to another.
-	cluster := topo.Clusters[topo.Hosts[0].Cluster]
-	steady := topo.Racks[cluster.Racks[1]].Hosts[0]
-	bursty := topo.Racks[cluster.Racks[2]].Hosts[0]
+	cluster := topo.Clusters[topo.HostCluster(0)]
+	steady := topo.Racks[cluster.Racks[1]].Host(0)
+	bursty := topo.Racks[cluster.Racks[2]].Host(0)
 	for s := int64(0); s < 10; s++ {
 		rs.Packet(mk(topo, 0, steady, s*int64(netsim.Second), 1000, 1, 2, 0))
 	}
@@ -385,7 +385,7 @@ func TestLevelString(t *testing.T) {
 
 func TestTrainsDetection(t *testing.T) {
 	topo := tinyTopo(t)
-	tr := NewTrains(topo.Hosts[0].Addr, netsim.Millisecond)
+	tr := NewTrains(topo.Addr(0), netsim.Millisecond)
 	// Train of 3 to host 1, then a destination switch, then a gap break.
 	tr.Packet(mk(topo, 0, 1, 0, 100, 1, 2, 0))
 	tr.Packet(mk(topo, 0, 1, 100, 100, 1, 2, 0))
@@ -408,7 +408,7 @@ func TestTrainsDetection(t *testing.T) {
 
 func TestTrainsIgnoresInbound(t *testing.T) {
 	topo := tinyTopo(t)
-	tr := NewTrains(topo.Hosts[0].Addr, netsim.Millisecond)
+	tr := NewTrains(topo.Addr(0), netsim.Millisecond)
 	tr.Packet(mk(topo, 1, 0, 0, 100, 1, 2, 0)) // inbound
 	tr.Finish()
 	if tr.Lengths().N() != 0 {

@@ -57,7 +57,7 @@ func NewConcurrency(topo *topology.Topology, host topology.HostID, win netsim.Ti
 	c := &Concurrency{
 		topo:     topo,
 		host:     host,
-		addr:     topo.Hosts[host].Addr,
+		addr:     topo.Addr(host),
 		win:      win,
 		counts:   make(map[topology.Locality]*stats.Sample),
 		countAll: stats.NewSample(0),
@@ -82,11 +82,11 @@ func (c *Concurrency) Packet(h packet.Header) {
 	if w != c.curWin {
 		c.roll(w)
 	}
-	dst := c.topo.HostByAddr(h.Key.Dst)
-	if dst == nil {
+	dst, ok := c.topo.HostByAddr(h.Key.Dst)
+	if !ok {
 		return
 	}
-	*c.racks.Slot(uint64(dst.Rack)) += float64(h.Size)
+	*c.racks.Slot(uint64(c.topo.HostRack(dst))) += float64(h.Size)
 	c.flows.Slot(packHostFlowKey(h.Key))
 	c.hosts.Slot(uint64(h.Key.Dst))
 }
@@ -101,7 +101,7 @@ func (c *Concurrency) Packets(hs []packet.Header) {
 // rackLocality classifies a destination rack relative to the monitored
 // host.
 func (c *Concurrency) rackLocality(rack int) topology.Locality {
-	self := &c.topo.Hosts[c.host]
+	self := c.topo.Host(c.host)
 	r := &c.topo.Racks[rack]
 	switch {
 	case r.ID == self.Rack:

@@ -87,7 +87,7 @@ func NewFlows(topo *topology.Topology, host topology.HostID) *Flows {
 	return &Flows{
 		topo: topo,
 		host: host,
-		addr: topo.Hosts[host].Addr,
+		addr: topo.Addr(host),
 	}
 }
 
@@ -136,10 +136,10 @@ func (fl *Flows) packet(h packet.Header) {
 
 // newFlow initializes the record for a newly observed oriented key.
 func (fl *Flows) newFlow(key packet.FlowKey, t netsim.Time, outbound bool) Flow {
-	peer := fl.topo.HostByAddr(key.Dst)
+	peer, ok := fl.topo.HostByAddr(key.Dst)
 	loc := topology.InterDatacenter
-	if peer != nil {
-		loc = fl.topo.Locality(fl.host, peer.ID)
+	if ok {
+		loc = fl.topo.Locality(fl.host, peer)
 	}
 	return Flow{Key: key, Start: t, Locality: loc, Outbound: outbound}
 }

@@ -68,7 +68,7 @@ func NewHeavyHitters(topo *topology.Topology, host topology.HostID, level Level,
 	}
 	return &HeavyHitters{
 		topo:      topo,
-		addr:      topo.Hosts[host].Addr,
+		addr:      topo.Addr(host),
 		level:     level,
 		bin:       bin,
 		counts:    stats.NewSample(0),
@@ -89,8 +89,8 @@ func (hh *HeavyHitters) keyFor(h packet.Header) uint64 {
 		return uint64(h.Key.Dst)
 	default:
 		rack := 0
-		if d := hh.topo.HostByAddr(h.Key.Dst); d != nil {
-			rack = d.Rack
+		if d, ok := hh.topo.HostByAddr(h.Key.Dst); ok {
+			rack = hh.topo.HostRack(d)
 		}
 		return uint64(rack)
 	}

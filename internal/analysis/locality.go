@@ -23,7 +23,7 @@ func NewLocalitySeries(topo *topology.Topology, host topology.HostID) *LocalityS
 	ls := &LocalitySeries{
 		topo: topo,
 		host: host,
-		addr: topo.Hosts[host].Addr,
+		addr: topo.Addr(host),
 	}
 	for _, l := range topology.Localities {
 		ls.bins[l] = stats.NewTimeSeries(0, 1.0)
@@ -36,11 +36,11 @@ func (ls *LocalitySeries) Packet(h packet.Header) {
 	if h.Key.Src != ls.addr {
 		return
 	}
-	dst := ls.topo.HostByAddr(h.Key.Dst)
-	if dst == nil {
+	dst, ok := ls.topo.HostByAddr(h.Key.Dst)
+	if !ok {
 		return
 	}
-	loc := ls.topo.Locality(ls.host, dst.ID)
+	loc := ls.topo.Locality(ls.host, dst)
 	if loc == topology.SameHost {
 		return
 	}
@@ -133,7 +133,7 @@ type ServiceMix struct {
 func NewServiceMix(topo *topology.Topology, host topology.HostID) *ServiceMix {
 	return &ServiceMix{
 		topo: topo,
-		addr: topo.Hosts[host].Addr,
+		addr: topo.Addr(host),
 	}
 }
 
@@ -142,11 +142,11 @@ func (sm *ServiceMix) Packet(h packet.Header) {
 	if h.Key.Src != sm.addr {
 		return
 	}
-	dst := sm.topo.HostByAddr(h.Key.Dst)
-	if dst == nil {
+	dst, ok := sm.topo.HostByAddr(h.Key.Dst)
+	if !ok {
 		return
 	}
-	sm.bytes[dst.Role] += float64(h.Size)
+	sm.bytes[sm.topo.HostRole(dst)] += float64(h.Size)
 	sm.total += float64(h.Size)
 }
 

@@ -20,14 +20,14 @@ type RateSeries struct {
 	// Filter, when set, restricts tracking to matching destinations.
 	// Figure 8b/8c consider only the cache follower's response traffic
 	// toward Web-server racks; set Filter before feeding packets.
-	Filter func(dst *topology.Host) bool
+	Filter func(dst topology.HostID) bool
 }
 
 // NewRateSeries creates a per-destination-rack rate tracker for host.
 func NewRateSeries(topo *topology.Topology, host topology.HostID) *RateSeries {
 	return &RateSeries{
 		topo: topo,
-		addr: topo.Hosts[host].Addr,
+		addr: topo.Addr(host),
 	}
 }
 
@@ -36,14 +36,14 @@ func (rs *RateSeries) Packet(h packet.Header) {
 	if h.Key.Src != rs.addr {
 		return
 	}
-	dst := rs.topo.HostByAddr(h.Key.Dst)
-	if dst == nil {
+	dst, ok := rs.topo.HostByAddr(h.Key.Dst)
+	if !ok {
 		return
 	}
 	if rs.Filter != nil && !rs.Filter(dst) {
 		return
 	}
-	slot := rs.perRack.Slot(uint64(dst.Rack))
+	slot := rs.perRack.Slot(uint64(rs.topo.HostRack(dst)))
 	if *slot == nil {
 		*slot = stats.NewTimeSeries(0, 1.0)
 	}

@@ -24,7 +24,7 @@ func Utilization(ds *fbflow.Dataset, topo *topology.Topology, durSec float64, cf
 	}
 
 	hostOut := ds.HostOutBytes()
-	for i := range topo.Hosts {
+	for i := 0; i < topo.NumHosts(); i++ {
 		out[netsim.TierHostRSW].Add(util(hostOut[topology.HostID(i)], cfg.HostLinkBps))
 	}
 	rackCross := ds.RackCrossBytes()
@@ -51,8 +51,8 @@ func ClusterEdgeLoad(ds *fbflow.Dataset, topo *topology.Topology, durSec float64
 	hostOut := ds.HostOutBytes()
 	sum := make(map[topology.ClusterType]float64)
 	n := make(map[topology.ClusterType]int)
-	for i := range topo.Hosts {
-		ct := topo.Clusters[topo.Hosts[i].Cluster].Type
+	for i := 0; i < topo.NumHosts(); i++ {
+		ct := topo.Clusters[topo.HostCluster(topology.HostID(i))].Type
 		sum[ct] += hostOut[topology.HostID(i)] * 8 / (float64(cfg.HostLinkBps) * durSec)
 		n[ct]++
 	}

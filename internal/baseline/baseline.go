@@ -52,15 +52,15 @@ func DefaultOnOffParams() OnOffParams {
 // size distribution, and rack-heavy locality with few concurrent peers.
 func Generate(topo *topology.Topology, host topology.HostID, seed uint64, p OnOffParams, dur netsim.Time, sink workload.Collector) int64 {
 	g := workload.NewGen(topo, host, seed, sink)
-	self := &topo.Hosts[host]
+	self := topo.Host(host)
 	rack := topo.Racks[self.Rack]
 	cluster := topo.Clusters[self.Cluster]
 
 	// A fixed, small peer set: a few rack mates plus a couple of
 	// cluster-remote hosts.
 	var peers []topology.HostID
-	for _, h := range rack.Hosts {
-		if h != host && len(peers) < p.ConcurrentPeers {
+	for i := 0; i < int(rack.NumHosts); i++ {
+		if h := rack.Host(i); h != host && len(peers) < p.ConcurrentPeers {
 			peers = append(peers, h)
 		}
 	}
@@ -68,7 +68,7 @@ func Generate(topo *topology.Topology, host topology.HostID, seed uint64, p OnOf
 		if r == rack.ID {
 			continue
 		}
-		peers = append(peers, topo.Racks[r].Hosts[0])
+		peers = append(peers, topo.Racks[r].FirstHost)
 		if len(peers) >= 2*p.ConcurrentPeers {
 			break
 		}
@@ -77,7 +77,7 @@ func Generate(topo *topology.Topology, host topology.HostID, seed uint64, p OnOf
 	rackLocal := make([]bool, len(peers))
 	for i, peer := range peers {
 		conns[i] = g.NewConn(peer, 50010, false)
-		rackLocal[i] = topo.Hosts[peer].Rack == self.Rack
+		rackLocal[i] = topo.HostRack(peer) == self.Rack
 	}
 
 	gap := netsim.Time(float64(netsim.Second) / p.PacketsPerSecOn)
@@ -159,7 +159,7 @@ func DefaultAllToAllParams() AllToAllParams {
 func GenerateAllToAll(topo *topology.Topology, host topology.HostID, seed uint64, p AllToAllParams, dur netsim.Time, sink workload.Collector) int64 {
 	g := workload.NewGen(topo, host, seed, sink)
 	n := topo.NumHosts()
-	srcAddr := topo.Hosts[host].Addr
+	srcAddr := topo.Addr(host)
 	g.Poisson(p.PacketsPerSec, func() {
 		dst := topology.HostID(g.R.Intn(n))
 		for dst == host {
@@ -167,7 +167,7 @@ func GenerateAllToAll(topo *topology.Topology, host topology.HostID, seed uint64
 		}
 		g.Emit(packet.Header{
 			Key: packet.FlowKey{
-				Src: srcAddr, Dst: topo.Hosts[dst].Addr,
+				Src: srcAddr, Dst: topo.Addr(dst),
 				SrcPort: g.AllocPort(), DstPort: 50010, Proto: packet.UDP,
 			},
 			Size: p.PacketBytes,

@@ -54,14 +54,14 @@ func TestRackHeavyLocality(t *testing.T) {
 	// seconds spans several hot epochs.
 	topo, host, hdrs := run(t, 10)
 	rackBytes, total := 0.0, 0.0
-	addr := topo.Hosts[host].Addr
+	addr := topo.Addr(host)
 	for _, h := range hdrs {
 		if h.Key.Src != addr {
 			continue
 		}
-		dst := topo.HostByAddr(h.Key.Dst)
+		dst, ok := topo.HostByAddr(h.Key.Dst)
 		total += float64(h.Size)
-		if dst != nil && dst.Rack == topo.Hosts[host].Rack {
+		if ok && topo.HostRack(dst) == topo.HostRack(host) {
 			rackBytes += float64(h.Size)
 		}
 	}
@@ -73,7 +73,7 @@ func TestRackHeavyLocality(t *testing.T) {
 
 func TestOnOffBehaviour(t *testing.T) {
 	topo, host, hdrs := run(t, 2)
-	a := analysis.NewArrivals(topo.Hosts[host].Addr, 5*netsim.Millisecond)
+	a := analysis.NewArrivals(topo.Addr(host), 5*netsim.Millisecond)
 	for _, h := range hdrs {
 		a.Packet(h)
 	}
@@ -149,7 +149,7 @@ func TestAllToAllUniformity(t *testing.T) {
 func TestAllToAllNoSelfTraffic(t *testing.T) {
 	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
 	host := topo.HostsByRole(topology.RoleWeb)[0]
-	self := topo.Hosts[host].Addr
+	self := topo.Addr(host)
 	GenerateAllToAll(topo, host, 5, DefaultAllToAllParams(), netsim.Second/4,
 		collector(func(h packet.Header) {
 			if h.Key.Dst == self {

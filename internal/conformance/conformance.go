@@ -231,6 +231,8 @@ func scaleName(s topology.Scale) string {
 		return "medium"
 	case topology.ScaleLarge:
 		return "large"
+	case topology.ScaleXLarge:
+		return "xlarge"
 	}
 	return fmt.Sprintf("scale(%d)", s)
 }

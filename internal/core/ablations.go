@@ -49,7 +49,7 @@ func (s *System) AblationLoadBalancing() *AblationResult {
 		p.DisableLoadBalancing = disable
 		host := s.Monitored(topology.RoleCacheFollower)
 		rs := analysis.NewRateSeries(s.Topo, host)
-		rs.Filter = func(d *topology.Host) bool { return d.Role == topology.RoleWeb }
+		rs.Filter = func(d topology.HostID) bool { return s.Topo.HostRole(d) == topology.RoleWeb }
 		s.ablationTrace(topology.RoleCacheFollower, p, s.Cfg.ShortTraceSec/2, workload.CollectorFunc(rs.Packet))
 		return rs.FracWithinFactor(2)
 	}
@@ -70,7 +70,7 @@ func (s *System) AblationConnectionPooling() *AblationResult {
 		p := s.Cfg.Params
 		p.DisableConnectionPooling = disable
 		host := s.Monitored(topology.RoleCacheFollower)
-		arr := analysis.NewArrivals(s.Topo.Hosts[host].Addr)
+		arr := analysis.NewArrivals(s.Topo.Addr(host))
 		sec := s.Cfg.ShortTraceSec / 4
 		if sec < 2 {
 			sec = 2
@@ -96,7 +96,7 @@ func (s *System) AblationHotObjectMitigation() *AblationResult {
 		p.DisableHotObjectMitigation = disable
 		p.HotObjectPerSec = 0.15
 		host := s.Monitored(topology.RoleCacheFollower)
-		addr := s.Topo.Hosts[host].Addr
+		addr := s.Topo.Addr(host)
 		sec := s.Cfg.ShortTraceSec
 		perSec := make([]float64, sec)
 		s.ablationTrace(topology.RoleCacheFollower, p, sec, workload.CollectorFunc(func(h packet.Header) {

@@ -45,6 +45,19 @@ type Config struct {
 	FleetWindowSec float64
 	// FleetSamples is the per-component flow sampling resolution.
 	FleetSamples int
+	// FleetMatrix switches fleet collection from per-host flow sampling
+	// to vectorised traffic-matrix synthesis: each window packs
+	// per-(src rack, dst rack) demand cells in bulk and draws one
+	// representative flow per cell. At million-host scales this replaces
+	// tens of millions of per-host emissions per window with a few
+	// million rack-pair cells. Matrix-mode rng streams are keyed by
+	// (seed, window, rack shard), so results stay bit-identical at any
+	// Taggers value; the dataset differs from sampling mode by design.
+	FleetMatrix bool
+	// MemCeilingBytes, when positive, is stamped into the run manifest
+	// together with the measured fleet heap peak; cmd/manifestcheck
+	// asserts the peak stayed under the ceiling. Zero means no ceiling.
+	MemCeilingBytes int64
 
 	// Parallelism is the worker count of the parallel experiment engine:
 	// independent (role, seconds) trace bundles fan out across this many
@@ -290,7 +303,7 @@ func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 		Flows:   analysis.NewFlows(s.Topo, host),
 		Rates:   analysis.NewRateSeries(s.Topo, host),
 		Sizes:   analysis.NewPacketSizes(),
-		Arr: analysis.NewArrivals(s.Topo.Hosts[host].Addr,
+		Arr: analysis.NewArrivals(s.Topo.Addr(host),
 			15*netsim.Millisecond, 100*netsim.Millisecond),
 		Conc: analysis.NewConcurrency(s.Topo, host, analysis.ConcurrencyWindow),
 		HH:   make(map[analysis.Level]map[netsim.Time]*analysis.HeavyHitters),
@@ -300,13 +313,14 @@ func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 	// effectively all-Hadoop already.
 	switch role {
 	case topology.RoleCacheFollower:
-		b.Rates.Filter = func(d *topology.Host) bool { return d.Role == topology.RoleWeb }
+		b.Rates.Filter = func(d topology.HostID) bool { return s.Topo.HostRole(d) == topology.RoleWeb }
 	case topology.RoleCacheLeader:
-		b.Rates.Filter = func(d *topology.Host) bool {
-			return d.Role == topology.RoleCacheFollower || d.Role == topology.RoleCacheLeader
+		b.Rates.Filter = func(d topology.HostID) bool {
+			r := s.Topo.HostRole(d)
+			return r == topology.RoleCacheFollower || r == topology.RoleCacheLeader
 		}
 	case topology.RoleWeb:
-		b.Rates.Filter = func(d *topology.Host) bool { return d.Role == topology.RoleCacheFollower }
+		b.Rates.Filter = func(d topology.HostID) bool { return s.Topo.HostRole(d) == topology.RoleCacheFollower }
 	}
 	sinks := workload.Fanout{b.Mix, b.Loc, b.Flows, b.Rates, b.Sizes, b.Arr, b.Conc}
 	for _, lvl := range []analysis.Level{analysis.LevelFlow, analysis.LevelHost, analysis.LevelRack} {

@@ -54,11 +54,11 @@ type IncastResult struct {
 func (s *System) ExtensionIncast(senders []int, respBytes int, bufBytes int64) *IncastResult {
 	res := &IncastResult{ResponseBytes: respBytes, BufBytes: bufBytes}
 	web := s.Monitored(topology.RoleWeb)
-	caches := s.Pick.InCluster(topology.RoleCacheFollower, s.Topo.Hosts[web].Cluster)
+	caches := s.Pick.InCluster(topology.RoleCacheFollower, s.Topo.HostCluster(web))
 
 	for _, n := range senders {
-		if n > len(caches) {
-			n = len(caches)
+		if n > caches.Len() {
+			n = caches.Len()
 		}
 		eng := &netsim.Engine{}
 		fcfg := netsim.DefaultFabricConfig()
@@ -80,7 +80,7 @@ func (s *System) ExtensionIncast(senders []int, respBytes int, bufBytes int64) *
 		// Every sender's full response enters the fabric at t=0, segmented
 		// into MTU packets — the synchronized scatter-gather reply.
 		for i := 0; i < n; i++ {
-			src := caches[i]
+			src := caches.At(i)
 			remaining := respBytes
 			t := netsim.Time(0)
 			for seq := 0; remaining > 0; seq++ {
@@ -91,7 +91,7 @@ func (s *System) ExtensionIncast(senders []int, respBytes int, bufBytes int64) *
 				remaining -= pl
 				hdr := packet.Header{
 					Key: packet.FlowKey{
-						Src: s.Topo.Hosts[src].Addr, Dst: s.Topo.Hosts[web].Addr,
+						Src: s.Topo.Addr(src), Dst: s.Topo.Addr(web),
 						SrcPort: uint16(40000 + uint32(src)%20000), DstPort: 11211, Proto: packet.TCP,
 					},
 					Size: uint32(pl + 66),
@@ -161,7 +161,7 @@ type OversubResult struct {
 // oversubscription.
 func (s *System) ExtensionOversubscription(role topology.Role, factors []float64, seconds int) *OversubResult {
 	host := s.Monitored(role)
-	rack := s.Topo.Hosts[host].Rack
+	rack := s.Topo.HostRack(host)
 
 	// One shared synthesized window of the rack's traffic, at elevated
 	// load so the sweep reaches drop onset within laptop-scale rates.
@@ -176,10 +176,11 @@ func (s *System) ExtensionOversubscription(role topology.Role, factors []float64
 // oversubscription than the measured workloads tolerate.
 func (s *System) ExtensionOversubAllToAll(factors []float64, seconds int) *OversubResult {
 	host := s.Monitored(topology.RoleHadoop)
-	rack := s.Topo.Hosts[host].Rack
+	rack := s.Topo.HostRack(host)
 	var hdrs []packet.Header
 	collect := workload.CollectorFunc(func(p packet.Header) { hdrs = append(hdrs, p) })
-	for _, h := range s.Topo.Racks[rack].Hosts {
+	for i := 0; i < int(s.Topo.Racks[rack].NumHosts); i++ {
+		h := s.Topo.Racks[rack].Host(i)
 		baseline.GenerateAllToAll(s.Topo, h, s.Cfg.Seed^0xa2a^uint64(h),
 			baseline.DefaultAllToAllParams(), netsim.Time(seconds)*netsim.Second, collect)
 	}
@@ -234,7 +235,8 @@ func (s *System) rackWindow(rack, seconds int, salt uint64, boost float64) []pac
 	var hdrs []packet.Header
 	collect := workload.CollectorFunc(func(p packet.Header) { hdrs = append(hdrs, p) })
 	params := s.Cfg.Params.Scaled(boost)
-	for _, h := range s.Topo.Racks[rack].Hosts {
+	for i := 0; i < int(s.Topo.Racks[rack].NumHosts); i++ {
+		h := s.Topo.Racks[rack].Host(i)
 		tr := services.NewTrace(s.Pick, h, s.Cfg.Seed^salt^uint64(h)<<8, params, collect)
 		tr.Run(netsim.Time(seconds) * netsim.Second)
 	}

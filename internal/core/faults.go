@@ -80,8 +80,8 @@ func (s *System) degradedHeaders() []packet.Header {
 	s.degradedOnce.Do(func() {
 		sec := s.degradedSeconds()
 		horizon := netsim.Time(sec) * netsim.Second
-		webRack := s.Topo.Hosts[s.Monitored(topology.RoleWeb)].Rack
-		cacheRack := s.Topo.Hosts[s.Monitored(topology.RoleCacheFollower)].Rack
+		webRack := s.Topo.HostRack(s.Monitored(topology.RoleWeb))
+		cacheRack := s.Topo.HostRack(s.Monitored(topology.RoleCacheFollower))
 
 		var hdrs []packet.Header
 		collect := workload.CollectorFunc(func(h packet.Header) { hdrs = append(hdrs, h) })
@@ -90,7 +90,8 @@ func (s *System) degradedHeaders() []packet.Header {
 			racks = racks[:1]
 		}
 		for _, rack := range racks {
-			for _, h := range s.Topo.Racks[rack].Hosts {
+			for i := 0; i < int(s.Topo.Racks[rack].NumHosts); i++ {
+				h := s.Topo.Racks[rack].Host(i)
 				seed := s.Cfg.Seed ^ 0xfa17<<24 ^ uint64(h)<<8
 				tr := services.NewTrace(s.Pick, h, seed, s.Cfg.Params, collect)
 				tr.Run(horizon)
@@ -141,7 +142,7 @@ func (s *System) runDegradedArm(scenario string, disableReroute bool) (DegradedM
 
 	var delivered []packet.Header
 	keep := func(hs []packet.Header) { delivered = append(delivered, hs...) }
-	for id := range s.Topo.Hosts {
+	for id := 0; id < s.Topo.NumHosts(); id++ {
 		fab.Sink(topology.HostID(id)).OnBatch = keep
 	}
 	for _, h := range hdrs {
@@ -151,7 +152,7 @@ func (s *System) runDegradedArm(scenario string, disableReroute bool) (DegradedM
 	runSpan := s.Cfg.Obs.StartSpan("netsim-run")
 	eng.Run(horizon + faultDrainGrace)
 	runSpan.End()
-	for id := range s.Topo.Hosts {
+	for id := 0; id < s.Topo.NumHosts(); id++ {
 		fab.Sink(topology.HostID(id)).Flush()
 	}
 	s.foldFabricStats(fab)
@@ -167,10 +168,10 @@ func (s *System) runDegradedArm(scenario string, disableReroute bool) (DegradedM
 	for _, h := range delivered {
 		m.DeliveredPkts++
 		m.DeliveredBytes += int64(h.Size)
-		src := s.Topo.HostByAddr(h.Key.Src)
-		dst := s.Topo.HostByAddr(h.Key.Dst)
-		if src != nil && dst != nil {
-			locBytes[s.Topo.Locality(src.ID, dst.ID)] += float64(h.Size)
+		src, srcOK := s.Topo.HostByAddr(h.Key.Src)
+		dst, dstOK := s.Topo.HostByAddr(h.Key.Dst)
+		if srcOK && dstOK {
+			locBytes[s.Topo.Locality(src, dst)] += float64(h.Size)
 		}
 		hhRack.Packet(h)
 		hhFlow.Packet(h)

@@ -387,7 +387,7 @@ func (s *System) Figure13() *Figure13Result {
 	}
 	// Literature baseline through the same analysis.
 	host := s.Monitored(topology.RoleHadoop)
-	arr := analysis.NewArrivals(s.Topo.Hosts[host].Addr, 15*netsim.Millisecond)
+	arr := analysis.NewArrivals(s.Topo.Addr(host), 15*netsim.Millisecond)
 	baseline.Generate(s.Topo, host, s.Cfg.Seed^0xb45e, baseline.DefaultOnOffParams(),
 		netsim.Time(s.Cfg.ShortTraceSec/4+1)*netsim.Second, workload.CollectorFunc(arr.Packet))
 	res.BaselineScore15 = arr.OnOffScore(15 * netsim.Millisecond)

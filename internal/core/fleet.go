@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -20,6 +21,12 @@ import (
 // at -parallel 1, 2, or 8.
 const fleetShardHosts = 128
 
+// fleetMatrixShardRacks is the rack-range width of one matrix-mode shard:
+// matrix synthesis walks racks, not hosts, so shards partition the rack ID
+// space. Like fleetShardHosts it is a constant so the task grid — and with
+// it every shard's rng stream — is independent of the worker count.
+const fleetMatrixShardRacks = 64
+
 // FleetDataset runs the Fbflow collection over the whole fleet for the
 // configured synthetic day and returns the aggregated dataset. The result
 // is memoized: Table 3, Figure 5, and §4.1 share one collection run, as
@@ -30,30 +37,37 @@ const fleetShardHosts = 128
 // each worker generates its shard's flows, tags them inline, and
 // accumulates into a shard-local partial dataset. Partials merge in task
 // order, so results do not depend on worker count or scheduling.
+//
+// With Config.FleetMatrix set, shards span rack ranges instead of host
+// ranges and each worker synthesizes a demand matrix for its racks before
+// drawing flows from it (see services.MatrixProgram).
 func (s *System) FleetDataset() *fbflow.Dataset {
 	s.fleetOnce.Do(func() { s.fleet = s.collectFleet() })
 	return s.fleet
 }
 
-// fleetTask is one unit of fleet collection: one shard of hosts within
-// one observation window.
+// fleetTask is one unit of fleet collection: one shard of hosts (sampling
+// mode) or racks (matrix mode) within one observation window.
 type fleetTask struct {
 	window int
 	shard  int
-	lo, hi topology.HostID // host ID range [lo, hi)
+	lo, hi int // host ID range [lo, hi), or rack ID range in matrix mode
 }
 
 // fleetTasks enumerates the full (window × shard) task grid in the
 // deterministic merge order.
 func (s *System) fleetTasks() []fleetTask {
-	n := s.Topo.NumHosts()
-	shards := (n + fleetShardHosts - 1) / fleetShardHosts
+	n, width := s.Topo.NumHosts(), fleetShardHosts
+	if s.Cfg.FleetMatrix {
+		n, width = len(s.Topo.Racks), fleetMatrixShardRacks
+	}
+	shards := (n + width - 1) / width
 	tasks := make([]fleetTask, 0, s.Cfg.FleetWindows*shards)
 	for w := 0; w < s.Cfg.FleetWindows; w++ {
 		for sh := 0; sh < shards; sh++ {
-			lo := sh * fleetShardHosts
-			hi := min(lo+fleetShardHosts, n)
-			tasks = append(tasks, fleetTask{window: w, shard: sh, lo: topology.HostID(lo), hi: topology.HostID(hi)})
+			lo := sh * width
+			hi := min(lo+width, n)
+			tasks = append(tasks, fleetTask{window: w, shard: sh, lo: lo, hi: hi})
 		}
 	}
 	return tasks
@@ -80,12 +94,26 @@ func (s *System) collectFleet() *fbflow.Dataset {
 
 	tasks := s.fleetTasks()
 	tagger := fbflow.NewTagger(s.Topo)
-	prog := services.NewFleetProgram(s.Pick, s.Cfg.Params)
 	ds := fbflow.NewDataset()
 
 	workers := s.Cfg.TaggerWorkers()
 	if workers > len(tasks) {
 		workers = len(tasks)
+	}
+	var prog *services.FleetProgram
+	var mprog *services.MatrixProgram
+	var mats []*services.DemandMatrix
+	if s.Cfg.FleetMatrix {
+		mprog = services.NewMatrixProgram(s.Pick, s.Cfg.Params)
+		// One demand matrix per worker, reused (Reset, not reallocated)
+		// across every task the worker runs: steady-state synthesis is
+		// allocation-free.
+		mats = make([]*services.DemandMatrix, workers)
+		for i := range mats {
+			mats[i] = services.NewDemandMatrix()
+		}
+	} else {
+		prog = services.NewFleetProgram(s.Pick, s.Cfg.Params)
 	}
 	shardsPerWindow := 0
 	if s.Cfg.FleetWindows > 0 {
@@ -111,7 +139,11 @@ func (s *System) collectFleet() *fbflow.Dataset {
 		}
 		p := pool.Get().(*fbflow.Partial)
 		sh := obsPool.Get().(*obs.Shard)
-		s.collectShard(tagger, prog, tasks[i], p, sh)
+		if s.Cfg.FleetMatrix {
+			s.collectMatrixShard(tagger, mprog, tasks[i], mats[w], p, sh)
+		} else {
+			s.collectShard(tagger, prog, tasks[i], p, sh)
+		}
 		if reg.Enabled() {
 			d := time.Since(t0)
 			sh.Observe(s.obsIDs.fleetShardUs, d.Microseconds())
@@ -151,8 +183,38 @@ func (s *System) collectFleet() *fbflow.Dataset {
 			reg.SetGauge("fbdcnet_fleet_sampling_coverage",
 				float64(reg.CounterValue("fbdcnet_fleet_records_total"))/float64(att))
 		}
+		// Record the post-collect heap so the run manifest carries the
+		// memory footprint of the fleet stage (the dataset is fully merged
+		// here, so live heap ≈ the stage's peak retained set). The gauge is
+		// what cmd/manifestcheck compares against mem_ceiling_bytes.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		reg.SetGauge("fbdcnet_fleet_heap_peak_bytes", float64(ms.HeapAlloc))
 	}
 	return ds
+}
+
+// collectMatrixShard synthesizes one rack-range shard's demand matrix and
+// draws its flows into the caller's partial. The matrix is reused across
+// tasks (Reset keeps its backing arrays), so the steady state allocates
+// nothing. The rng stream is keyed by (seed, window, shard) exactly like
+// sampling mode — a distinct seed fold keeps the two modes' streams
+// decorrelated.
+func (s *System) collectMatrixShard(tagger *fbflow.Tagger, prog *services.MatrixProgram, t fleetTask, m *services.DemandMatrix, into *fbflow.Partial, sh *obs.Shard) {
+	r := rng.NewKeyed(s.Cfg.Seed^0x3a721c, uint64(t.window), uint64(t.shard))
+	load := DiurnalFactor(float64(t.window) / float64(s.Cfg.FleetWindows))
+	minute := int64(t.window)
+	ids := &s.obsIDs
+	m.Reset()
+	prog.Synth(r, t.lo, t.hi, s.Cfg.FleetWindowSec, load, m)
+	sh.Add(ids.fleetMatrixCells, int64(m.Cells()))
+	prog.DrawFlows(r, m, func(src, dst topology.HostID, bytes float64) {
+		sh.Inc(ids.fleetAttempts)
+		if rec, ok := tagger.Flow(minute, s.Topo.Addr(src), s.Topo.Addr(dst), bytes); ok {
+			into.Add(rec)
+			sh.Inc(ids.fleetRecords)
+		}
+	})
 }
 
 // collectShard generates and tags one task's flows into the caller's
@@ -169,13 +231,13 @@ func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram
 	var srcAddr packet.Addr
 	emit := func(dst topology.HostID, bytes float64) {
 		sh.Inc(ids.fleetAttempts)
-		if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Hosts[dst].Addr, bytes); ok {
+		if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Addr(dst), bytes); ok {
 			into.Add(rec)
 			sh.Inc(ids.fleetRecords)
 		}
 	}
-	for src := t.lo; src < t.hi; src++ {
-		srcAddr = s.Topo.Hosts[src].Addr
+	for src := topology.HostID(t.lo); src < topology.HostID(t.hi); src++ {
+		srcAddr = s.Topo.Addr(src)
 		prog.Flows(r, src, s.Cfg.FleetWindowSec, load, s.Cfg.FleetSamples, emit)
 	}
 }

@@ -21,9 +21,10 @@ import (
 // All registration happens in initObs, before any shard exists.
 type coreObsIDs struct {
 	// Fleet collection (fbflow tagging stage).
-	fleetAttempts obs.CounterID // flows offered to the tagger
-	fleetRecords  obs.CounterID // sampled records merged into the dataset
-	fleetShardUs  obs.HistID    // per-shard wall time, µs
+	fleetAttempts    obs.CounterID // flows offered to the tagger
+	fleetRecords     obs.CounterID // sampled records merged into the dataset
+	fleetMatrixCells obs.CounterID // demand cells packed in matrix mode
+	fleetShardUs     obs.HistID    // per-shard wall time, µs
 
 	// Simulated fabric (degraded-mode packet runs).
 	netsimInjected    obs.CounterID
@@ -66,6 +67,8 @@ func (s *System) initObs() {
 		"flows offered to the fbflow tagger during fleet collection")
 	ids.fleetRecords = r.Counter("fbdcnet_fleet_records_total",
 		"sampled fbflow records merged into the fleet dataset")
+	ids.fleetMatrixCells = r.Counter("fbdcnet_fleet_matrix_cells_total",
+		"rack-pair demand cells packed during matrix-mode fleet collection")
 	ids.fleetShardUs = r.Histogram("fbdcnet_fleet_shard_us",
 		"wall time of one fleet collection shard, microseconds")
 
@@ -209,20 +212,7 @@ func (s *System) foldTelemetry(res *TelemetryResult) {
 }
 
 // scaleName names a topology scale for the run manifest.
-func scaleName(sc topology.Scale) string {
-	switch sc {
-	case topology.ScaleTiny:
-		return "tiny"
-	case topology.ScaleSmall:
-		return "small"
-	case topology.ScaleMedium:
-		return "medium"
-	case topology.ScaleLarge:
-		return "large"
-	default:
-		return "unknown"
-	}
-}
+func scaleName(sc topology.Scale) string { return sc.String() }
 
 // ManifestMeta describes this configuration for the run manifest.
 func (c Config) ManifestMeta(tool string) obs.RunMeta {
@@ -236,6 +226,8 @@ func (c Config) ManifestMeta(tool string) obs.RunMeta {
 			"fleet_windows":     c.FleetWindows,
 			"fleet_window_sec":  c.FleetWindowSec,
 			"fleet_samples":     c.FleetSamples,
+			"fleet_matrix":      c.FleetMatrix,
+			"mem_ceiling_bytes": c.MemCeilingBytes,
 			"parallelism":       c.Workers(),
 			"taggers":           c.TaggerWorkers(),
 			"fault_scenario":    c.FaultScenario,

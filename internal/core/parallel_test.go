@@ -82,6 +82,39 @@ func TestFleetDatasetWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestFleetMatrixDeterminism pins matrix-mode collection the same way
+// TestParallelDeterminism pins the sampling mode: the full summary must
+// be byte-identical at 1, 2, and 8 workers when fleet traffic comes from
+// the vectorised demand-matrix path.
+func TestFleetMatrixDeterminism(t *testing.T) {
+	if raceEnabled {
+		// Three full suite runs multiply past the race job's budget; the
+		// coverage job runs this without the detector.
+		t.Skip("skipping multi-suite matrix determinism check under -race")
+	}
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		cfg := QuickConfig()
+		cfg.Seed = 42
+		cfg.Parallelism = workers
+		cfg.Taggers = workers
+		cfg.FleetMatrix = true
+		sum := MustNewSystem(cfg).Summarize()
+		data, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = data
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("matrix-mode summary at %d workers differs from 1-worker output:\n%s\nvs\n%s",
+				workers, data, want)
+		}
+	}
+}
+
 // TestTraceConcurrentMemoization hammers the singleflight memo: many
 // goroutines requesting the same and different bundles must agree on one
 // generation per key.

@@ -67,8 +67,8 @@ func (s *System) Figure15(cfg Figure15Config) *Figure15Result {
 
 	webHost := s.Monitored(topology.RoleWeb)
 	cacheHost := s.Monitored(topology.RoleCacheFollower)
-	webRack := s.Topo.Hosts[webHost].Rack
-	cacheRack := s.Topo.Hosts[cacheHost].Rack
+	webRack := s.Topo.HostRack(webHost)
+	cacheRack := s.Topo.HostRack(cacheHost)
 
 	webRSW := fabric.RSW(webRack)
 	cacheRSW := fabric.RSW(cacheRack)
@@ -90,7 +90,8 @@ func (s *System) Figure15(cfg Figure15Config) *Figure15Result {
 		var hdrs []packet.Header
 		collect := workload.CollectorFunc(func(h packet.Header) { hdrs = append(hdrs, h) })
 		for _, rack := range []int{webRack, cacheRack} {
-			for _, h := range s.Topo.Racks[rack].Hosts {
+			for i := 0; i < int(s.Topo.Racks[rack].NumHosts); i++ {
+				h := s.Topo.Racks[rack].Host(i)
 				seed := s.Cfg.Seed ^ 0xf15<<20 ^ uint64(h)<<8 ^ uint64(w)
 				tr := services.NewTrace(s.Pick, h, seed, params, collect)
 				tr.Run(winDur)
@@ -131,11 +132,11 @@ func (s *System) Figure15(cfg Figure15Config) *Figure15Result {
 func rackEdgeUtil(f *netsim.Fabric, topo *topology.Topology, rack int, dur netsim.Time) float64 {
 	links := f.LinksByTier(netsim.TierHostRSW)
 	total := 0.0
-	hosts := topo.Racks[rack].Hosts
-	for _, h := range hosts {
-		total += links[h].Utilization(dur)
+	rk := &topo.Racks[rack]
+	for i := 0; i < int(rk.NumHosts); i++ {
+		total += links[rk.Host(i)].Utilization(dur)
 	}
-	return total / float64(len(hosts))
+	return total / float64(rk.NumHosts)
 }
 
 // MaxOf returns the maximum of a series (0 for empty).

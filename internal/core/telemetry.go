@@ -123,7 +123,7 @@ func (s *System) runTelemetry() *TelemetryResult {
 	for _, role := range telemetryArmRoles {
 		res.Arms = append(res.Arms, TelemetryArm{
 			Role: role,
-			Rack: s.Topo.Hosts[s.Monitored(role)].Rack,
+			Rack: s.Topo.HostRack(s.Monitored(role)),
 		})
 	}
 
@@ -215,10 +215,11 @@ func (s *System) runTelemetryWindow(tcfg TelemetryConfig, role topology.Role, w 
 
 	load := DiurnalFactor(float64(w) / float64(tcfg.Windows))
 	params := s.Cfg.Params.Scaled(load * tcfg.LoadBoost)
-	rack := s.Topo.Hosts[focus].Rack
+	rack := s.Topo.HostRack(focus)
 	var hdrs []packet.Header
 	collect := workload.CollectorFunc(func(h packet.Header) { hdrs = append(hdrs, h) })
-	for _, h := range s.Topo.Racks[rack].Hosts {
+	for i := 0; i < int(s.Topo.Racks[rack].NumHosts); i++ {
+		h := s.Topo.Racks[rack].Host(i)
 		seed := s.Cfg.Seed ^ 0x7e1e<<24 ^ uint64(h)<<8 ^ uint64(w)
 		tr := services.NewTrace(s.Pick, h, seed, params, collect)
 		tr.Run(winDur)

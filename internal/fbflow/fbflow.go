@@ -65,25 +65,46 @@ func NewTagger(topo *topology.Topology) *Tagger { return &Tagger{topo: topo} }
 // sampling weight. It reports false when either endpoint is unknown to
 // the topology (the production pipeline drops such samples too).
 func (t *Tagger) Header(minute int64, hdr packet.Header, weight float64) (Record, bool) {
-	src := t.topo.HostByAddr(hdr.Key.Src)
-	dst := t.topo.HostByAddr(hdr.Key.Dst)
-	if src == nil || dst == nil {
+	src, ok := t.topo.HostByAddr(hdr.Key.Src)
+	if !ok {
 		return Record{}, false
+	}
+	dst, ok := t.topo.HostByAddr(hdr.Key.Dst)
+	if !ok {
+		return Record{}, false
+	}
+	// Annotate straight from the columnar topology: two rack-column loads
+	// and the rack/cluster element rows, no Host struct materialization.
+	topo := t.topo
+	srcRack, dstRack := topo.HostRack(src), topo.HostRack(dst)
+	sr, dr := &topo.Racks[srcRack], &topo.Racks[dstRack]
+	srcDC := topo.Clusters[sr.Cluster].Datacenter
+	dstDC := topo.Clusters[dr.Cluster].Datacenter
+	loc := topology.InterDatacenter
+	switch {
+	case src == dst:
+		loc = topology.SameHost
+	case srcRack == dstRack:
+		loc = topology.IntraRack
+	case sr.Cluster == dr.Cluster:
+		loc = topology.IntraCluster
+	case srcDC == dstDC:
+		loc = topology.IntraDatacenter
 	}
 	return Record{
 		Minute:         minute,
-		Src:            src.ID,
-		Dst:            dst.ID,
-		SrcRack:        src.Rack,
-		DstRack:        dst.Rack,
-		SrcCluster:     src.Cluster,
-		DstCluster:     dst.Cluster,
-		SrcDC:          src.Datacenter,
-		DstDC:          dst.Datacenter,
-		SrcRole:        src.Role,
-		DstRole:        dst.Role,
-		SrcClusterType: t.topo.Clusters[src.Cluster].Type,
-		Locality:       t.topo.Locality(src.ID, dst.ID),
+		Src:            src,
+		Dst:            dst,
+		SrcRack:        srcRack,
+		DstRack:        dstRack,
+		SrcCluster:     sr.Cluster,
+		DstCluster:     dr.Cluster,
+		SrcDC:          srcDC,
+		DstDC:          dstDC,
+		SrcRole:        sr.Role,
+		DstRole:        dr.Role,
+		SrcClusterType: topo.Clusters[sr.Cluster].Type,
+		Locality:       loc,
 		Bytes:          weight * float64(hdr.Size),
 		Packets:        weight,
 	}, true

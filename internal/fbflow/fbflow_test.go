@@ -22,7 +22,7 @@ func TestAgentSamplingRate(t *testing.T) {
 	a := NewAgent(p, 100, 42, func() int64 { return 0 })
 
 	h := packet.Header{
-		Key:  packet.FlowKey{Src: topo.Hosts[0].Addr, Dst: topo.Hosts[5].Addr, Proto: packet.TCP},
+		Key:  packet.FlowKey{Src: topo.Addr(0), Dst: topo.Addr(5), Proto: packet.TCP},
 		Size: 200,
 	}
 	const n = 1_000_000
@@ -55,7 +55,7 @@ func TestTaggerAnnotation(t *testing.T) {
 		recs = append(recs, r)
 		mu.Unlock()
 	})
-	src, dst := topo.Hosts[0], topo.Hosts[5]
+	src, dst := topo.Host(0), topo.Host(5)
 	p.AddFlow(7, src.Addr, dst.Addr, 1234)
 	p.Close()
 
@@ -87,7 +87,7 @@ func TestUnknownAddressDropped(t *testing.T) {
 	topo := testTopo(t)
 	ds := NewDataset()
 	p := NewPipeline(topo, 1, ds.Add)
-	p.AddFlow(0, packet.Addr(1<<30), topo.Hosts[0].Addr, 100)
+	p.AddFlow(0, packet.Addr(1<<30), topo.Addr(0), 100)
 	p.Close()
 	if ds.TotalBytes() != 0 {
 		t.Fatal("record with unknown address not dropped")
@@ -101,11 +101,11 @@ func TestDatasetLocalityShares(t *testing.T) {
 
 	// One intra-rack and one inter-DC flow from the same Hadoop host.
 	hadoop := topo.HostsByRole(topology.RoleHadoop)[0]
-	rack := topo.Racks[topo.Hosts[hadoop].Rack]
-	same := rack.Hosts[1]
-	far := topo.Hosts[topo.NumHosts()-1] // other site
-	p.AddFlow(0, topo.Hosts[hadoop].Addr, topo.Hosts[same].Addr, 300)
-	p.AddFlow(0, topo.Hosts[hadoop].Addr, far.Addr, 700)
+	rack := topo.Racks[topo.HostRack(hadoop)]
+	same := rack.Host(1)
+	far := topo.Host(topology.HostID(topo.NumHosts() - 1)) // other site
+	p.AddFlow(0, topo.Addr(hadoop), topo.Addr(same), 300)
+	p.AddFlow(0, topo.Addr(hadoop), far.Addr, 700)
 	p.Close()
 
 	share := ds.LocalityShare(topology.ClusterHadoop)
@@ -136,9 +136,9 @@ func TestDatasetRackMatrix(t *testing.T) {
 
 	cl := topo.ClustersOfType(topology.ClusterHadoop)[0]
 	racks := topo.Clusters[cl].Racks
-	src := topo.Racks[racks[0]].Hosts[0]
-	dst := topo.Racks[racks[1]].Hosts[0]
-	p.AddFlow(0, topo.Hosts[src].Addr, topo.Hosts[dst].Addr, 500)
+	src := topo.Racks[racks[0]].Host(0)
+	dst := topo.Racks[racks[1]].Host(0)
+	p.AddFlow(0, topo.Addr(src), topo.Addr(dst), 500)
 	p.Close()
 
 	m := ds.RackMatrix(topo, cl)
@@ -157,9 +157,9 @@ func TestDatasetClusterMatrixAndCrossCounters(t *testing.T) {
 
 	dc := topo.Datacenters[0]
 	c0, c1 := dc.Clusters[0], dc.Clusters[1]
-	src := topo.Racks[topo.Clusters[c0].Racks[0]].Hosts[0]
-	dst := topo.Racks[topo.Clusters[c1].Racks[0]].Hosts[0]
-	p.AddFlow(0, topo.Hosts[src].Addr, topo.Hosts[dst].Addr, 800)
+	src := topo.Racks[topo.Clusters[c0].Racks[0]].Host(0)
+	dst := topo.Racks[topo.Clusters[c1].Racks[0]].Host(0)
+	p.AddFlow(0, topo.Addr(src), topo.Addr(dst), 800)
 	p.Close()
 
 	m := ds.ClusterMatrix([]int{c0, c1})
@@ -169,7 +169,7 @@ func TestDatasetClusterMatrixAndCrossCounters(t *testing.T) {
 	if got := ds.HostOutBytes()[src]; got != 800 {
 		t.Fatalf("host out = %v", got)
 	}
-	if got := ds.RackCrossBytes()[topo.Hosts[src].Rack]; got != 800 {
+	if got := ds.RackCrossBytes()[topo.HostRack(src)]; got != 800 {
 		t.Fatalf("rack cross = %v", got)
 	}
 	if got := ds.ClusterCrossBytes()[c0]; got != 800 {
@@ -182,7 +182,7 @@ func TestIntraRackNotCountedAsCross(t *testing.T) {
 	ds := NewDataset()
 	p := NewPipeline(topo, 1, ds.Add)
 	rack := topo.Racks[0]
-	p.AddFlow(0, topo.Hosts[rack.Hosts[0]].Addr, topo.Hosts[rack.Hosts[1]].Addr, 100)
+	p.AddFlow(0, topo.Host(rack.Host(0)).Addr, topo.Host(rack.Host(1)).Addr, 100)
 	p.Close()
 	if len(ds.RackCrossBytes()) != 0 {
 		t.Fatal("intra-rack traffic counted as rack-crossing")
@@ -197,7 +197,7 @@ func TestPerMinuteSeries(t *testing.T) {
 	ds := NewDataset()
 	p := NewPipeline(topo, 2, ds.Add)
 	for m := int64(0); m < 5; m++ {
-		p.AddFlow(m, topo.Hosts[0].Addr, topo.Hosts[5].Addr, float64(100*(m+1)))
+		p.AddFlow(m, topo.Addr(0), topo.Addr(5), float64(100*(m+1)))
 	}
 	p.Close()
 	series := ds.PerMinute()
@@ -220,7 +220,7 @@ func TestPipelineConcurrentIngestion(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				p.AddFlow(0, topo.Hosts[0].Addr, topo.Hosts[9].Addr, 1)
+				p.AddFlow(0, topo.Addr(0), topo.Addr(9), 1)
 			}
 		}()
 	}
@@ -247,11 +247,11 @@ func TestDatasetSaveLoadRoundTrip(t *testing.T) {
 	p := NewPipeline(topo, 2, ds.Add)
 	// Build a dataset with every aggregate populated.
 	hadoop := topo.HostsByRole(topology.RoleHadoop)[0]
-	rackPeer := topo.Racks[topo.Hosts[hadoop].Rack].Hosts[1]
-	far := topo.Hosts[topo.NumHosts()-1]
+	rackPeer := topo.Racks[topo.HostRack(hadoop)].Host(1)
+	far := topo.Host(topology.HostID(topo.NumHosts() - 1))
 	for m := int64(0); m < 3; m++ {
-		p.AddFlow(m, topo.Hosts[hadoop].Addr, topo.Hosts[rackPeer].Addr, 100)
-		p.AddFlow(m, topo.Hosts[hadoop].Addr, far.Addr, 900)
+		p.AddFlow(m, topo.Addr(hadoop), topo.Addr(rackPeer), 100)
+		p.AddFlow(m, topo.Addr(hadoop), far.Addr, 900)
 	}
 	p.Close()
 
@@ -281,7 +281,7 @@ func TestDatasetSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("minute %d: %v vs %v", k, bm[k], v)
 		}
 	}
-	ra, rb := ds.RackMatrix(topo, topo.Hosts[hadoop].Cluster), got.RackMatrix(topo, topo.Hosts[hadoop].Cluster)
+	ra, rb := ds.RackMatrix(topo, topo.HostCluster(hadoop)), got.RackMatrix(topo, topo.HostCluster(hadoop))
 	for i := range ra {
 		for j := range ra[i] {
 			if ra[i][j] != rb[i][j] {
@@ -292,7 +292,7 @@ func TestDatasetSaveLoadRoundTrip(t *testing.T) {
 	if got.HostOutBytes()[hadoop] != ds.HostOutBytes()[hadoop] {
 		t.Fatal("host out diverged")
 	}
-	if got.RackCrossBytes()[topo.Hosts[hadoop].Rack] != ds.RackCrossBytes()[topo.Hosts[hadoop].Rack] {
+	if got.RackCrossBytes()[topo.HostRack(hadoop)] != ds.RackCrossBytes()[topo.HostRack(hadoop)] {
 		t.Fatal("rack cross diverged")
 	}
 }

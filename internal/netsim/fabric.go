@@ -161,7 +161,8 @@ func NewFabric(eng *Engine, topo *topology.Topology, cfg FabricConfig) *Fabric {
 	f.rswUpPort = make([][]int, nRacks)
 	for ri, rack := range topo.Racks {
 		sw := NewSwitch(eng, fmt.Sprintf("rsw%d", ri), cfg.RSWBufBytes)
-		for _, h := range rack.Hosts {
+		for i := 0; i < int(rack.NumHosts); i++ {
+			h := rack.Host(i)
 			f.hostPort[h] = sw.AddPort(&Link{RateBps: cfg.HostLinkBps, Delay: cfg.WireDelay}, f.sinks[h])
 		}
 		f.rsws[ri] = sw
@@ -337,7 +338,7 @@ func (f *Fabric) RSW(r int) *Switch { return f.rsws[r] }
 
 // RSWOfHost returns the top-of-rack switch serving host h.
 func (f *Fabric) RSWOfHost(h topology.HostID) *Switch {
-	return f.rsws[f.Topo.Hosts[h].Rack]
+	return f.rsws[f.Topo.HostRack(h)]
 }
 
 // Injected returns the number of packets injected so far.
@@ -377,14 +378,15 @@ func (f *Fabric) Inject(hdr packet.Header) { f.inject(hdr, 0) }
 // inject is Inject plus the delivery-attempt count used by the
 // retransmission budget.
 func (f *Fabric) inject(hdr packet.Header, tries uint8) {
-	src := f.Topo.HostByAddr(hdr.Key.Src)
-	dst := f.Topo.HostByAddr(hdr.Key.Dst)
-	if src == nil || dst == nil {
+	srcID, srcOK := f.Topo.HostByAddr(hdr.Key.Src)
+	dstID, dstOK := f.Topo.HostByAddr(hdr.Key.Dst)
+	if !srcOK || !dstOK {
 		panic(fmt.Sprintf("netsim: inject with unknown host: %v", hdr.Key))
 	}
-	if src.ID == dst.ID {
+	if srcID == dstID {
 		return
 	}
+	src, dst := f.Topo.Host(srcID), f.Topo.Host(dstID)
 	if tries == 0 {
 		f.injectedPkts++
 	}

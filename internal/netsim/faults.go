@@ -80,7 +80,7 @@ func NewFaultSchedule(scenario string, topo *topology.Topology, focus topology.H
 	if scenario == "" {
 		return s, nil
 	}
-	h := &topo.Hosts[focus]
+	h := topo.Host(focus)
 	r := rng.NewKeyed(seed, scenarioKey(scenario), uint64(focus))
 	switch scenario {
 	case ScenarioLinkFlap:
@@ -222,7 +222,7 @@ func (f *Fabric) SetElementDown(e topology.Element, down bool) {
 			return
 		}
 		f.hostLinkDown[e.A] = down
-		rack := f.Topo.Hosts[e.A].Rack
+		rack := f.Topo.HostRack(topology.HostID(e.A))
 		f.rsws[rack].Port(f.hostPort[e.A]).SetDown(down)
 	}
 	if down {
@@ -258,9 +258,9 @@ func (f *Fabric) scheduleRetry(hdr packet.Header, tries uint8) {
 func (f *Fabric) lose(hdr packet.Header) {
 	f.faults.LostPkts++
 	f.faults.LostBytes += int64(hdr.Size)
-	src := f.Topo.HostByAddr(hdr.Key.Src)
-	dst := f.Topo.HostByAddr(hdr.Key.Dst)
-	if src != nil && dst != nil {
-		f.faults.LostByLocality[f.Topo.Locality(src.ID, dst.ID)]++
+	src, srcOK := f.Topo.HostByAddr(hdr.Key.Src)
+	dst, dstOK := f.Topo.HostByAddr(hdr.Key.Dst)
+	if srcOK && dstOK {
+		f.faults.LostByLocality[f.Topo.Locality(src, dst)]++
 	}
 }

@@ -32,7 +32,7 @@ func faultTestTopo(t *testing.T) *topology.Topology {
 func hdrBetween(topo *topology.Topology, a, b topology.HostID, port uint16) packet.Header {
 	return packet.Header{
 		Key: packet.FlowKey{
-			Src: topo.Hosts[a].Addr, Dst: topo.Hosts[b].Addr,
+			Src: topo.Addr(a), Dst: topo.Addr(b),
 			SrcPort: port, DstPort: 80, Proto: packet.TCP,
 		},
 		Size: 1500,
@@ -73,9 +73,9 @@ func TestCSWDownReroutes(t *testing.T) {
 	f := NewFabric(eng, topo, DefaultFabricConfig())
 	f.SetElementDown(topology.Element{Kind: topology.ElemCSW, A: 0, B: 1}, true)
 
-	src := topo.Racks[0].Hosts[0]
-	dstOther := topo.Racks[1].Hosts[0] // same cluster, different rack
-	dstSame := topo.Racks[0].Hosts[1]  // same rack
+	src := topo.Racks[0].Host(0)
+	dstOther := topo.Racks[1].Host(0) // same cluster, different rack
+	dstSame := topo.Racks[0].Host(1)  // same rack
 	const n = 64
 	for i := 0; i < n; i++ {
 		eng.At(Time(i)*Microsecond, func(i int) func() {
@@ -112,8 +112,8 @@ func TestDisableRerouteLosesFlows(t *testing.T) {
 	f.DisableReroute = true
 	f.SetElementDown(topology.Element{Kind: topology.ElemCSW, A: 0, B: 1}, true)
 
-	src := topo.Racks[0].Hosts[0]
-	dst := topo.Racks[1].Hosts[0]
+	src := topo.Racks[0].Host(0)
+	dst := topo.Racks[1].Host(0)
 	const n = 64
 	for i := 0; i < n; i++ {
 		f.Inject(hdrBetween(topo, src, dst, uint16(1000+i)))
@@ -148,8 +148,8 @@ func TestRSWRecoveryRedelivers(t *testing.T) {
 	}}}
 	f.ApplyFaults(sched)
 
-	src := topo.Racks[0].Hosts[0]
-	dst := topo.Racks[0].Hosts[1]
+	src := topo.Racks[0].Host(0)
+	dst := topo.Racks[0].Host(1)
 	eng.At(Microsecond, func() { f.Inject(hdrBetween(topo, src, dst, 9)) })
 	eng.Run(Second)
 
@@ -176,8 +176,8 @@ func TestPermanentRSWDownLosesIntraRack(t *testing.T) {
 	f := NewFabric(eng, topo, DefaultFabricConfig())
 	f.SetElementDown(topology.Element{Kind: topology.ElemRSW, A: 0}, true)
 
-	src := topo.Racks[0].Hosts[0]
-	dst := topo.Racks[0].Hosts[1]
+	src := topo.Racks[0].Host(0)
+	dst := topo.Racks[0].Host(1)
 	f.Inject(hdrBetween(topo, src, dst, 9))
 	eng.Run(Second)
 
@@ -201,8 +201,8 @@ func TestUplinkFlapDropsQueuedPackets(t *testing.T) {
 	eng := &Engine{}
 	f := NewFabric(eng, topo, DefaultFabricConfig())
 
-	src := topo.Racks[0].Hosts[0]
-	dst := topo.Racks[1].Hosts[0]
+	src := topo.Racks[0].Host(0)
+	dst := topo.Racks[1].Host(0)
 	// Find a port whose ECMP hash the first flow uses, then flap exactly
 	// that uplink just after injection so the queued packet dies in place.
 	hdr := hdrBetween(topo, src, dst, 1234)
@@ -237,8 +237,8 @@ func TestFaultRunDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		f.ApplyFaults(sched)
-		src := topo.Racks[0].Hosts[0]
-		dst := topo.Racks[1].Hosts[0]
+		src := topo.Racks[0].Host(0)
+		dst := topo.Racks[1].Host(0)
 		for i := 0; i < 512; i++ {
 			i := i
 			eng.At(Time(i)*200*Microsecond, func() {

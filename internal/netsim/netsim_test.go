@@ -187,7 +187,7 @@ func newTestFabric(t *testing.T) (*Engine, *Fabric, *topology.Topology) {
 func inject(f *Fabric, src, dst topology.HostID, size uint32) {
 	f.Inject(packet.Header{
 		Key: packet.FlowKey{
-			Src: f.Topo.Hosts[src].Addr, Dst: f.Topo.Hosts[dst].Addr,
+			Src: f.Topo.Addr(src), Dst: f.Topo.Addr(dst),
 			SrcPort: 1000, DstPort: 80, Proto: packet.TCP,
 		},
 		Size: size,
@@ -319,7 +319,7 @@ func BenchmarkFabricInject(b *testing.B) {
 	f := NewFabric(eng, topo, DefaultFabricConfig())
 	hdr := packet.Header{
 		Key: packet.FlowKey{
-			Src: topo.Hosts[0].Addr, Dst: topo.Hosts[topo.NumHosts()-1].Addr,
+			Src: topo.Addr(0), Dst: topo.Addr(topology.HostID(topo.NumHosts() - 1)),
 			SrcPort: 1, DstPort: 2, Proto: packet.TCP,
 		},
 		Size: 200,

@@ -40,7 +40,7 @@ func TestPathRecordHops(t *testing.T) {
 		t.Fatalf("hops = %d, want %d", len(r.Hops), len(wantTiers))
 	}
 	hdr := packet.Header{Key: packet.FlowKey{
-		Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+		Src: topo.Addr(src), Dst: topo.Addr(dst),
 		SrcPort: 1000, DstPort: 80, Proto: packet.TCP,
 	}}
 	if want := uint8(hdr.Key.FastHash() % 4); r.Post != want {
@@ -85,7 +85,7 @@ func TestPathRecordBufferDrop(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		f.Inject(packet.Header{
 			Key: packet.FlowKey{
-				Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+				Src: topo.Addr(src), Dst: topo.Addr(dst),
 				SrcPort: uint16(2000 + i), DstPort: 80, Proto: packet.TCP,
 			},
 			Size: 1500,
@@ -142,7 +142,7 @@ func TestPathRecordFaultReasons(t *testing.T) {
 	eng2 := &Engine{}
 	f2 := NewFabric(eng2, topo, DefaultFabricConfig())
 	ts2 := attachAllSampled(f2)
-	f2.SetElementDown(topology.Element{Kind: topology.ElemRSW, A: topo.Hosts[5].Rack}, true)
+	f2.SetElementDown(topology.Element{Kind: topology.ElemRSW, A: topo.HostRack(5)}, true)
 	f2.Inject(hdrBetween(topo, 0, 5, 7))
 	eng2.Run(Second)
 	if ts2.Agg.DropsByReason[telemetry.ReasonNoLivePath] == 0 {
@@ -177,7 +177,7 @@ func TestQueueSampling(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		f.Inject(packet.Header{
 			Key: packet.FlowKey{
-				Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+				Src: topo.Addr(src), Dst: topo.Addr(dst),
 				SrcPort: uint16(3000 + i), DstPort: 80, Proto: packet.TCP,
 			},
 			Size: 1500,
@@ -229,7 +229,7 @@ func TestUnsampledFastPathAllocParity(t *testing.T) {
 	src, dst := pickPair(t, topo, topology.IntraCluster)
 	hdr := packet.Header{
 		Key: packet.FlowKey{
-			Src: topo.Hosts[src].Addr, Dst: topo.Hosts[dst].Addr,
+			Src: topo.Addr(src), Dst: topo.Addr(dst),
 			SrcPort: 4000, DstPort: 80, Proto: packet.TCP,
 		},
 		Size: 1500,

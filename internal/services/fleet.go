@@ -19,11 +19,58 @@ import (
 // ACK traffic).
 const wireOverhead = 1.18
 
+// dstScope names the locality tier a traffic component targets. It is the
+// declarative counterpart of the Picker's *Peer methods, consumed by the
+// traffic-matrix synthesis mode, which needs the destination distribution
+// as data (rack ranges and weights) rather than as a sampling closure.
+type dstScope uint8
+
+const (
+	scopeRack dstScope = iota
+	scopeCluster
+	scopeDC
+	scopeFleet
+	scopeRemote
+)
+
+// dstTerm is one declarative component of a mix entry's destination
+// distribution: a fraction of the entry's bytes addressed to hosts of one
+// role at one locality scope. The terms of an entry sum to 1 and mirror
+// the branch probabilities inside the corresponding pickDst closure
+// (FleetPeer's localBias, MiscPeer's 0.55/0.25/0.20 split, Web egress's
+// 0.7 remote preference), so matrix-mode marginals match sampling-mode
+// expectations.
+type dstTerm struct {
+	frac  float64
+	scope dstScope
+	role  topology.Role
+}
+
+// miscDst is the declarative form of Picker.MiscPeer.
+var miscDst = []dstTerm{
+	{0.55, scopeCluster, topology.RoleMisc},
+	{0.25, scopeDC, topology.RoleMisc},
+	{0.20, scopeFleet, topology.RoleMisc},
+}
+
+// fleetDst is the declarative form of Picker.FleetPeer(role, localBias).
+func fleetDst(role topology.Role, localBias float64) []dstTerm {
+	if localBias <= 0 {
+		return []dstTerm{{1, scopeFleet, role}}
+	}
+	return []dstTerm{
+		{localBias, scopeDC, role},
+		{1 - localBias, scopeFleet, role},
+	}
+}
+
 // mixEntry is one component of a role's outbound traffic: a mean byte
-// rate and a destination sampler.
+// rate, a destination sampler (sampling mode), and the equivalent
+// declarative destination distribution (matrix mode).
 type mixEntry struct {
 	bytesPerSec float64
 	pickDst     func(r *rng.Source, src topology.HostID) topology.HostID
+	dst         []dstTerm
 }
 
 // fleetMix returns the outbound traffic composition of one role,
@@ -35,41 +82,49 @@ func (pk *Picker) fleetMix(p Params, role topology.Role) []mixEntry {
 			{p.WebUserReqPerSec * (p.WebCacheReadsPerReq*cacheReadReqBytes.Mean() + p.WebCacheWritesPerReq*cacheWriteBytes.Mean()),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleCacheFollower)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleCacheFollower}}},
 			{p.WebUserReqPerSec * p.WebMFOpsPerReq * mfReqBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleMultifeed)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleMultifeed}}},
 			{p.WebUserReqPerSec * slbControlBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleSLB)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleSLB}}},
 			{p.WebUserReqPerSec * egressReplyBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					if r.Bool(0.7) {
 						return pk.RemotePeer(r, src, topology.RoleMisc)
 					}
 					return pk.DCPeer(r, src, topology.RoleMisc)
-				}},
+				},
+				[]dstTerm{{0.7, scopeRemote, topology.RoleMisc}, {0.3, scopeDC, topology.RoleMisc}}},
 			{p.WebEphemeralPerSec * miscReqBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.MiscPeer(r, src)
-				}},
+				},
+				miscDst},
 		}
 	case topology.RoleCacheFollower:
 		return []mixEntry{
 			{p.CacheReadPerSec*cacheReadRespBytes.Mean() + p.CacheWritePerSec*cacheWriteAckBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleWeb)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleWeb}}},
 			{p.CacheLeaderSyncPerSec * leaderSyncReqBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.FleetPeer(r, src, topology.RoleCacheLeader, 0.6)
-				}},
+				},
+				fleetDst(topology.RoleCacheLeader, 0.6)},
 			{p.CacheEphemeralPerSec * miscReqBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.MiscPeer(r, src)
-				}},
+				},
+				miscDst},
 		}
 	case topology.RoleCacheLeader:
 		fillOut := p.LeaderFillPerSec * (0.6*leaderFillBytes.Mean() + 0.4*leaderInvalBytes.Mean())
@@ -78,23 +133,28 @@ func (pk *Picker) fleetMix(p Params, role topology.Role) []mixEntry {
 			{fillOut + missOut,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.FleetPeer(r, src, topology.RoleCacheFollower, 0.6)
-				}},
+				},
+				fleetDst(topology.RoleCacheFollower, 0.6)},
 			{p.LeaderPeerSyncPerSec * leaderPeerBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleCacheLeader)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleCacheLeader}}},
 			{p.LeaderDBOpsPerSec * dbQueryBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.FleetPeer(r, src, topology.RoleDB, 0.5)
-				}},
+				},
+				fleetDst(topology.RoleDB, 0.5)},
 			{p.LeaderMFPerSec * leaderFillBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.DCPeer(r, src, topology.RoleMultifeed)
-				}},
+				},
+				[]dstTerm{{1, scopeDC, topology.RoleMultifeed}}},
 			{p.LeaderEphemeralPerSec * miscReqBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.MiscPeer(r, src)
-				}},
+				},
+				miscDst},
 		}
 	case topology.RoleHadoop:
 		duty := p.HadoopBusyMeanSec / (p.HadoopBusyMeanSec + p.HadoopQuietMeanSec)
@@ -113,74 +173,88 @@ func (pk *Picker) fleetMix(p Params, role topology.Role) []mixEntry {
 			{dataOut * 0.14,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.RackPeer(r, src)
-				}},
+				},
+				[]dstTerm{{1, scopeRack, topology.RoleHadoop}}},
 			{dataOut * 0.835,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleHadoop)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleHadoop}}},
 			{dataOut * 0.017,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.FleetPeer(r, src, topology.RoleMisc, 0.55)
-				}},
+				},
+				fleetDst(topology.RoleMisc, 0.55)},
 			{p.HadoopQuietFlowPerSec * hadoopControlBytes.Mean() * 0.5,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleHadoop)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleHadoop}}},
 		}
 	case topology.RoleMultifeed:
 		return []mixEntry{
 			{p.MFReqPerSec * mfRespBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleWeb)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleWeb}}},
 			{p.MiscFlowPerSec / 4 * miscReqBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.MiscPeer(r, src)
-				}},
+				},
+				miscDst},
 		}
 	case topology.RoleSLB:
 		return []mixEntry{
 			{p.SLBReqPerSec * slbRequestBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleWeb)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleWeb}}},
 			{p.SLBReqPerSec / 2 * slbControlBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.FleetPeer(r, src, topology.RoleMisc, 0.5)
-				}},
+				},
+				fleetDst(topology.RoleMisc, 0.5)},
 		}
 	case topology.RoleDB:
 		return []mixEntry{
 			{p.DBQueryPerSec * dbResultBytes.Mean(),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.FleetPeer(r, src, topology.RoleCacheLeader, 0.5)
-				}},
+				},
+				fleetDst(topology.RoleCacheLeader, 0.5)},
 			{p.DBReplPerSec * dbReplBytes.Mean() / 3,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.ClusterPeer(r, src, topology.RoleDB)
-				}},
+				},
+				[]dstTerm{{1, scopeCluster, topology.RoleDB}}},
 			{p.DBReplPerSec * dbReplBytes.Mean() / 3,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.DCPeer(r, src, topology.RoleDB)
-				}},
+				},
+				[]dstTerm{{1, scopeDC, topology.RoleDB}}},
 			{p.DBReplPerSec * dbReplBytes.Mean() / 3,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.RemotePeer(r, src, topology.RoleDB)
-				}},
+				},
+				[]dstTerm{{1, scopeRemote, topology.RoleDB}}},
 		}
 	case topology.RoleMisc:
 		return []mixEntry{
 			{p.MiscFlowPerSec * 0.5 * (miscReqBytes.Mean() + miscRespBytes.Mean()),
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.MiscPeer(r, src)
-				}},
+				},
+				miscDst},
 			// Bulk service-to-service synchronization (index shards,
 			// feature stores, log shipping): the reason Service clusters
 			// carry the third-largest traffic share in Table 3.
 			{p.MiscBulkBytesPerSec,
 				func(r *rng.Source, src topology.HostID) topology.HostID {
 					return pk.MiscPeer(r, src)
-				}},
+				},
+				miscDst},
 		}
 	default:
 		return nil
@@ -203,7 +277,7 @@ func (pk *Picker) FleetRate(p Params, role topology.Role) float64 {
 // samplesPerComponent controls the dispersion resolution per mix entry.
 func (pk *Picker) FleetFlows(p Params, r *rng.Source, src topology.HostID,
 	windowSec, loadFactor float64, samplesPerComponent int, emit func(dst topology.HostID, bytes float64)) {
-	runMix(pk.fleetMix(p, pk.Topo.Hosts[src].Role), r, src, windowSec, loadFactor, samplesPerComponent, emit)
+	runMix(pk.fleetMix(p, pk.Topo.HostRole(src)), r, src, windowSec, loadFactor, samplesPerComponent, emit)
 }
 
 // runMix is the shared sampling loop of FleetFlows and FleetProgram.Flows:
@@ -260,5 +334,5 @@ func NewFleetProgram(pk *Picker, p Params) *FleetProgram {
 // and rng stream position, zero allocations.
 func (fp *FleetProgram) Flows(r *rng.Source, src topology.HostID,
 	windowSec, loadFactor float64, samplesPerComponent int, emit func(dst topology.HostID, bytes float64)) {
-	runMix(fp.mixes[fp.pk.Topo.Hosts[src].Role], r, src, windowSec, loadFactor, samplesPerComponent, emit)
+	runMix(fp.mixes[fp.pk.Topo.HostRole(src)], r, src, windowSec, loadFactor, samplesPerComponent, emit)
 }

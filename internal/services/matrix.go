@@ -1,0 +1,302 @@
+package services
+
+import (
+	"fbdcnet/internal/openhash"
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// Traffic-matrix synthesis: the bulk alternative to per-host destination
+// sampling. Instead of drawing samplesPerComponent destinations for every
+// host of every rack (O(hosts × samples) rng draws and tagger calls), the
+// matrix mode works at rack granularity, in the style of DCT²Gen-style
+// traffic generators and the vectorised packing of Parsonson et al.
+// (arXiv:2302.09970): for each (source rack, mix term) it computes the
+// term's aggregate bytes for the window, packs them onto a bounded set of
+// destination racks selected by residual capacity, and accumulates the
+// result into a per-(src rack, dst rack) demand matrix keyed by packed
+// uint64 pairs. Flows are then drawn from the matrix — one record per
+// non-zero cell — so the record count scales with racks, not hosts.
+//
+// Determinism contract: synthesis for one (window, rack-block) task
+// consumes a single rng stream in a fixed order (racks ascending, mix
+// entries in declaration order, terms in declaration order), and the
+// demand matrix is drained in insertion order, so the produced record
+// sequence is a pure function of (seed, window, block) — bit-identical
+// at any worker count, exactly like the sampling mode's shard streams.
+
+// matrixFanout bounds the destination racks one (source rack, term) pair
+// spreads onto. Residual-capacity rotation across consecutive source
+// racks keeps long-run per-rack inbound shares proportional to capacity
+// even though each source touches at most this many destinations.
+const matrixFanout = 8
+
+// matrixDrain is the multiplicative residual decay applied to a
+// destination rack each time packing selects it. Selected racks sink to
+// the bottom of the sort order until the renewal floor below restores
+// them, rotating load across the candidate range.
+const matrixDrain = 0.5
+
+// matrixRenewFrac is the renewal floor: when a rack's residual falls
+// under this fraction of its capacity it is restored to full capacity.
+const matrixRenewFrac = 0.05
+
+// packPair packs two non-negative 32-bit indices into one uint64 key.
+// The high bit stays clear, so the openhash sentinel is unreachable.
+func packPair(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// DemandMatrix accumulates one task's rack-to-rack demand plus the
+// packing residuals. Both tables keep their backing arrays across Reset,
+// so a matrix reused window after window performs zero steady-state
+// allocations (the pooling contract of fbflow.Partial).
+type DemandMatrix struct {
+	// cells maps packPair(srcRack, dstRack) -> bytes.
+	cells openhash.Table[float64]
+	// residual maps packPair(role, dstRack) -> remaining capacity in
+	// host units. Keyed by (role, rack) rather than rack alone so the
+	// key layout matches the packed-pair convention of the analysis
+	// tables even though a rack hosts exactly one role.
+	residual openhash.Table[float64]
+}
+
+// NewDemandMatrix returns an empty matrix.
+func NewDemandMatrix() *DemandMatrix { return &DemandMatrix{} }
+
+// Reset empties the matrix and the packing residuals without releasing
+// their backing arrays.
+func (m *DemandMatrix) Reset() {
+	m.cells.Reset()
+	m.residual.Reset()
+}
+
+// Cells reports the number of non-zero (src rack, dst rack) entries.
+func (m *DemandMatrix) Cells() int { return m.cells.Len() }
+
+// add accumulates bytes from srcRack to dstRack.
+func (m *DemandMatrix) add(srcRack, dstRack int32, bytes float64) {
+	*m.cells.Slot(packPair(srcRack, dstRack)) += bytes
+}
+
+// MatrixProgram is the matrix-mode counterpart of FleetProgram: the
+// per-role mixes compiled once, read through their declarative dst terms
+// instead of their sampling closures. Safe for concurrent use; all
+// per-task mutable state lives in the DemandMatrix.
+type MatrixProgram struct {
+	pk    *Picker
+	mixes [topology.RoleMisc + 1][]mixEntry
+}
+
+// NewMatrixProgram compiles the mixes of every role under params p.
+func NewMatrixProgram(pk *Picker, p Params) *MatrixProgram {
+	mp := &MatrixProgram{pk: pk}
+	for role := topology.Role(0); role <= topology.RoleMisc; role++ {
+		mp.mixes[role] = pk.fleetMix(p, role)
+	}
+	return mp
+}
+
+// rackRange is a candidate destination range: one or two contiguous
+// subranges of a role's rack list (two for the remote scope, which
+// excludes the local datacenter from the middle of the fleet range).
+type rackRange struct {
+	role           topology.Role
+	lo1, hi1       int // first subrange of RoleRacks(role)
+	lo2, hi2       int // second subrange, empty unless remote scope
+	hosts1, hosts2 int32
+}
+
+func (rr *rackRange) totalHosts() int32 { return rr.hosts1 + rr.hosts2 }
+
+// resolve maps (term scope, source rack) to the destination rack range,
+// applying the same scope fallbacks as the Picker closures: cluster →
+// datacenter → fleet, datacenter → fleet, remote → fleet when only one
+// datacenter exists.
+func (mp *MatrixProgram) resolve(term *dstTerm, srcRack *topology.Rack) rackRange {
+	topo := mp.pk.Topo
+	role := term.role
+	cum := topo.RoleCum(role)
+	span := func(lo, hi int) rackRange {
+		return rackRange{role: role, lo1: lo, hi1: hi, hosts1: cum[hi] - cum[lo]}
+	}
+	fleet := span(0, len(cum)-1)
+	switch term.scope {
+	case scopeCluster:
+		if lo, hi := topo.RoleRackRangeInCluster(role, srcRack.Cluster); lo < hi {
+			return span(lo, hi)
+		}
+		fallthrough
+	case scopeDC:
+		dc := topo.Clusters[srcRack.Cluster].Datacenter
+		if lo, hi := topo.RoleRackRangeInDC(role, dc); lo < hi {
+			return span(lo, hi)
+		}
+		return fleet
+	case scopeRemote:
+		dc := topo.Clusters[srcRack.Cluster].Datacenter
+		lo, hi := topo.RoleRackRangeInDC(role, dc)
+		out := rackRange{
+			role: role,
+			lo1:  0, hi1: lo, hosts1: cum[lo] - cum[0],
+			lo2: hi, hi2: len(cum) - 1, hosts2: cum[len(cum)-1] - cum[hi],
+		}
+		if out.totalHosts() == 0 {
+			return fleet
+		}
+		return out
+	default: // scopeFleet (scopeRack is handled by the caller)
+		return fleet
+	}
+}
+
+// drawRack picks one destination rack index (into RoleRacks) from the
+// range, weighted by rack host counts via the role's prefix sums.
+func (mp *MatrixProgram) drawRack(r *rng.Source, rr *rackRange) int {
+	cum := mp.pk.Topo.RoleCum(rr.role)
+	u := int32(r.Uint64n(uint64(rr.totalHosts())))
+	var pos int32
+	lo, hi := rr.lo1, rr.hi1
+	if u < rr.hosts1 {
+		pos = cum[rr.lo1] + u
+	} else {
+		pos = cum[rr.lo2] + (u - rr.hosts1)
+		lo, hi = rr.lo2, rr.hi2
+	}
+	// Binary search: greatest j in [lo, hi) with cum[j] <= pos.
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// packTerm distributes total bytes from srcRack across up to matrixFanout
+// destination racks of the range: propose 2×fanout capacity-weighted
+// candidates, sort the deduplicated set by residual capacity descending,
+// keep the top fanout, fill proportionally to residual, then apply the
+// residual decay in one batch — the propose/sort/fill/update steps of the
+// vectorised packing algorithm, on fixed-size stacks.
+func (mp *MatrixProgram) packTerm(r *rng.Source, srcRack int32, rr *rackRange, total float64, m *DemandMatrix) {
+	topo := mp.pk.Topo
+	racks := topo.RoleRacks(rr.role)
+
+	var cand [2 * matrixFanout]int32
+	var res [2 * matrixFanout]float64
+	n := 0
+	proposals := 2 * matrixFanout
+	if int32(proposals) > rr.totalHosts() {
+		proposals = int(rr.totalHosts())
+	}
+propose:
+	for i := 0; i < proposals; i++ {
+		rid := racks[mp.drawRack(r, rr)]
+		for j := 0; j < n; j++ {
+			if cand[j] == rid {
+				continue propose
+			}
+		}
+		capacity := float64(topo.Racks[rid].NumHosts)
+		slot := m.residual.Slot(packPair(int32(rr.role), rid))
+		if *slot == 0 || *slot < capacity*matrixRenewFrac {
+			*slot = capacity
+		}
+		cand[n], res[n] = rid, *slot
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	// Insertion sort by residual descending, ties to the lower rack ID:
+	// a fixed total order keeps the packed output independent of proposal
+	// arrival order beyond what the rng stream already fixes.
+	for i := 1; i < n; i++ {
+		ci, ri := cand[i], res[i]
+		j := i - 1
+		for j >= 0 && (res[j] < ri || (res[j] == ri && cand[j] > ci)) {
+			cand[j+1], res[j+1] = cand[j], res[j]
+			j--
+		}
+		cand[j+1], res[j+1] = ci, ri
+	}
+	if n > matrixFanout {
+		n = matrixFanout
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += res[i]
+	}
+	for i := 0; i < n; i++ {
+		m.add(srcRack, cand[i], total*res[i]/sum)
+	}
+	// Batched residual update: decay every selected rack once.
+	for i := 0; i < n; i++ {
+		*m.residual.Slot(packPair(int32(rr.role), cand[i])) = res[i] * matrixDrain
+	}
+}
+
+// Synth fills m with the demand of source racks [rackLo, rackHi) for one
+// window. The rng stream is consumed in a fixed order: one burst-noise
+// draw per (rack, mix entry) — the rack-granularity analogue of runMix's
+// per-host draw — then the packing proposals per term.
+func (mp *MatrixProgram) Synth(r *rng.Source, rackLo, rackHi int,
+	windowSec, loadFactor float64, m *DemandMatrix) {
+	topo := mp.pk.Topo
+	for rk := rackLo; rk < rackHi; rk++ {
+		rack := &topo.Racks[rk]
+		mix := mp.mixes[rack.Role]
+		hosts := float64(rack.NumHosts)
+		for i := range mix {
+			e := &mix[i]
+			total := e.bytesPerSec * wireOverhead * windowSec * loadFactor * hosts
+			// Rack-level burst noise, consumed even for zero-rate
+			// entries so the stream position is a pure function of the
+			// entry count, as in runMix.
+			total *= 0.8 + 0.4*r.Float64()
+			if total <= 0 {
+				continue
+			}
+			for ti := range e.dst {
+				term := &e.dst[ti]
+				bytes := total * term.frac
+				if term.scope == scopeRack && rack.NumHosts > 1 {
+					m.add(int32(rk), int32(rk), bytes)
+					continue
+				}
+				rr := mp.resolve(term, rack)
+				if rr.totalHosts() == 0 {
+					continue
+				}
+				mp.packTerm(r, int32(rk), &rr, bytes, m)
+			}
+		}
+	}
+}
+
+// DrawFlows drains the matrix in insertion order, emitting one flow per
+// non-zero cell between concrete hosts of the cell's rack pair. Endpoint
+// hosts are drawn uniformly within each rack; an intra-rack cell redirects
+// a self-flow to the next host so loopback traffic is never emitted from
+// racks with more than one machine.
+func (mp *MatrixProgram) DrawFlows(r *rng.Source, m *DemandMatrix,
+	emit func(src, dst topology.HostID, bytes float64)) {
+	topo := mp.pk.Topo
+	m.cells.Range(func(k uint64, v *float64) {
+		srcRack := &topo.Racks[int32(k>>32)]
+		dstRack := &topo.Racks[int32(uint32(k))]
+		src := srcRack.Host(r.Intn(int(srcRack.NumHosts)))
+		dst := dstRack.Host(r.Intn(int(dstRack.NumHosts)))
+		if dst == src {
+			if dstRack.NumHosts <= 1 {
+				return
+			}
+			off := (int32(dst-dstRack.FirstHost) + 1) % dstRack.NumHosts
+			dst = dstRack.FirstHost + topology.HostID(off)
+		}
+		emit(src, dst, *v)
+	})
+}

@@ -14,92 +14,66 @@ import (
 // datacenters; leaders spread coherency traffic over every cluster;
 // Hadoop prefers its own rack, then its cluster.
 //
-// Peer sets are resolved eagerly for every (role, scope) pair at
-// construction, so the accessor maps are read-only afterwards: the
-// parallel experiment engine shares one Picker across trace-bundle and
-// fleet-shard workers, and lazily filled caches would be a data race on
-// the selection hot path. Selection is O(1) per packet/flow.
+// Peer sets are topology.HostSet views over the columnar role index —
+// four words per set, resolved in O(1) from the topology's prefix sums —
+// so the Picker holds no per-host state of its own and costs nothing to
+// build at any fleet size. Sets are read-only and the Picker is safe to
+// share across the parallel engine's trace-bundle and fleet-shard
+// workers. Selection is O(log racks-of-role) per draw: each HostSet
+// index is a binary search over the role's rack prefix sums.
+//
+// The selection logic and its rng consumption are identical to the
+// pre-columnar picker: every draw happens in the same order against a set
+// enumerating the same hosts in the same (ascending host ID) order, so
+// collected datasets are bit-identical across the layout change.
 type Picker struct {
 	Topo *topology.Topology
-
-	clusterRole map[scopeKey][]topology.HostID
-	dcRole      map[scopeKey][]topology.HostID
-	fleetRole   map[topology.Role][]topology.HostID
 }
 
-type scopeKey struct {
-	role  topology.Role
-	scope int
-}
-
-// NewPicker builds a Picker over topo and precomputes every peer set.
+// NewPicker builds a Picker over topo.
 func NewPicker(topo *topology.Topology) *Picker {
-	p := &Picker{
-		Topo:        topo,
-		clusterRole: make(map[scopeKey][]topology.HostID, len(topo.Clusters)*len(topology.Roles)),
-		dcRole:      make(map[scopeKey][]topology.HostID, len(topo.Datacenters)*len(topology.Roles)),
-		fleetRole:   make(map[topology.Role][]topology.HostID, len(topology.Roles)),
-	}
-	for _, role := range topology.Roles {
-		p.fleetRole[role] = topo.HostsByRole(role)
-		for _, c := range topo.Clusters {
-			p.clusterRole[scopeKey{role, c.ID}] = topo.HostsByRoleInCluster(role, c.ID)
-		}
-		for _, dc := range topo.Datacenters {
-			p.dcRole[scopeKey{role, dc.ID}] = topo.HostsByRoleInDC(role, dc.ID)
-		}
-	}
-	return p
+	return &Picker{Topo: topo}
 }
 
 // InCluster returns the hosts of the given role within cluster c.
-func (p *Picker) InCluster(r topology.Role, c int) []topology.HostID {
-	if v, ok := p.clusterRole[scopeKey{r, c}]; ok {
-		return v
-	}
-	return p.Topo.HostsByRoleInCluster(r, c)
+func (p *Picker) InCluster(r topology.Role, c int) topology.HostSet {
+	return p.Topo.RoleSetInCluster(r, c)
 }
 
 // InDC returns the hosts of the given role within datacenter dc.
-func (p *Picker) InDC(r topology.Role, dc int) []topology.HostID {
-	if v, ok := p.dcRole[scopeKey{r, dc}]; ok {
-		return v
-	}
-	return p.Topo.HostsByRoleInDC(r, dc)
+func (p *Picker) InDC(r topology.Role, dc int) topology.HostSet {
+	return p.Topo.RoleSetInDC(r, dc)
 }
 
 // Fleet returns all hosts of the given role.
-func (p *Picker) Fleet(r topology.Role) []topology.HostID {
-	if v, ok := p.fleetRole[r]; ok {
-		return v
-	}
-	return p.Topo.HostsByRole(r)
+func (p *Picker) Fleet(r topology.Role) topology.HostSet {
+	return p.Topo.RoleSet(r)
 }
 
 // pick returns a uniform element of hosts other than self, falling back
 // to self only if it is the sole member. It panics on an empty set — a
 // topology too small for the requesting service model.
-func pick(r *rng.Source, hosts []topology.HostID, self topology.HostID) topology.HostID {
-	if len(hosts) == 0 {
+func pick(r *rng.Source, hosts topology.HostSet, self topology.HostID) topology.HostID {
+	n := hosts.Len()
+	if n == 0 {
 		panic("services: empty peer set; topology lacks a required role")
 	}
 	for i := 0; i < 4; i++ {
-		h := hosts[r.Intn(len(hosts))]
+		h := hosts.At(r.Intn(n))
 		if h != self {
 			return h
 		}
 	}
-	return hosts[r.Intn(len(hosts))]
+	return hosts.At(r.Intn(n))
 }
 
 // ClusterPeer picks a same-cluster host with the given role, falling back
 // to datacenter scope then fleet scope when the cluster has none.
 func (p *Picker) ClusterPeer(r *rng.Source, self topology.HostID, role topology.Role) topology.HostID {
-	h := &p.Topo.Hosts[self]
-	if set := p.InCluster(role, h.Cluster); len(set) > 0 {
+	if set := p.InCluster(role, p.Topo.HostCluster(self)); set.Len() > 0 {
 		return pick(r, set, self)
 	}
-	if set := p.InDC(role, h.Datacenter); len(set) > 0 {
+	if set := p.InDC(role, p.Topo.HostDC(self)); set.Len() > 0 {
 		return pick(r, set, self)
 	}
 	return pick(r, p.Fleet(role), self)
@@ -108,8 +82,7 @@ func (p *Picker) ClusterPeer(r *rng.Source, self topology.HostID, role topology.
 // DCPeer picks a host of the given role in the same datacenter (any
 // cluster), falling back to fleet scope.
 func (p *Picker) DCPeer(r *rng.Source, self topology.HostID, role topology.Role) topology.HostID {
-	h := &p.Topo.Hosts[self]
-	if set := p.InDC(role, h.Datacenter); len(set) > 0 {
+	if set := p.InDC(role, p.Topo.HostDC(self)); set.Len() > 0 {
 		return pick(r, set, self)
 	}
 	return pick(r, p.Fleet(role), self)
@@ -128,10 +101,11 @@ func (p *Picker) FleetPeer(r *rng.Source, self topology.HostID, role topology.Ro
 // when one exists, otherwise anywhere.
 func (p *Picker) RemotePeer(r *rng.Source, self topology.HostID, role topology.Role) topology.HostID {
 	set := p.Fleet(role)
-	dc := p.Topo.Hosts[self].Datacenter
+	dc := p.Topo.HostDC(self)
+	n := set.Len()
 	for i := 0; i < 16; i++ {
-		h := set[r.Intn(len(set))]
-		if p.Topo.Hosts[h].Datacenter != dc {
+		h := set.At(r.Intn(n))
+		if p.Topo.HostDC(h) != dc {
 			return h
 		}
 	}
@@ -141,16 +115,16 @@ func (p *Picker) RemotePeer(r *rng.Source, self topology.HostID, role topology.R
 // RackPeer picks a same-rack host, falling back to the cluster when the
 // rack has a single machine.
 func (p *Picker) RackPeer(r *rng.Source, self topology.HostID) topology.HostID {
-	rack := p.Topo.Racks[p.Topo.Hosts[self].Rack]
-	if len(rack.Hosts) > 1 {
+	rack := &p.Topo.Racks[p.Topo.HostRack(self)]
+	if rack.NumHosts > 1 {
 		for {
-			h := rack.Hosts[r.Intn(len(rack.Hosts))]
+			h := rack.Host(r.Intn(int(rack.NumHosts)))
 			if h != self {
 				return h
 			}
 		}
 	}
-	return p.ClusterPeer(r, self, p.Topo.Hosts[self].Role)
+	return p.ClusterPeer(r, self, p.Topo.HostRole(self))
 }
 
 // HadoopPeer picks a transfer peer for a Hadoop node: same rack with
@@ -181,7 +155,7 @@ func (p *Picker) MiscPeer(r *rng.Source, self topology.HostID) topology.HostID {
 // models need.
 func (p *Picker) Validate() error {
 	for _, role := range topology.Roles {
-		if len(p.Fleet(role)) == 0 {
+		if p.Fleet(role).Len() == 0 {
 			return fmt.Errorf("services: topology has no %v hosts", role)
 		}
 	}

@@ -74,13 +74,13 @@ func defaultTrace(t *testing.T, r topology.Role, seconds int64) (*trace, *topolo
 func outboundMix(tr *trace, topo *topology.Topology, host topology.HostID) map[topology.Role]float64 {
 	byRole := map[topology.Role]float64{}
 	total := 0.0
-	addr := topo.Hosts[host].Addr
+	addr := topo.Addr(host)
 	for _, h := range tr.hdrs {
 		if h.Key.Src != addr {
 			continue
 		}
-		dst := topo.HostByAddr(h.Key.Dst)
-		byRole[dst.Role] += float64(h.Size)
+		dst, _ := topo.HostByAddr(h.Key.Dst)
+		byRole[topo.HostRole(dst)] += float64(h.Size)
 		total += float64(h.Size)
 	}
 	for k := range byRole {
@@ -93,13 +93,13 @@ func outboundMix(tr *trace, topo *topology.Topology, host topology.HostID) map[t
 func localityMix(tr *trace, topo *topology.Topology, host topology.HostID) map[topology.Locality]float64 {
 	byLoc := map[topology.Locality]float64{}
 	total := 0.0
-	addr := topo.Hosts[host].Addr
+	addr := topo.Addr(host)
 	for _, h := range tr.hdrs {
 		if h.Key.Src != addr {
 			continue
 		}
-		dst := topo.HostByAddr(h.Key.Dst)
-		loc := topo.Locality(host, dst.ID)
+		dst, _ := topo.HostByAddr(h.Key.Dst)
+		loc := topo.Locality(host, dst)
 		byLoc[loc] += float64(h.Size)
 		total += float64(h.Size)
 	}
@@ -280,7 +280,7 @@ func TestHotObjectMitigationAblation(t *testing.T) {
 		p.DisableHotObjectMitigation = !mitigated
 		const seconds = 40
 		tr, topo, host := runTrace(t, topology.RoleCacheFollower, seconds, p)
-		addr := topo.Hosts[host].Addr
+		addr := topo.Addr(host)
 		perSec := make([]float64, seconds)
 		for _, h := range tr.hdrs {
 			if h.Key.Src != addr {
@@ -333,7 +333,7 @@ func TestAllRolesGenerate(t *testing.T) {
 			}
 		}
 		// Every packet involves the monitored host.
-		addr := topo.Hosts[host].Addr
+		addr := topo.Addr(host)
 		for _, h := range tr.hdrs {
 			if h.Key.Src != addr && h.Key.Dst != addr {
 				t.Errorf("role %v: packet not involving monitored host: %v", r, h.Key)
@@ -408,22 +408,22 @@ func TestPickerScopes(t *testing.T) {
 	web := firstOfRole(t, topo, topology.RoleWeb)
 	for i := 0; i < 100; i++ {
 		c := pk.ClusterPeer(r, web, topology.RoleCacheFollower)
-		if topo.Hosts[c].Cluster != topo.Hosts[web].Cluster {
+		if topo.HostCluster(c) != topo.HostCluster(web) {
 			t.Fatal("ClusterPeer left the cluster")
 		}
-		if topo.Hosts[c].Role != topology.RoleCacheFollower {
+		if topo.HostRole(c) != topology.RoleCacheFollower {
 			t.Fatal("ClusterPeer wrong role")
 		}
 		d := pk.DCPeer(r, web, topology.RoleDB)
-		if topo.Hosts[d].Datacenter != topo.Hosts[web].Datacenter {
+		if topo.HostDC(d) != topo.HostDC(web) {
 			t.Fatal("DCPeer left the datacenter")
 		}
 		rem := pk.RemotePeer(r, web, topology.RoleMisc)
-		if topo.Hosts[rem].Datacenter == topo.Hosts[web].Datacenter {
+		if topo.HostDC(rem) == topo.HostDC(web) {
 			t.Fatal("RemotePeer stayed in the datacenter")
 		}
 		rp := pk.RackPeer(r, web)
-		if rp == web || topo.Hosts[rp].Rack != topo.Hosts[web].Rack {
+		if rp == web || topo.HostRack(rp) != topo.HostRack(web) {
 			t.Fatal("RackPeer wrong")
 		}
 	}
@@ -437,7 +437,7 @@ func TestHadoopPeerRackFraction(t *testing.T) {
 	const n = 5000
 	for i := 0; i < n; i++ {
 		peer := pk.HadoopPeer(r, h, 0.7)
-		if topo.Hosts[peer].Rack == topo.Hosts[h].Rack {
+		if topo.HostRack(peer) == topo.HostRack(h) {
 			rackLocal++
 		}
 	}
@@ -485,7 +485,7 @@ func TestCacheFlowsLongLived(t *testing.T) {
 	const capNs = 10 * int64(netsim.Second)
 	type span struct{ first, last int64 }
 	flows := map[packet.FlowKey]*span{}
-	addr := topo.Hosts[host].Addr
+	addr := topo.Addr(host)
 	for _, h := range tr.hdrs {
 		k := h.Key
 		if k.Src != addr {
@@ -546,20 +546,20 @@ func TestLoadBalancingAblationDestabilizes(t *testing.T) {
 		p.DisableLoadBalancing = disable
 		tr, topo, host := runTrace(t, topology.RoleCacheFollower, 12, p)
 		perRackSec := map[int]map[int]float64{}
-		addr := topo.Hosts[host].Addr
+		addr := topo.Addr(host)
 		for _, h := range tr.hdrs {
 			if h.Key.Src != addr {
 				continue
 			}
-			dst := topo.HostByAddr(h.Key.Dst)
-			if dst == nil || dst.Role != topology.RoleWeb {
+			dst, dok := topo.HostByAddr(h.Key.Dst)
+			if !dok || topo.HostRole(dst) != topology.RoleWeb {
 				continue
 			}
 			sec := int(h.Time / int64(netsim.Second))
-			m, ok := perRackSec[dst.Rack]
+			m, ok := perRackSec[topo.HostRack(dst)]
 			if !ok {
 				m = map[int]float64{}
-				perRackSec[dst.Rack] = m
+				perRackSec[topo.HostRack(dst)] = m
 			}
 			m[sec] += float64(h.Size)
 		}

@@ -67,7 +67,7 @@ func NewTrace(pk *Picker, host topology.HostID, seed uint64, p Params, sink work
 		pk:     pk,
 		hotMul: 1,
 	}
-	switch pk.Topo.Hosts[host].Role {
+	switch pk.Topo.HostRole(host) {
 	case topology.RoleWeb:
 		t.installWeb()
 	case topology.RoleCacheFollower:
@@ -85,7 +85,7 @@ func NewTrace(pk *Picker, host topology.HostID, seed uint64, p Params, sink work
 	case topology.RoleMisc:
 		t.installMisc()
 	default:
-		panic(fmt.Sprintf("services: no model for role %v", pk.Topo.Hosts[host].Role))
+		panic(fmt.Sprintf("services: no model for role %v", pk.Topo.HostRole(host)))
 	}
 	return t
 }
@@ -241,24 +241,24 @@ func (t *Trace) prePool(pickPeer func() topology.HostID, port uint16, ratePerSec
 func (t *Trace) installWeb() {
 	g, p := t.G, t.P
 	self := g.Host
-	caches := t.pk.InCluster(topology.RoleCacheFollower, g.Topo.Hosts[self].Cluster)
-	if len(caches) == 0 {
+	caches := t.pk.InCluster(topology.RoleCacheFollower, g.Topo.HostCluster(self))
+	if caches.Len() == 0 {
 		caches = t.pk.Fleet(topology.RoleCacheFollower)
 	}
 	// PartitionUsers ablation: restrict 90% of cache ops to a small
 	// deterministic shard of the cache tier (the §4.3 counterfactual).
 	shard := caches
-	if p.PartitionUsers && len(caches) >= 4 {
-		n := len(caches) / 4
-		start := int(self) % (len(caches) - n + 1)
-		shard = caches[start : start+n]
+	if p.PartitionUsers && caches.Len() >= 4 {
+		n := caches.Len() / 4
+		start := int(self) % (caches.Len() - n + 1)
+		shard = caches.Slice(start, start+n)
 	}
 	pickCache := func() topology.HostID {
 		set := caches
 		if p.PartitionUsers && g.R.Float64() < 0.9 {
 			set = shard
 		}
-		return set[g.R.Intn(len(set))]
+		return set.At(g.R.Intn(set.Len()))
 	}
 
 	// One user request: SLB in → cache/MF fan-out → reply toward the edge.
@@ -317,8 +317,8 @@ func (t *Trace) installWeb() {
 func (t *Trace) installCacheFollower() {
 	g, p := t.G, t.P
 	self := g.Host
-	webs := t.pk.InCluster(topology.RoleWeb, g.Topo.Hosts[self].Cluster)
-	if len(webs) == 0 {
+	webs := t.pk.InCluster(topology.RoleWeb, g.Topo.HostCluster(self))
+	if webs.Len() == 0 {
 		webs = t.pk.Fleet(topology.RoleWeb)
 	}
 	// Load balancing spreads user requests across all Web servers, so the
@@ -331,15 +331,15 @@ func (t *Trace) installCacheFollower() {
 		if p.DisableLoadBalancing && g.R.Bool(0.85) {
 			// Hot block of adjacent Web servers (one rack's worth,
 			// since peer lists are rack-ordered), drifting every 2 s.
-			block := len(webs) / 8
+			block := webs.Len() / 8
 			if block < 1 {
 				block = 1
 			}
 			epoch := uint64(g.Eng.Now() / (2 * netsim.Second))
-			start := int((epoch*2654435761 + uint64(g.Host)) % uint64(len(webs)-block+1))
-			return webs[start+g.R.Intn(block)]
+			start := int((epoch*2654435761 + uint64(g.Host)) % uint64(webs.Len()-block+1))
+			return webs.At(start + g.R.Intn(block))
 		}
-		return webs[g.R.Intn(len(webs))]
+		return webs.At(g.R.Intn(webs.Len()))
 	}
 
 	// Read service loop; rate scaled by the hot-object multiplier.

@@ -79,7 +79,7 @@ const PostsPerCluster = 4
 func (t *Topology) ValidElement(e Element) bool {
 	switch e.Kind {
 	case ElemHostLink:
-		return e.A >= 0 && e.A < len(t.Hosts)
+		return e.A >= 0 && e.A < t.NumHosts()
 	case ElemRSW:
 		return e.A >= 0 && e.A < len(t.Racks)
 	case ElemRSWUplink:

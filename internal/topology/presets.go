@@ -20,7 +20,53 @@ const (
 	// same at any scale; fleet collection and topology-wide passes are
 	// what the batched pipeline must sustain here.
 	ScaleLarge
+	// ScaleXLarge is 8× ScaleLarge — 1,105,920 hosts across 34,560 racks,
+	// an order of magnitude past the paper's fleet. Only the columnar
+	// fleet state and the traffic-matrix collection mode make this preset
+	// practical; per-host sampling at this scale is possible but slow.
+	ScaleXLarge
 )
+
+// String returns the flag-spelling of the scale ("tiny", "small", ...).
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleLarge:
+		return "large"
+	case ScaleXLarge:
+		return "xlarge"
+	default:
+		return "unknown"
+	}
+}
+
+// ScaleNames lists every preset scale's flag-spelling, smallest first.
+func ScaleNames() []string {
+	return []string{"tiny", "small", "medium", "large", "xlarge"}
+}
+
+// ParseScale resolves a flag-spelling to its Scale.
+func ParseScale(name string) (Scale, bool) {
+	switch name {
+	case "tiny":
+		return ScaleTiny, true
+	case "small":
+		return ScaleSmall, true
+	case "medium":
+		return ScaleMedium, true
+	case "large":
+		return ScaleLarge, true
+	case "xlarge":
+		return ScaleXLarge, true
+	default:
+		return ScaleTiny, false
+	}
+}
 
 // Preset returns a Config resembling Facebook's layout at the given scale:
 // two sites; the first site has two datacenter buildings. Each datacenter
@@ -37,6 +83,8 @@ func Preset(s Scale) Config {
 		racks, hpr = 64, 16
 	case ScaleLarge:
 		racks, hpr = 320, 32
+	case ScaleXLarge:
+		racks, hpr = 2560, 32
 	default:
 		racks, hpr = 16, 8
 	}

@@ -141,7 +141,10 @@ func (l Locality) String() string {
 // HostID indexes a machine within a Topology.
 type HostID int32
 
-// Host is one machine: exactly one role, one rack.
+// Host is a materialized view of one machine: exactly one role, one rack.
+// The topology does not store Host structs — per-host state lives in
+// columnar form (see Topology) — so Host is assembled on demand by
+// Topology.Host for cold paths that want every attribute at once.
 type Host struct {
 	ID         HostID
 	Addr       packet.Addr
@@ -152,13 +155,20 @@ type Host struct {
 	Site       int
 }
 
-// Rack is a set of same-role machines behind one RSW.
+// Rack is a set of same-role machines behind one RSW. Host IDs are
+// assigned densely rack by rack, so a rack's members are the contiguous
+// span [FirstHost, FirstHost+NumHosts) — a 8-byte description instead of
+// a per-host slice.
 type Rack struct {
-	ID      int
-	Cluster int
-	Role    Role
-	Hosts   []HostID
+	ID        int
+	Cluster   int
+	Role      Role
+	FirstHost HostID
+	NumHosts  int32
 }
+
+// Host returns the i-th member of the rack.
+func (r *Rack) Host(i int) HostID { return r.FirstHost + HostID(i) }
 
 // Cluster is the deployment unit: racks behind four CSWs (or a Fabric pod).
 type Cluster struct {
@@ -182,26 +192,86 @@ type Site struct {
 	Datacenters []int
 }
 
-// Topology is the fully wired datacenter model. All cross-references are
-// indices into the exported slices; it is immutable after Build.
+// Topology is the fully wired datacenter model in struct-of-arrays form.
+// Rack/cluster/datacenter/site element structs are O(racks) and stay as
+// slices of structs; per-host state — the part that must scale to million-
+// host fleets — is a single int32 column mapping host → rack, from which
+// every other host attribute (role, cluster, datacenter, site, address)
+// derives in O(1). Role membership is stored at rack granularity: for each
+// role, the sorted list of racks hosting it plus a prefix-sum of member
+// counts, so any (role × cluster/datacenter/fleet) peer set is a HostSet
+// view over a contiguous position range rather than a materialized slice.
+// The whole structure costs ≈5 bytes/host versus ≈69 for the old
+// array-of-structs layout. It is immutable after Build.
 type Topology struct {
-	Hosts       []Host
 	Racks       []Rack
 	Clusters    []Cluster
 	Datacenters []Datacenter
 	Sites       []Site
 
-	byRole [numRoles][]HostID
+	// hostRack is the only per-host column: host → rack index.
+	hostRack []int32
+
+	// Role membership at rack granularity. roleRacks[r] lists the racks
+	// hosting role r in ascending rack order; roleCum[r] is the exclusive
+	// prefix sum of their host counts (len = len(roleRacks[r])+1), so
+	// position p in role order lives in rack roleRacks[r][j] where j is
+	// the greatest index with roleCum[r][j] <= p. Because racks of one
+	// cluster are contiguous in rack order and clusters of one datacenter
+	// likewise, roleClusterOff[r][c] / roleDCOff[r][d] delimit the
+	// subranges of roleRacks[r] belonging to cluster c / datacenter d.
+	roleRacks      [numRoles][]int32
+	roleCum        [numRoles][]int32
+	roleClusterOff [numRoles][]int32
+	roleDCOff      [numRoles][]int32
 }
 
-// HostByAddr resolves an address to its host, or nil if out of range.
-// Addresses are assigned densely: Addr(i) belongs to Hosts[i].
-func (t *Topology) HostByAddr(a packet.Addr) *Host {
-	i := int(a)
-	if i < 0 || i >= len(t.Hosts) {
-		return nil
+// NumHosts returns the fleet size.
+func (t *Topology) NumHosts() int { return len(t.hostRack) }
+
+// HostRack returns the rack of host h.
+func (t *Topology) HostRack(h HostID) int { return int(t.hostRack[h]) }
+
+// HostCluster returns the cluster of host h.
+func (t *Topology) HostCluster(h HostID) int { return t.Racks[t.hostRack[h]].Cluster }
+
+// HostDC returns the datacenter of host h.
+func (t *Topology) HostDC(h HostID) int {
+	return t.Clusters[t.Racks[t.hostRack[h]].Cluster].Datacenter
+}
+
+// HostSite returns the site of host h.
+func (t *Topology) HostSite(h HostID) int { return t.Datacenters[t.HostDC(h)].Site }
+
+// HostRole returns the role of host h.
+func (t *Topology) HostRole(h HostID) Role { return t.Racks[t.hostRack[h]].Role }
+
+// Addr returns the network address of host h. Addresses are assigned
+// densely: Addr(h) == packet.Addr(h).
+func (t *Topology) Addr(h HostID) packet.Addr { return packet.Addr(h) }
+
+// Host materializes the full attribute view of host h, for cold paths.
+func (t *Topology) Host(h HostID) Host {
+	rk := &t.Racks[t.hostRack[h]]
+	dc := t.Clusters[rk.Cluster].Datacenter
+	return Host{
+		ID:         h,
+		Addr:       packet.Addr(h),
+		Role:       rk.Role,
+		Rack:       rk.ID,
+		Cluster:    rk.Cluster,
+		Datacenter: dc,
+		Site:       t.Datacenters[dc].Site,
 	}
-	return &t.Hosts[i]
+}
+
+// HostByAddr resolves an address to its host ID. Addresses are assigned
+// densely: Addr(h) belongs to host h.
+func (t *Topology) HostByAddr(a packet.Addr) (HostID, bool) {
+	if int(a) >= len(t.hostRack) {
+		return 0, false
+	}
+	return HostID(a), true
 }
 
 // Locality classifies dst relative to src.
@@ -209,42 +279,122 @@ func (t *Topology) Locality(src, dst HostID) Locality {
 	if src == dst {
 		return SameHost
 	}
-	a, b := &t.Hosts[src], &t.Hosts[dst]
-	switch {
-	case a.Rack == b.Rack:
+	ra, rb := t.hostRack[src], t.hostRack[dst]
+	if ra == rb {
 		return IntraRack
-	case a.Cluster == b.Cluster:
+	}
+	ca, cb := t.Racks[ra].Cluster, t.Racks[rb].Cluster
+	if ca == cb {
 		return IntraCluster
-	case a.Datacenter == b.Datacenter:
+	}
+	if t.Clusters[ca].Datacenter == t.Clusters[cb].Datacenter {
 		return IntraDatacenter
-	default:
-		return InterDatacenter
 	}
+	return InterDatacenter
 }
 
-// HostsByRole returns all hosts with the given role, fleet-wide.
-func (t *Topology) HostsByRole(r Role) []HostID { return t.byRole[r] }
+// HostSet is a read-only view of a contiguous range of one role's host
+// order — the columnar replacement for materialized []HostID peer sets.
+// Indexing costs a binary search over the role's rack prefix sums
+// (O(log racks-of-role)); the set itself is four words regardless of
+// member count.
+type HostSet struct {
+	t     *Topology
+	role  Role
+	start int32 // absolute position offset within the role's host order
+	n     int32
+}
 
-// HostsByRoleInCluster returns hosts with role r inside cluster c.
+// Len returns the number of hosts in the set.
+func (s HostSet) Len() int { return int(s.n) }
+
+// At returns the i-th host of the set.
+func (s HostSet) At(i int) HostID {
+	pos := s.start + int32(i)
+	cum := s.t.roleCum[s.role]
+	lo, hi := 0, len(cum)-1 // invariant: cum[lo] <= pos < cum[hi]
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return s.t.Racks[s.t.roleRacks[s.role][lo]].FirstHost + HostID(pos-cum[lo])
+}
+
+// Slice returns the subset covering positions [lo, hi) of the set.
+func (s HostSet) Slice(lo, hi int) HostSet {
+	return HostSet{t: s.t, role: s.role, start: s.start + int32(lo), n: int32(hi - lo)}
+}
+
+// AppendTo materializes the set into dst, in position order.
+func (s HostSet) AppendTo(dst []HostID) []HostID {
+	for i := 0; i < int(s.n); i++ {
+		dst = append(dst, s.At(i))
+	}
+	return dst
+}
+
+// RoleSet returns the fleet-wide set of hosts with the given role.
+func (t *Topology) RoleSet(r Role) HostSet {
+	cum := t.roleCum[r]
+	return HostSet{t: t, role: r, start: 0, n: cum[len(cum)-1]}
+}
+
+// RoleSetInCluster returns the set of hosts with role r inside cluster c.
+func (t *Topology) RoleSetInCluster(r Role, c int) HostSet {
+	off, cum := t.roleClusterOff[r], t.roleCum[r]
+	lo, hi := cum[off[c]], cum[off[c+1]]
+	return HostSet{t: t, role: r, start: lo, n: hi - lo}
+}
+
+// RoleSetInDC returns the set of hosts with role r inside datacenter dc.
+func (t *Topology) RoleSetInDC(r Role, dc int) HostSet {
+	off, cum := t.roleDCOff[r], t.roleCum[r]
+	lo, hi := cum[off[dc]], cum[off[dc+1]]
+	return HostSet{t: t, role: r, start: lo, n: hi - lo}
+}
+
+// RoleRacks returns the racks hosting role r, in ascending rack order.
+// The slice is owned by the topology; callers must not mutate it.
+func (t *Topology) RoleRacks(r Role) []int32 { return t.roleRacks[r] }
+
+// RoleCum returns the exclusive prefix sum of host counts over
+// RoleRacks(r): RoleCum(r)[j] hosts of role r live in racks before the
+// j-th. Its length is len(RoleRacks(r))+1; the final entry is the role's
+// fleet-wide host count. The slice is owned by the topology.
+func (t *Topology) RoleCum(r Role) []int32 { return t.roleCum[r] }
+
+// RoleRackRangeInCluster returns the subrange [lo, hi) of RoleRacks(r)
+// whose racks belong to cluster c.
+func (t *Topology) RoleRackRangeInCluster(r Role, c int) (lo, hi int) {
+	off := t.roleClusterOff[r]
+	return int(off[c]), int(off[c+1])
+}
+
+// RoleRackRangeInDC returns the subrange [lo, hi) of RoleRacks(r) whose
+// racks belong to datacenter dc.
+func (t *Topology) RoleRackRangeInDC(r Role, dc int) (lo, hi int) {
+	off := t.roleDCOff[r]
+	return int(off[dc]), int(off[dc+1])
+}
+
+// HostsByRole materializes all hosts with the given role, fleet-wide, in
+// ascending host order. Cold-path convenience; hot paths use RoleSet.
+func (t *Topology) HostsByRole(r Role) []HostID {
+	return t.RoleSet(r).AppendTo(nil)
+}
+
+// HostsByRoleInCluster materializes hosts with role r inside cluster c.
 func (t *Topology) HostsByRoleInCluster(r Role, c int) []HostID {
-	var out []HostID
-	for _, h := range t.byRole[r] {
-		if t.Hosts[h].Cluster == c {
-			out = append(out, h)
-		}
-	}
-	return out
+	return t.RoleSetInCluster(r, c).AppendTo(nil)
 }
 
-// HostsByRoleInDC returns hosts with role r inside datacenter dc.
+// HostsByRoleInDC materializes hosts with role r inside datacenter dc.
 func (t *Topology) HostsByRoleInDC(r Role, dc int) []HostID {
-	var out []HostID
-	for _, h := range t.byRole[r] {
-		if t.Hosts[h].Datacenter == dc {
-			out = append(out, h)
-		}
-	}
-	return out
+	return t.RoleSetInDC(r, dc).AppendTo(nil)
 }
 
 // ClustersOfType returns the IDs of all clusters with the given type.
@@ -257,9 +407,6 @@ func (t *Topology) ClustersOfType(ct ClusterType) []int {
 	}
 	return out
 }
-
-// NumHosts returns the fleet size.
-func (t *Topology) NumHosts() int { return len(t.Hosts) }
 
 // ClusterSpec describes one cluster to build.
 type ClusterSpec struct {
@@ -385,22 +532,17 @@ func Build(cfg Config) (*Topology, error) {
 				cl := Cluster{ID: len(t.Clusters), Type: cs.Type, Datacenter: dc.ID, Fabric: cs.Fabric}
 				roles := rackRoles(cs.Type, cs.Racks)
 				for ri := 0; ri < cs.Racks; ri++ {
-					rack := Rack{ID: len(t.Racks), Cluster: cl.ID, Role: roles[ri]}
-					for hi := 0; hi < cs.HostsPerRack; hi++ {
-						id := HostID(len(t.Hosts))
-						h := Host{
-							ID:         id,
-							Addr:       packet.Addr(id),
-							Role:       roles[ri],
-							Rack:       rack.ID,
-							Cluster:    cl.ID,
-							Datacenter: dc.ID,
-							Site:       site.ID,
-						}
-						t.Hosts = append(t.Hosts, h)
-						rack.Hosts = append(rack.Hosts, id)
-						t.byRole[h.Role] = append(t.byRole[h.Role], id)
+					rack := Rack{
+						ID:        len(t.Racks),
+						Cluster:   cl.ID,
+						Role:      roles[ri],
+						FirstHost: HostID(len(t.hostRack)),
+						NumHosts:  int32(cs.HostsPerRack),
 					}
+					for hi := 0; hi < cs.HostsPerRack; hi++ {
+						t.hostRack = append(t.hostRack, int32(rack.ID))
+					}
+					t.roleRacks[rack.Role] = append(t.roleRacks[rack.Role], int32(rack.ID))
 					cl.Racks = append(cl.Racks, rack.ID)
 					t.Racks = append(t.Racks, rack)
 				}
@@ -412,7 +554,46 @@ func Build(cfg Config) (*Topology, error) {
 		}
 		t.Sites = append(t.Sites, site)
 	}
+	t.buildRoleIndex()
 	return t, nil
+}
+
+// buildRoleIndex derives the role prefix sums and cluster/datacenter
+// subrange offsets from roleRacks. It relies on two Build invariants:
+// rack IDs are assigned in cluster order (so each role's rack list is
+// partitioned into contiguous per-cluster runs) and cluster IDs in
+// datacenter order (likewise per-datacenter runs).
+func (t *Topology) buildRoleIndex() {
+	for role := Role(0); role < numRoles; role++ {
+		rr := t.roleRacks[role]
+		cum := make([]int32, len(rr)+1)
+		for j, rid := range rr {
+			cum[j+1] = cum[j] + t.Racks[rid].NumHosts
+		}
+		t.roleCum[role] = cum
+
+		cOff := make([]int32, len(t.Clusters)+1)
+		j := 0
+		for c := range t.Clusters {
+			cOff[c] = int32(j)
+			for j < len(rr) && t.Racks[rr[j]].Cluster == c {
+				j++
+			}
+		}
+		cOff[len(t.Clusters)] = int32(len(rr))
+		t.roleClusterOff[role] = cOff
+
+		dOff := make([]int32, len(t.Datacenters)+1)
+		j = 0
+		for d := range t.Datacenters {
+			dOff[d] = int32(j)
+			for j < len(rr) && t.Clusters[t.Racks[rr[j]].Cluster].Datacenter == d {
+				j++
+			}
+		}
+		dOff[len(t.Datacenters)] = int32(len(rr))
+		t.roleDCOff[role] = dOff
+	}
 }
 
 // MustBuild is Build that panics on error, for fixed internal configs.

@@ -36,7 +36,8 @@ func TestBuildValidation(t *testing.T) {
 
 func TestCrossReferencesConsistent(t *testing.T) {
 	top := tiny(t)
-	for _, h := range top.Hosts {
+	for i := 0; i < top.NumHosts(); i++ {
+		h := top.Host(HostID(i))
 		rack := top.Racks[h.Rack]
 		if rack.Cluster != h.Cluster {
 			t.Fatalf("host %d: rack cluster %d != host cluster %d", h.ID, rack.Cluster, h.Cluster)
@@ -49,14 +50,8 @@ func TestCrossReferencesConsistent(t *testing.T) {
 		if dc.Site != h.Site {
 			t.Fatalf("host %d: dc site mismatch", h.ID)
 		}
-		found := false
-		for _, id := range rack.Hosts {
-			if id == h.ID {
-				found = true
-			}
-		}
-		if !found {
-			t.Fatalf("host %d missing from its rack's host list", h.ID)
+		if h.ID < rack.FirstHost || h.ID >= rack.FirstHost+HostID(rack.NumHosts) {
+			t.Fatalf("host %d outside its rack's span [%d, %d)", h.ID, rack.FirstHost, rack.FirstHost+HostID(rack.NumHosts))
 		}
 	}
 }
@@ -64,10 +59,11 @@ func TestCrossReferencesConsistent(t *testing.T) {
 func TestRacksAreRoleHomogeneous(t *testing.T) {
 	top := tiny(t)
 	for _, rack := range top.Racks {
-		for _, id := range rack.Hosts {
-			if top.Hosts[id].Role != rack.Role {
+		for i := 0; i < int(rack.NumHosts); i++ {
+			id := rack.Host(i)
+			if top.HostRole(id) != rack.Role {
 				t.Fatalf("rack %d declared %v but host %d has %v",
-					rack.ID, rack.Role, id, top.Hosts[id].Role)
+					rack.ID, rack.Role, id, top.HostRole(id))
 			}
 		}
 	}
@@ -86,15 +82,17 @@ func TestHostsHaveExactlyOneRoleEntry(t *testing.T) {
 
 func TestAddrAssignmentDense(t *testing.T) {
 	top := tiny(t)
-	for i, h := range top.Hosts {
-		if h.Addr != packet.Addr(i) {
-			t.Fatalf("host %d has addr %d", i, h.Addr)
+	for i := 0; i < top.NumHosts(); i++ {
+		h := HostID(i)
+		if top.Addr(h) != packet.Addr(i) {
+			t.Fatalf("host %d has addr %d", i, top.Addr(h))
 		}
-		if got := top.HostByAddr(h.Addr); got == nil || got.ID != h.ID {
+		got, ok := top.HostByAddr(top.Addr(h))
+		if !ok || got != h {
 			t.Fatalf("HostByAddr round trip failed for %d", i)
 		}
 	}
-	if top.HostByAddr(packet.Addr(top.NumHosts())) != nil {
+	if _, ok := top.HostByAddr(packet.Addr(top.NumHosts())); ok {
 		t.Fatal("out-of-range addr resolved")
 	}
 }
@@ -102,14 +100,14 @@ func TestAddrAssignmentDense(t *testing.T) {
 func TestLocalityTiers(t *testing.T) {
 	top := tiny(t)
 	// pick a host and known relatives
-	h := top.Hosts[0]
+	h := top.Host(0)
 	if top.Locality(h.ID, h.ID) != SameHost {
 		t.Error("self locality wrong")
 	}
 	// same rack
 	rack := top.Racks[h.Rack]
-	if len(rack.Hosts) > 1 {
-		other := rack.Hosts[1]
+	if int(rack.NumHosts) > 1 {
+		other := rack.Host(1)
 		if top.Locality(h.ID, other) != IntraRack {
 			t.Error("intra-rack locality wrong")
 		}
@@ -117,18 +115,18 @@ func TestLocalityTiers(t *testing.T) {
 	// same cluster different rack
 	cl := top.Clusters[h.Cluster]
 	otherRack := top.Racks[cl.Racks[1]]
-	if got := top.Locality(h.ID, otherRack.Hosts[0]); got != IntraCluster {
+	if got := top.Locality(h.ID, otherRack.Host(0)); got != IntraCluster {
 		t.Errorf("intra-cluster locality = %v", got)
 	}
 	// same DC different cluster
 	dc := top.Datacenters[h.Datacenter]
 	otherCl := top.Clusters[dc.Clusters[1]]
-	dst := top.Racks[otherCl.Racks[0]].Hosts[0]
+	dst := top.Racks[otherCl.Racks[0]].Host(0)
 	if got := top.Locality(h.ID, dst); got != IntraDatacenter {
 		t.Errorf("intra-dc locality = %v", got)
 	}
 	// different site
-	lastHost := top.Hosts[len(top.Hosts)-1]
+	lastHost := top.Host(HostID(top.NumHosts() - 1))
 	if lastHost.Site == h.Site {
 		t.Fatal("preset should span sites")
 	}
@@ -199,7 +197,7 @@ func TestHostsByRoleInClusterAndDC(t *testing.T) {
 		t.Fatal("no web hosts in frontend cluster")
 	}
 	for _, h := range webs {
-		if top.Hosts[h].Cluster != fe || top.Hosts[h].Role != RoleWeb {
+		if top.HostCluster(h) != fe || top.HostRole(h) != RoleWeb {
 			t.Fatal("HostsByRoleInCluster returned a wrong host")
 		}
 	}
@@ -250,5 +248,111 @@ func TestStringers(t *testing.T) {
 	}
 	if Role(200).String() == "" || ClusterType(200).String() == "" || Locality(200).String() == "" {
 		t.Error("unknown enum values should still render")
+	}
+}
+
+// refHost is the old array-of-structs host row, rebuilt independently
+// from the rack table for the columnar-equivalence property test.
+type refHost struct {
+	rack, cluster, dc, site int
+	role                    Role
+}
+
+// refBuild reconstructs the pre-columnar AoS host slice by walking racks
+// in ID order — the exact construction the old Build used — without
+// touching any of the SoA accessors under test.
+func refBuild(top *Topology) []refHost {
+	var hosts []refHost
+	for ri := range top.Racks {
+		rack := &top.Racks[ri]
+		cl := &top.Clusters[rack.Cluster]
+		dc := &top.Datacenters[cl.Datacenter]
+		for i := 0; i < int(rack.NumHosts); i++ {
+			hosts = append(hosts, refHost{
+				rack: rack.ID, cluster: rack.Cluster,
+				dc: cl.Datacenter, site: dc.Site, role: rack.Role,
+			})
+		}
+	}
+	return hosts
+}
+
+// TestColumnarMatchesReferenceAoS is the property test of the columnar
+// refactor: every SoA accessor and role set must agree host-for-host
+// with a reference array-of-structs build on the tiny and small presets.
+func TestColumnarMatchesReferenceAoS(t *testing.T) {
+	for _, sc := range []Scale{ScaleTiny, ScaleSmall} {
+		top := MustBuild(Preset(sc))
+		ref := refBuild(top)
+		if len(ref) != top.NumHosts() {
+			t.Fatalf("%v: reference has %d hosts, topology %d", sc, len(ref), top.NumHosts())
+		}
+		for i, rh := range ref {
+			h := HostID(i)
+			if got := top.HostRack(h); got != rh.rack {
+				t.Fatalf("%v host %d: rack %d, want %d", sc, i, got, rh.rack)
+			}
+			if got := top.HostCluster(h); got != rh.cluster {
+				t.Fatalf("%v host %d: cluster %d, want %d", sc, i, got, rh.cluster)
+			}
+			if got := top.HostDC(h); got != rh.dc {
+				t.Fatalf("%v host %d: dc %d, want %d", sc, i, got, rh.dc)
+			}
+			if got := top.HostSite(h); got != rh.site {
+				t.Fatalf("%v host %d: site %d, want %d", sc, i, got, rh.site)
+			}
+			if got := top.HostRole(h); got != rh.role {
+				t.Fatalf("%v host %d: role %v, want %v", sc, i, got, rh.role)
+			}
+			v := top.Host(h)
+			if v.ID != h || v.Rack != rh.rack || v.Cluster != rh.cluster ||
+				v.Datacenter != rh.dc || v.Site != rh.site || v.Role != rh.role {
+				t.Fatalf("%v host %d: materialized view %+v disagrees with reference %+v", sc, i, v, rh)
+			}
+		}
+		// Role sets — fleet-wide, per cluster, per DC — must enumerate the
+		// same ascending host IDs a brute-force scan of the reference does.
+		for _, role := range Roles {
+			var brute []HostID
+			for i, rh := range ref {
+				if rh.role == role {
+					brute = append(brute, HostID(i))
+				}
+			}
+			checkSet(t, sc, role, "fleet", top.RoleSet(role), brute)
+			for c := range top.Clusters {
+				var want []HostID
+				for _, h := range brute {
+					if ref[h].cluster == c {
+						want = append(want, h)
+					}
+				}
+				checkSet(t, sc, role, "cluster", top.RoleSetInCluster(role, c), want)
+			}
+			for d := range top.Datacenters {
+				var want []HostID
+				for _, h := range brute {
+					if ref[h].dc == d {
+						want = append(want, h)
+					}
+				}
+				checkSet(t, sc, role, "dc", top.RoleSetInDC(role, d), want)
+			}
+		}
+	}
+}
+
+func checkSet(t *testing.T, sc Scale, role Role, scope string, set HostSet, want []HostID) {
+	t.Helper()
+	if set.Len() != len(want) {
+		t.Fatalf("%v %v %s set: %d hosts, want %d", sc, role, scope, set.Len(), len(want))
+	}
+	for i := range want {
+		if got := set.At(i); got != want[i] {
+			t.Fatalf("%v %v %s set at %d: host %d, want %d", sc, role, scope, i, got, want[i])
+		}
+	}
+	if got := set.AppendTo(nil); len(got) != len(want) {
+		t.Fatalf("%v %v %s AppendTo: %d hosts, want %d", sc, role, scope, len(got), len(want))
 	}
 }

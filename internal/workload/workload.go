@@ -210,8 +210,8 @@ type Conn struct {
 func (g *Gen) NewConn(peer topology.HostID, dstPort uint16, handshake bool) *Conn {
 	c := &Conn{
 		Key: packet.FlowKey{
-			Src:     g.Topo.Hosts[g.Host].Addr,
-			Dst:     g.Topo.Hosts[peer].Addr,
+			Src:     g.Topo.Addr(g.Host),
+			Dst:     g.Topo.Addr(peer),
 			SrcPort: g.AllocPort(),
 			DstPort: dstPort,
 			Proto:   packet.TCP,
@@ -237,8 +237,8 @@ func (g *Gen) NewConn(peer topology.HostID, dstPort uint16, handshake bool) *Con
 func (g *Gen) NewInboundConn(peer topology.HostID, dstPort uint16, handshake bool) *Conn {
 	c := &Conn{
 		Key: packet.FlowKey{
-			Src:     g.Topo.Hosts[g.Host].Addr,
-			Dst:     g.Topo.Hosts[peer].Addr,
+			Src:     g.Topo.Addr(g.Host),
+			Dst:     g.Topo.Addr(peer),
 			SrcPort: dstPort,
 			DstPort: g.AllocPort(),
 			Proto:   packet.TCP,

@@ -94,7 +94,7 @@ func TestInboundConnDirection(t *testing.T) {
 	if !first.SYN() {
 		t.Fatal("first packet should be the peer's SYN")
 	}
-	if first.Key.Src != topo.Hosts[3].Addr {
+	if first.Key.Src != topo.Addr(3) {
 		t.Fatalf("inbound SYN has src %v, want peer addr", first.Key.Src)
 	}
 }
@@ -105,7 +105,7 @@ func TestSendMsgSegmentation(t *testing.T) {
 	c.SendMsg(3 * 1448) // exactly 3 full segments
 	g.Run(netsim.Second)
 
-	hostAddr := topo.Hosts[0].Addr
+	hostAddr := topo.Addr(0)
 	var data, acks int
 	var dataBytes int
 	for _, h := range cap.hdrs {
@@ -135,7 +135,7 @@ func TestRecvMsgDirection(t *testing.T) {
 	c := g.NewConn(3, 50010, false)
 	c.RecvMsg(1448)
 	g.Run(netsim.Second)
-	hostAddr := topo.Hosts[0].Addr
+	hostAddr := topo.Addr(0)
 	var inData, outAcks int
 	for _, h := range cap.hdrs {
 		if h.Key.Dst == hostAddr && h.Size > packet.ACKSize {
