@@ -611,3 +611,37 @@ func BenchmarkBaseline_AllToAll(b *testing.B) {
 		100*rackFrac))
 	b.ReportMetric(100*rackFrac, "rack-local-%")
 }
+
+// BenchmarkSketchPipeline gates the sketch-mode packet path: one second
+// of a web host's mirror trace is captured into a slab, then pushed
+// through the sketch-backed flow tracker per iteration. Steady-state
+// throughput and the fixed table-state footprint both ride in the
+// BENCH_PR7.json benchdiff gate; the exact tracker's footprint over the
+// same slab is reported alongside for the memory-ratio narrative (the
+// enforced ≥2x bound lives in internal/sketcherr at large scale).
+func BenchmarkSketchPipeline(b *testing.B) {
+	s := benchSystem()
+	host := s.Monitored(topology.RoleWeb)
+	var slab []packet.Header
+	tr := services.NewTrace(s.Pick, host, 7, s.Cfg.Params,
+		workload.CollectorFunc(func(h packet.Header) { slab = append(slab, h) }))
+	tr.Run(netsim.Second)
+	if len(slab) == 0 {
+		b.Fatal("capture produced no packets")
+	}
+	hh := analysis.NewHeavyTracker(s.Topo, host, analysis.LevelFlow, netsim.Millisecond, true)
+	hh.Packets(slab) // warm: all bin rolls and buffer growth happen here
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Packets(slab)
+	}
+	b.StopTimer()
+	hh.Finish()
+	exact := analysis.NewHeavyTracker(s.Topo, host, analysis.LevelFlow, netsim.Millisecond, false)
+	exact.Packets(slab)
+	exact.Finish()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(slab)), "ns/pkt")
+	b.ReportMetric(float64(hh.MemoryBytes()), "sketch-bytes")
+	b.ReportMetric(float64(exact.MemoryBytes()), "exact-bytes-info")
+}

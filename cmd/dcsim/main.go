@@ -14,6 +14,10 @@
 //	dcsim -fleet -parallel 4                       # same view, 4 workers
 //	dcsim -faults csw-down                         # degraded-mode fault run
 //	dcsim -telemetry -paths-out paths.jsonl        # INT path records + occupancy
+//	dcsim -serve -sketch -metrics-addr :9090       # endless rolling windows,
+//	                                               # bounded memory, live gauges;
+//	                                               # SIGHUP reloads -serve-config,
+//	                                               # SIGINT/SIGTERM stop cleanly
 package main
 
 import (
@@ -52,6 +56,10 @@ func main() {
 	out := flag.String("out", "trace.fbm", "output trace file")
 	pcapOut := flag.String("pcap", "", "also export the mirror trace as a pcap file")
 	fleet := flag.Bool("fleet", false, "run the fleet-wide Fbflow view and print its summary")
+	serve := flag.Bool("serve", false, "run the endless rolling-window collection loop (SIGHUP reloads -serve-config, SIGINT/SIGTERM stop cleanly)")
+	serveWindows := flag.Int("serve-windows", 0, "with -serve: stop after this many windows (0 = run until signalled)")
+	serveConfig := flag.String("serve-config", "", "with -serve: JSON file re-read on SIGHUP (window_sec, samples, matrix, taggers, mem_ceiling_mb, sketch)")
+	sketchMode := flag.Bool("sketch", false, "replace exact heavy-hitter tables with bounded-memory sketches and add HLL distinct counts to fleet collection")
 	scaleFlag := flag.String("scale", "tiny", "fleet scale: "+strings.Join(topology.ScaleNames(), "|"))
 	matrix := flag.Bool("matrix", false, "with -fleet: synthesize traffic as rack-pair demand matrices instead of per-host flow sampling")
 	windows := flag.Int("windows", 0, "override the number of fleet observation windows (0 = config default)")
@@ -103,6 +111,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
+	cfg.SketchMode = *sketchMode
 	cfg.FaultScenario = *faults
 	cfg.TraceSample = *traceSample
 	cfg.QueueInterval = netsim.Time(*queueInterval) * netsim.Microsecond
@@ -124,6 +133,13 @@ func main() {
 	}
 
 	did := false
+	if *serve {
+		if err := runServe(sys, logger, *serveWindows, *serveConfig); err != nil {
+			logger.Error("serve loop failed", "err", err)
+			os.Exit(1)
+		}
+		did = true
+	}
 	if *faults != "" {
 		ok := false
 		for _, sc := range netsim.FaultScenarios() {

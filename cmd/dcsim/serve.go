@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fbdcnet/internal/core"
+)
+
+// serveFileConfig is the optional SIGHUP-reloadable config file of serve
+// mode: every field is a pointer so absent keys leave the corresponding
+// launch-time setting untouched. Topology-shaping settings (scale, seed)
+// are deliberately not reloadable — they would require rebuilding the
+// System — which mirrors core.ServeOptions.Reload's contract.
+type serveFileConfig struct {
+	WindowSec    *float64 `json:"window_sec"`
+	Samples      *int     `json:"samples"`
+	Matrix       *bool    `json:"matrix"`
+	Taggers      *int     `json:"taggers"`
+	MemCeilingMB *int64   `json:"mem_ceiling_mb"`
+	Sketch       *bool    `json:"sketch"`
+}
+
+// loadServeConfig reads path and overlays it onto base.
+func loadServeConfig(path string, base core.Config) (core.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	var fc serveFileConfig
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return base, err
+	}
+	if fc.WindowSec != nil {
+		base.FleetWindowSec = *fc.WindowSec
+	}
+	if fc.Samples != nil {
+		base.FleetSamples = *fc.Samples
+	}
+	if fc.Matrix != nil {
+		base.FleetMatrix = *fc.Matrix
+	}
+	if fc.Taggers != nil {
+		base.Taggers = *fc.Taggers
+	}
+	if fc.MemCeilingMB != nil {
+		base.MemCeilingBytes = *fc.MemCeilingMB << 20
+	}
+	if fc.Sketch != nil {
+		base.SketchMode = *fc.Sketch
+	}
+	return base, nil
+}
+
+// runServe drives the endless rolling-window loop: SIGINT/SIGTERM stop
+// it cleanly at the next window boundary, SIGHUP re-reads cfgPath (when
+// given) and applies the reloadable fields at the next boundary.
+func runServe(sys *core.System, logger *slog.Logger, windows int, cfgPath string) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// base is a snapshot taken before the loop starts: the HUP goroutine
+	// must not read sys.Cfg while the serve loop applies reloads to it.
+	base := sys.Cfg
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	reload := make(chan core.Config, 1)
+	go func() {
+		for range hup {
+			if cfgPath == "" {
+				logger.Warn("SIGHUP received but no -serve-config file was given")
+				continue
+			}
+			next, err := loadServeConfig(cfgPath, base)
+			if err != nil {
+				logger.Warn("reloading serve config", "path", cfgPath, "err", err)
+				continue
+			}
+			// Replace any pending reconfig: the latest file contents win.
+			select {
+			case <-reload:
+			default:
+			}
+			reload <- next
+			logger.Info("serve config reloaded; applies at next window", "path", cfgPath)
+		}
+	}()
+
+	return sys.Serve(ctx, core.ServeOptions{
+		Windows: windows,
+		Reload:  reload,
+		OnWindow: func(st core.ServeWindowStats) error {
+			attrs := []any{
+				"window", st.Window,
+				"bytes", renderSI(st.TotalBytes),
+				"rate_p50_mbps", st.HostRateP50,
+				"rate_p99_mbps", st.HostRateP99,
+				"heap", renderSI(float64(st.HeapBytes)),
+				"wall_sec", st.WallSec,
+			}
+			if st.DistinctFlows > 0 {
+				attrs = append(attrs,
+					"distinct_flows", int64(st.DistinctFlows),
+					"distinct_hosts", int64(st.DistinctHosts),
+					"distinct_racks", int64(st.DistinctRacks))
+			}
+			logger.Info("serve window complete", attrs...)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"fbdcnet/internal/core"
+)
+
+// TestLoadServeConfig pins the overlay semantics: absent keys keep the
+// launch-time values, present keys replace them, and malformed files are
+// rejected without clobbering the base.
+func TestLoadServeConfig(t *testing.T) {
+	base := core.QuickConfig()
+	base.FleetSamples = 8
+
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(path, []byte(`{"samples": 4, "sketch": true, "mem_ceiling_mb": 256}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadServeConfig(path, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FleetSamples != 4 || !got.SketchMode || got.MemCeilingBytes != 256<<20 {
+		t.Errorf("overlay not applied: %+v", got)
+	}
+	if got.FleetWindowSec != base.FleetWindowSec {
+		t.Errorf("absent key changed FleetWindowSec: %v -> %v", base.FleetWindowSec, got.FleetWindowSec)
+	}
+
+	if err := os.WriteFile(path, []byte(`{nope`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadServeConfig(path, base); err == nil {
+		t.Error("malformed config accepted")
+	}
+	if _, err := loadServeConfig(filepath.Join(t.TempDir(), "absent.json"), base); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+// TestRunServeSIGHUPReload drives the real signal path: a bounded serve
+// loop receives SIGHUP pointing at a config that enables sketch mode,
+// and the reload lands at a later window boundary.
+func TestRunServeSIGHUPReload(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.Taggers = 2
+	sys := core.MustNewSystem(cfg)
+
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(path, []byte(`{"sketch": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// runServe owns the loop, so the HUP is raised from outside: enough
+	// windows that the loop is still rolling when the signal lands (tiny
+	// windows take single-digit milliseconds each).
+	done := make(chan error, 1)
+	go func() { done <- runServe(sys, logger, 200, path) }()
+	// Give the loop a moment to install its handler, then reload.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve loop did not finish")
+	}
+	if !sys.Cfg.SketchMode {
+		t.Error("SIGHUP reload did not enable sketch mode")
+	}
+}

@@ -52,6 +52,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. table3, figure12, ablations, faults)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable summary instead of rendered tables")
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
+	sketchMode := flag.Bool("sketch", false, "replace exact heavy-hitter tables with bounded-memory sketches and add HLL distinct counts to fleet collection")
 	faults := flag.String("faults", "", fmt.Sprintf("fault scenario for the degraded-mode section and summary (%s)",
 		strings.Join(netsim.FaultScenarios(), "|")))
 	traceSample := flag.Float64("trace-sample", 0.1, "in-band telemetry flow sampling fraction (0 disables the telemetry section)")
@@ -89,6 +90,7 @@ func main() {
 	cfg.LongTraceSec = *long
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
+	cfg.SketchMode = *sketchMode
 	cfg.FaultScenario = *faults
 	cfg.TraceSample = *traceSample
 	cfg.QueueInterval = netsim.Time(*queueInterval) * netsim.Microsecond

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"slices"
+
+	"fbdcnet/internal/netsim"
+	"fbdcnet/internal/packet"
+	"fbdcnet/internal/sketch"
+	"fbdcnet/internal/stats"
+	"fbdcnet/internal/topology"
+)
+
+// HeavyTracker is the interface the engine consumes for windowed
+// heavy-hitter statistics: the exact openhash-backed HeavyHitters and the
+// bounded-memory SketchHeavyHitters both implement it, so core selects
+// one per Config.SketchMode without the tables, figures, or obs folding
+// caring which.
+type HeavyTracker interface {
+	Packet(packet.Header)
+	Packets([]packet.Header)
+	Finish()
+	Counts() *stats.Sample
+	Rates() *stats.Sample
+	Persistence() *stats.Sample
+	Intersection() *stats.Sample
+	TableStats() []TableStats
+	// MemoryBytes estimates the tracker's table-state footprint — the
+	// state sketch mode replaces: for the exact tracker it grows with the
+	// key population, for the sketch tracker it is fixed at construction.
+	// The sketcherr harness compares the two.
+	MemoryBytes() int
+}
+
+// NewHeavyTracker returns the heavy-hitter tracker for one (level, bin)
+// pair: the exact openhash implementation by default, the fixed-memory
+// sketch implementation when sketchMode is set.
+func NewHeavyTracker(topo *topology.Topology, host topology.HostID, level Level, bin netsim.Time, sketchMode bool) HeavyTracker {
+	if sketchMode {
+		return NewSketchHeavyHitters(topo, host, level, bin)
+	}
+	return NewHeavyHitters(topo, host, level, bin)
+}
+
+// SketchDims sizes the per-bin summaries by aggregation level: the flow
+// key space is unbounded (sketches are why sketch mode exists), the host
+// and rack spaces are progressively smaller, so their candidate sets and
+// count-min rows shrink with them. The widths are deliberately tight —
+// the memory contract (sketcherr asserts ≥2× below the exact tables at
+// large scale) matters as much as the error bound, and the harness shows
+// heavy-hitter rank error stays well under 1% at these sizes.
+func SketchDims(level Level) (ssCap, cmWidth int) {
+	switch level {
+	case LevelFlow:
+		return 192, 512
+	case LevelHost:
+		return 96, 256
+	default:
+		return 32, 128
+	}
+}
+
+// SketchHeavyHitters is the bounded-memory implementation of
+// HeavyTracker: per-bin and per-second space-saving summaries nominate
+// heavy-hitter candidates while paired count-min sketches refine their
+// byte estimates (both structures over-approximate, so the pointwise
+// minimum is the tighter upper bound). The exact stream total comes for
+// free (space-saving tracks it as a scalar), so the HeavyFrac prefix cut
+// is made against true total bytes — only membership and per-member
+// bytes are approximate.
+//
+// Memory is fixed at construction regardless of how many distinct
+// aggregates the stream carries; every accumulator is Reset-reused at
+// bin/second rolls, so the steady-state packet path allocates nothing —
+// the contract the endless serve mode depends on.
+//
+// Determinism: every structure is a pure function of the packet
+// sequence, so results are bit-identical across runs and worker counts
+// (bundle generation is single-goroutine; the parallel engine only
+// schedules whole bundles).
+type SketchHeavyHitters struct {
+	topo  *topology.Topology
+	addr  packet.Addr
+	level Level
+	bin   netsim.Time
+
+	cur    *sketch.SpaceSaving
+	curCM  *sketch.CountMin
+	curBin int64
+	prev   []uint64 // previous bin's heavy set, sorted ascending
+	prevOK bool
+	prevNo int64
+
+	// Enclosing-second tracking for the intersection metric.
+	sec      *sketch.SpaceSaving
+	secCM    *sketch.CountMin
+	secNo    int64
+	subArena []uint64
+	subEnds  []int
+
+	counts    *stats.Sample
+	rates     *stats.Sample
+	persist   *stats.Sample
+	intersect *stats.Sample
+
+	top     []sketch.Entry // Top() drain buffer
+	scratch []hhItem       // refined-estimate sort buffer
+	setBuf  []uint64
+	secBuf  []uint64
+}
+
+// NewSketchHeavyHitters creates a sketch-backed tracker at the given
+// level and bin width.
+func NewSketchHeavyHitters(topo *topology.Topology, host topology.HostID, level Level, bin netsim.Time) *SketchHeavyHitters {
+	if bin <= 0 {
+		panic("analysis: heavy-hitter bin width must be positive")
+	}
+	ssCap, cmWidth := SketchDims(level)
+	return &SketchHeavyHitters{
+		topo:      topo,
+		addr:      topo.Addr(host),
+		level:     level,
+		bin:       bin,
+		cur:       sketch.NewSpaceSaving(ssCap),
+		curCM:     sketch.NewCountMin(4, cmWidth),
+		sec:       sketch.NewSpaceSaving(ssCap),
+		secCM:     sketch.NewCountMin(4, cmWidth),
+		counts:    stats.NewSample(0),
+		rates:     stats.NewSample(0),
+		persist:   stats.NewSample(0),
+		intersect: stats.NewSample(0),
+		top:       make([]sketch.Entry, 0, ssCap),
+		scratch:   make([]hhItem, 0, ssCap),
+	}
+}
+
+// keyFor mirrors HeavyHitters.keyFor: the packed aggregate identity at
+// the tracker's level.
+func (hh *SketchHeavyHitters) keyFor(h packet.Header) uint64 {
+	switch hh.level {
+	case LevelFlow:
+		return packHostFlowKey(h.Key)
+	case LevelHost:
+		return uint64(h.Key.Dst)
+	default:
+		rack := 0
+		if d, ok := hh.topo.HostByAddr(h.Key.Dst); ok {
+			rack = hh.topo.HostRack(d)
+		}
+		return uint64(rack)
+	}
+}
+
+// Packet implements the collector interface.
+func (hh *SketchHeavyHitters) Packet(h packet.Header) {
+	if h.Key.Src != hh.addr {
+		return
+	}
+	binNo := h.Time / int64(hh.bin)
+	if binNo != hh.curBin {
+		hh.rollBin(binNo)
+	}
+	secNo := h.Time / int64(netsim.Second)
+	if secNo != hh.secNo {
+		hh.rollSecond(secNo)
+	}
+	k := hh.keyFor(h)
+	size := int64(h.Size)
+	hh.cur.Update(k, size)
+	hh.curCM.Add(k, size)
+	hh.sec.Update(k, size)
+	hh.secCM.Add(k, size)
+}
+
+// Packets implements the batch collector interface.
+func (hh *SketchHeavyHitters) Packets(hs []packet.Header) {
+	for _, h := range hs {
+		hh.Packet(h)
+	}
+}
+
+// heavyPrefix drains the summary's candidates, refines each count to
+// min(space-saving count, count-min estimate), sorts by refined bytes
+// descending (key ascending on ties, the same deterministic order as the
+// exact tracker), and returns the length m of the minimum prefix
+// covering HeavyFrac of the exact total. The heavy set is
+// hh.scratch[:m].
+func (hh *SketchHeavyHitters) heavyPrefix(ss *sketch.SpaceSaving, cm *sketch.CountMin) int {
+	hh.top = ss.Top(hh.top[:0])
+	items := hh.scratch[:0]
+	for _, e := range hh.top {
+		est := e.Count
+		if c := cm.Estimate(e.Key); c < est {
+			est = c
+		}
+		items = append(items, hhItem{e.Key, float64(est)})
+	}
+	hh.scratch = items
+	slices.SortFunc(items, func(a, b hhItem) int {
+		if a.v != b.v {
+			if a.v > b.v {
+				return -1
+			}
+			return 1
+		}
+		if a.k < b.k {
+			return -1
+		}
+		return 1
+	})
+	total := float64(ss.Total())
+	acc, m := 0.0, 0
+	for _, it := range items {
+		m++
+		acc += it.v
+		if acc >= HeavyFrac*total {
+			break
+		}
+	}
+	return m
+}
+
+// sortedSet copies the first m scratch keys into buf, sorted ascending.
+func (hh *SketchHeavyHitters) sortedSet(m int, buf []uint64) []uint64 {
+	buf = buf[:0]
+	for i := 0; i < m; i++ {
+		buf = append(buf, hh.scratch[i].k)
+	}
+	slices.Sort(buf)
+	return buf
+}
+
+// rollBin finalizes the current bin, mirroring the exact tracker's roll:
+// Table 4 statistics, persistence versus the previous bin, and the
+// stashed set for the enclosing-second intersection.
+func (hh *SketchHeavyHitters) rollBin(next int64) {
+	if hh.cur.Len() > 0 {
+		m := hh.heavyPrefix(hh.cur, hh.curCM)
+		hh.counts.Add(float64(m))
+		binSec := float64(hh.bin) / float64(netsim.Second)
+		for i := 0; i < m; i++ {
+			hh.rates.Add(hh.scratch[i].v * 8 / binSec / 1e6) // Mbps
+		}
+		hh.setBuf = hh.sortedSet(m, hh.setBuf)
+		if hh.prevOK && hh.prevNo == hh.curBin-1 {
+			hh.persist.Add(overlapSorted(hh.prev, hh.setBuf))
+		}
+		hh.prev = append(hh.prev[:0], hh.setBuf...)
+		hh.prevOK, hh.prevNo = true, hh.curBin
+		hh.subArena = append(hh.subArena, hh.setBuf...)
+		hh.subEnds = append(hh.subEnds, len(hh.subArena))
+		hh.cur.Reset()
+		hh.curCM.Reset()
+	}
+	hh.curBin = next
+}
+
+// rollSecond finalizes the enclosing second.
+func (hh *SketchHeavyHitters) rollSecond(next int64) {
+	if hh.sec.Len() > 0 && len(hh.subEnds) > 0 {
+		m := hh.heavyPrefix(hh.sec, hh.secCM)
+		hh.secBuf = hh.sortedSet(m, hh.secBuf)
+		start := 0
+		for _, end := range hh.subEnds {
+			sub := hh.subArena[start:end]
+			start = end
+			if len(sub) > 0 {
+				hh.intersect.Add(overlapSorted(sub, hh.secBuf))
+			}
+		}
+	}
+	hh.sec.Reset()
+	hh.secCM.Reset()
+	hh.subArena = hh.subArena[:0]
+	hh.subEnds = hh.subEnds[:0]
+	hh.secNo = next
+}
+
+// Finish flushes the last open bin and second.
+func (hh *SketchHeavyHitters) Finish() {
+	hh.rollBin(hh.curBin + 1)
+	hh.rollSecond(hh.secNo + 1)
+}
+
+// Counts returns the per-bin heavy-hitter set sizes (Table 4 "Number").
+func (hh *SketchHeavyHitters) Counts() *stats.Sample { return hh.counts }
+
+// Rates returns the per-member rates in Mbps (Table 4 "Size").
+func (hh *SketchHeavyHitters) Rates() *stats.Sample { return hh.rates }
+
+// Persistence returns the next-bin heavy-set overlap distribution
+// (Fig. 10).
+func (hh *SketchHeavyHitters) Persistence() *stats.Sample { return hh.persist }
+
+// Intersection returns the subinterval-versus-second overlap
+// distribution (Fig. 11).
+func (hh *SketchHeavyHitters) Intersection() *stats.Sample { return hh.intersect }
+
+// TableStats reports the candidate summaries in the same shape as the
+// exact tables so the obs folding stays uniform. Grows is always zero:
+// the structures never rehash.
+func (hh *SketchHeavyHitters) TableStats() []TableStats {
+	return []TableStats{
+		{Name: "heavy.cur.sketch", Rows: hh.cur.Len(), Cap: hh.cur.Cap()},
+		{Name: "heavy.sec.sketch", Rows: hh.sec.Len(), Cap: hh.sec.Cap()},
+	}
+}
+
+// MemoryBytes returns the fixed table-state footprint: the sketches and
+// their extraction buffers. The persistence bookkeeping (previous heavy
+// set, per-second subset arena) is excluded from both implementations —
+// it is byte-for-byte the same structure in either mode, and the memory
+// contract is about the state sketch mode replaces.
+func (hh *SketchHeavyHitters) MemoryBytes() int {
+	return hh.cur.Bytes() + hh.curCM.Bytes() + hh.sec.Bytes() + hh.secCM.Bytes() +
+		24*cap(hh.top) + 16*cap(hh.scratch)
+}
+
+// MemoryBytes estimates the exact tracker's table-state footprint: 16
+// bytes per open-addressing slot (packed key + float64) across both
+// tables plus the extraction scratch, growing with the key population.
+// The shared persistence bookkeeping is excluded, as above.
+func (hh *HeavyHitters) MemoryBytes() int {
+	return 16*(hh.cur.Cap()+hh.sec.Cap()) + 16*cap(hh.scratch)
+}

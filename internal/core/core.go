@@ -57,7 +57,20 @@ type Config struct {
 	// MemCeilingBytes, when positive, is stamped into the run manifest
 	// together with the measured fleet heap peak; cmd/manifestcheck
 	// asserts the peak stayed under the ceiling. Zero means no ceiling.
+	// The serve loop (cmd/dcsim -serve) additionally enforces it live:
+	// a window whose post-collection heap exceeds the ceiling fails the
+	// run.
 	MemCeilingBytes int64
+
+	// SketchMode replaces the exact open-addressing heavy-hitter tables
+	// with fixed-memory sketches (space-saving candidates refined by
+	// count-min estimates; see internal/sketch) and adds HLL distinct
+	// flow/host/rack cardinalities to fleet collection. Results become
+	// approximate within the bounds the sketcherr harness enforces, but
+	// analysis memory stops growing with the key population — the mode
+	// endless serve runs use. Default off: the exact path stays
+	// bit-identical to previous releases.
+	SketchMode bool
 
 	// Parallelism is the worker count of the parallel experiment engine:
 	// independent (role, seconds) trace bundles fan out across this many
@@ -257,7 +270,7 @@ type TraceBundle struct {
 	Sizes   *analysis.PacketSizes
 	Arr     *analysis.Arrivals
 	Conc    *analysis.Concurrency
-	HH      map[analysis.Level]map[netsim.Time]*analysis.HeavyHitters
+	HH      map[analysis.Level]map[netsim.Time]analysis.HeavyTracker
 	Packets int64
 }
 
@@ -306,7 +319,7 @@ func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 		Arr: analysis.NewArrivals(s.Topo.Addr(host),
 			15*netsim.Millisecond, 100*netsim.Millisecond),
 		Conc: analysis.NewConcurrency(s.Topo, host, analysis.ConcurrencyWindow),
-		HH:   make(map[analysis.Level]map[netsim.Time]*analysis.HeavyHitters),
+		HH:   make(map[analysis.Level]map[netsim.Time]analysis.HeavyTracker),
 	}
 	// Figure 8 considers the primary peer group's racks: the paper plots
 	// cache responses toward Web-server racks (8b/8c); Hadoop traffic is
@@ -324,9 +337,9 @@ func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 	}
 	sinks := workload.Fanout{b.Mix, b.Loc, b.Flows, b.Rates, b.Sizes, b.Arr, b.Conc}
 	for _, lvl := range []analysis.Level{analysis.LevelFlow, analysis.LevelHost, analysis.LevelRack} {
-		b.HH[lvl] = make(map[netsim.Time]*analysis.HeavyHitters)
+		b.HH[lvl] = make(map[netsim.Time]analysis.HeavyTracker)
 		for _, bin := range HHBins {
-			hh := analysis.NewHeavyHitters(s.Topo, host, lvl, bin)
+			hh := analysis.NewHeavyTracker(s.Topo, host, lvl, bin, s.Cfg.SketchMode)
 			b.HH[lvl][bin] = hh
 			sinks = append(sinks, hh)
 		}

@@ -129,8 +129,14 @@ func (s *System) collectFleet() *fbflow.Dataset {
 		parkedObs = make([]*obs.Shard, len(tasks))
 		done      = make([]bool, len(tasks))
 		next      int
-		pool      = sync.Pool{New: func() any { return fbflow.NewPartial() }}
-		obsPool   = sync.Pool{New: func() any { return reg.NewShard() }}
+		pool      = sync.Pool{New: func() any {
+			p := fbflow.NewPartial()
+			if s.Cfg.SketchMode {
+				p.EnableCardinality()
+			}
+			return p
+		}}
+		obsPool = sync.Pool{New: func() any { return reg.NewShard() }}
 	)
 	runParallelWorkers(workers, len(tasks), func(w, i int) {
 		var t0 time.Time
@@ -190,6 +196,13 @@ func (s *System) collectFleet() *fbflow.Dataset {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		reg.SetGauge("fbdcnet_fleet_heap_peak_bytes", float64(ms.HeapAlloc))
+		// Sketch mode carries HLL distinct-population sketches through the
+		// same frontier; surface their estimates next to the byte gauges.
+		if card := ds.Cardinality(); card != nil {
+			reg.SetGauge("fbdcnet_fleet_distinct_flows", card.Flows())
+			reg.SetGauge("fbdcnet_fleet_distinct_hosts", card.Hosts())
+			reg.SetGauge("fbdcnet_fleet_distinct_racks", card.Racks())
+		}
 	}
 	return ds
 }

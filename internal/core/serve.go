@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/obs"
+	"fbdcnet/internal/services"
+	"fbdcnet/internal/sketch"
+	"fbdcnet/internal/topology"
+)
+
+// Serve mode: an endless rolling-window fleet collection. Each window
+// runs the same sharded, task-order-merged collection as FleetDataset,
+// but into a window-local dataset that is dropped once its statistics
+// are extracted — live memory is bounded by one window plus the fixed
+// sketch state, no matter how long the loop runs. Window w's rng streams
+// are keyed exactly like batch mode's window w, so a serve run over the
+// first FleetWindows windows reproduces the batch collection
+// window-for-window, bit-identically.
+
+// ServeWindowStats summarizes one completed window of the rolling loop.
+type ServeWindowStats struct {
+	Window     int     // rolling window index (monotonic, unbounded)
+	TotalBytes float64 // fleet bytes collected this window
+	// Distinct-population estimates (sketch mode only; zero otherwise).
+	DistinctFlows float64
+	DistinctHosts float64
+	DistinctRacks float64
+	// Per-host outbound rate quantiles over the window, Mbps, from a
+	// t-digest rebuilt each window (deterministic: hosts feed in ID order).
+	HostRateP50 float64
+	HostRateP99 float64
+	HeapBytes   uint64  // live heap after the window's dataset was dropped
+	WallSec     float64 // wall-clock spent collecting the window
+}
+
+// ServeOptions configures System.Serve.
+type ServeOptions struct {
+	// Windows stops the loop after this many windows; <= 0 runs until the
+	// context is cancelled.
+	Windows int
+	// Reload delivers replacement configs (SIGHUP in cmd/dcsim). Only the
+	// window-shape fields are applied — FleetWindowSec, FleetSamples,
+	// FleetMatrix, Taggers, MemCeilingBytes, SketchMode — at the next
+	// window boundary; topology-shaping fields (Scale, Seed) are ignored,
+	// since they would require rebuilding the System.
+	Reload <-chan Config
+	// OnWindow, when non-nil, observes each completed window; returning an
+	// error stops the loop with that error.
+	OnWindow func(ServeWindowStats) error
+}
+
+// applyReload merges the reloadable fields of next into the system
+// config and reports whether the partial pool must be rebuilt.
+func (s *System) applyReload(next Config) (repool bool) {
+	c := &s.Cfg
+	repool = c.SketchMode != next.SketchMode
+	c.FleetWindowSec = next.FleetWindowSec
+	c.FleetSamples = next.FleetSamples
+	c.FleetMatrix = next.FleetMatrix
+	c.Taggers = next.Taggers
+	c.MemCeilingBytes = next.MemCeilingBytes
+	c.SketchMode = next.SketchMode
+	return repool
+}
+
+// Serve runs the rolling-window collection loop until the context is
+// cancelled, opts.Windows windows have completed, the memory ceiling is
+// breached, or OnWindow returns an error.
+func (s *System) Serve(ctx context.Context, opts ServeOptions) error {
+	reg := s.Cfg.Obs
+	tagger := fbflow.NewTagger(s.Topo)
+	newPool := func() *sync.Pool {
+		return &sync.Pool{New: func() any {
+			p := fbflow.NewPartial()
+			if s.Cfg.SketchMode {
+				p.EnableCardinality()
+			}
+			return p
+		}}
+	}
+	pool := newPool()
+	rates := sketch.NewTDigest(100)
+	windows := reg.Counter("fbdcnet_serve_windows_total",
+		"rolling windows completed by the serve loop")
+
+	for w := 0; opts.Windows <= 0 || w < opts.Windows; w++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		// Drain pending reconfigs; the last one wins.
+		for {
+			var applied bool
+			select {
+			case next, ok := <-opts.Reload:
+				if ok {
+					if s.applyReload(next) {
+						pool = newPool()
+					}
+					applied = true
+				}
+			default:
+			}
+			if !applied {
+				break
+			}
+		}
+
+		start := time.Now()
+		ds := s.collectOneWindow(w, tagger, pool)
+		st := ServeWindowStats{
+			Window:     w,
+			TotalBytes: ds.TotalBytes(),
+			WallSec:    time.Since(start).Seconds(),
+		}
+		if card := ds.Cardinality(); card != nil {
+			st.DistinctFlows = card.Flows()
+			st.DistinctHosts = card.Hosts()
+			st.DistinctRacks = card.Racks()
+		}
+		// Per-host outbound Mbps over the window, digested. Feeding in
+		// host-ID order keeps the digest a pure function of the dataset.
+		rates.Reset()
+		hostOut := ds.HostOutBytes()
+		winSec := s.Cfg.FleetWindowSec
+		if winSec > 0 {
+			for h := 0; h < s.Topo.NumHosts(); h++ {
+				if b, ok := hostOut[topology.HostID(h)]; ok {
+					rates.Add(b*8/winSec/1e6, 1)
+				}
+			}
+		}
+		st.HostRateP50 = rates.Quantile(0.5)
+		st.HostRateP99 = rates.Quantile(0.99)
+
+		// The window's dataset dies here; measure what the loop retains.
+		ds = nil //nolint:ineffassign,wasted // release before the heap read
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st.HeapBytes = ms.HeapAlloc
+
+		if reg.Enabled() {
+			reg.AddCounter(windows, 1)
+			reg.SetGauge("fbdcnet_serve_window", float64(st.Window))
+			reg.SetGauge("fbdcnet_serve_window_bytes", st.TotalBytes)
+			reg.SetGauge("fbdcnet_serve_window_wall_seconds", st.WallSec)
+			reg.SetGauge("fbdcnet_serve_heap_bytes", float64(st.HeapBytes))
+			reg.SetGauge("fbdcnet_serve_host_rate_p50_mbps", st.HostRateP50)
+			reg.SetGauge("fbdcnet_serve_host_rate_p99_mbps", st.HostRateP99)
+			if st.DistinctFlows > 0 {
+				reg.SetGauge("fbdcnet_fleet_distinct_flows", st.DistinctFlows)
+				reg.SetGauge("fbdcnet_fleet_distinct_hosts", st.DistinctHosts)
+				reg.SetGauge("fbdcnet_fleet_distinct_racks", st.DistinctRacks)
+			}
+		}
+		if c := s.Cfg.MemCeilingBytes; c > 0 && int64(st.HeapBytes) > c {
+			return fmt.Errorf("core: serve window %d: heap %d bytes exceeds ceiling %d",
+				w, st.HeapBytes, c)
+		}
+		if opts.OnWindow != nil {
+			if err := opts.OnWindow(st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectOneWindow runs window w's shard tasks with the same frontier
+// merge as collectFleet and returns the window-local dataset. The
+// diurnal load factor cycles over FleetWindows, so an endless run keeps
+// tracing the synthetic day; the rng streams stay keyed by the absolute
+// window index, so no two windows replay the same flows.
+func (s *System) collectOneWindow(w int, tagger *fbflow.Tagger, pool *sync.Pool) *fbflow.Dataset {
+	n, width := s.Topo.NumHosts(), fleetShardHosts
+	if s.Cfg.FleetMatrix {
+		n, width = len(s.Topo.Racks), fleetMatrixShardRacks
+	}
+	shards := (n + width - 1) / width
+	tasks := make([]fleetTask, 0, shards)
+	for sh := 0; sh < shards; sh++ {
+		lo := sh * width
+		tasks = append(tasks, fleetTask{window: w, shard: sh, lo: lo, hi: min(lo+width, n)})
+	}
+
+	ds := fbflow.NewDataset()
+	reg := s.Cfg.Obs
+	workers := s.Cfg.TaggerWorkers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var prog *services.FleetProgram
+	var mprog *services.MatrixProgram
+	var mats []*services.DemandMatrix
+	if s.Cfg.FleetMatrix {
+		mprog = services.NewMatrixProgram(s.Pick, s.Cfg.Params)
+		mats = make([]*services.DemandMatrix, workers)
+		for i := range mats {
+			mats[i] = services.NewDemandMatrix()
+		}
+	} else {
+		prog = services.NewFleetProgram(s.Pick, s.Cfg.Params)
+	}
+
+	var (
+		mu        sync.Mutex
+		parked    = make([]*fbflow.Partial, len(tasks))
+		parkedObs = make([]*obs.Shard, len(tasks))
+		done      = make([]bool, len(tasks))
+		next      int
+	)
+	runParallelWorkers(workers, len(tasks), func(wk, i int) {
+		p := pool.Get().(*fbflow.Partial)
+		sh := reg.NewShard()
+		if s.Cfg.FleetMatrix {
+			s.collectMatrixShard(tagger, mprog, tasks[i], mats[wk], p, sh)
+		} else {
+			s.collectShard(tagger, prog, tasks[i], p, sh)
+		}
+		mu.Lock()
+		parked[i], parkedObs[i], done[i] = p, sh, true
+		for next < len(tasks) && done[next] {
+			q, qs := parked[next], parkedObs[next]
+			parked[next], parkedObs[next] = nil, nil
+			ds.MergePartial(q)
+			q.Reset()
+			pool.Put(q)
+			qs.Fold()
+			next++
+		}
+		mu.Unlock()
+	})
+	return ds
+}

@@ -31,6 +31,10 @@ type Dataset struct {
 	hostOut      map[topology.HostID]float64
 	rackCross    map[int]float64
 	clusterCross map[int]float64
+
+	// card holds merged distinct-population sketches when the partials
+	// that built this dataset had cardinality enabled; nil otherwise.
+	card *Cardinality
 }
 
 // NewDataset returns an empty Dataset.
@@ -118,6 +122,20 @@ func (d *Dataset) Merge(other *Dataset) {
 	for c, b := range other.clusterCross {
 		d.clusterCross[c] += b
 	}
+	if other.card != nil {
+		if d.card == nil {
+			d.card = NewCardinality()
+		}
+		d.card.Merge(other.card)
+	}
+}
+
+// Cardinality returns the merged distinct-population sketches, or nil
+// when the collection ran without them (exact mode).
+func (d *Dataset) Cardinality() *Cardinality {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.card
 }
 
 // TotalBytes returns the estimated fleet-wide bytes ingested.

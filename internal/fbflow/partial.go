@@ -36,10 +36,24 @@ type Partial struct {
 	hostOut      openhash.Table[float64] // uint64(HostID)
 	rackCross    openhash.Table[float64] // uint64(rack)
 	clusterCross openhash.Table[float64] // uint64(cluster)
+
+	// card, when enabled, tracks distinct flow/host/rack populations
+	// alongside the byte aggregates (sketch mode). Nil costs one
+	// predicted branch per record.
+	card *Cardinality
 }
 
 // NewPartial returns an empty Partial.
 func NewPartial() *Partial { return &Partial{} }
+
+// EnableCardinality attaches HLL distinct counters to the partial
+// (idempotent). Call before the first Add; the fleet engine enables it
+// on every pooled partial when Config.SketchMode is set.
+func (p *Partial) EnableCardinality() {
+	if p.card == nil {
+		p.card = NewCardinality()
+	}
+}
 
 // packPair packs an ordered (src, dst) index pair into one table key.
 func packPair(src, dst int) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
@@ -60,6 +74,9 @@ func (p *Partial) Add(r Record) {
 			*p.clusterCross.Slot(uint64(r.SrcCluster)) += r.Bytes
 		}
 	}
+	if p.card != nil {
+		p.card.Add(r)
+	}
 }
 
 // Reset clears every aggregate while keeping table capacity, so a pooled
@@ -74,6 +91,9 @@ func (p *Partial) Reset() {
 	p.hostOut.Reset()
 	p.rackCross.Reset()
 	p.clusterCross.Reset()
+	if p.card != nil {
+		p.card.Reset()
+	}
 }
 
 // MergePartial folds a shard's Partial into d, the columnar counterpart
@@ -115,4 +135,10 @@ func (d *Dataset) MergePartial(p *Partial) {
 	p.hostOut.Range(func(k uint64, v *float64) { d.hostOut[topology.HostID(k)] += *v })
 	p.rackCross.Range(func(k uint64, v *float64) { d.rackCross[int(k)] += *v })
 	p.clusterCross.Range(func(k uint64, v *float64) { d.clusterCross[int(k)] += *v })
+	if p.card != nil {
+		if d.card == nil {
+			d.card = NewCardinality()
+		}
+		d.card.Merge(p.card)
+	}
 }

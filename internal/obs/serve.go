@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -20,8 +21,9 @@ import (
 
 // Server is a running metrics endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the accept loop goroutine returns
 }
 
 // liveRegistry backs the process-wide expvar publication: expvar
@@ -59,16 +61,33 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, r.ProgressText())
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close/Shutdown
+	}()
 	return s, nil
 }
 
 // Addr returns the bound listen address (with the resolved port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the endpoint.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the endpoint and waits until no handler can still be
+// reading the registry: Shutdown drains in-flight scrapes (bounded by a
+// short deadline, after which stragglers are cut), and the accept-loop
+// goroutine is joined before returning. Without the drain a scrape
+// racing a test's teardown could touch the registry after the test
+// freed it — the race the serve-mode lifecycle tests pin.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
 
 // PrometheusText renders the registry in the Prometheus text exposition
 // format: registered counters, labeled series, gauges, power-of-two

@@ -5,7 +5,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string, string) {
@@ -94,5 +96,63 @@ func TestServeTwice(t *testing.T) {
 	_, _, body := get(t, "http://"+s2.Addr()+"/debug/vars")
 	if !strings.Contains(body, "second_total") {
 		t.Errorf("expvar not repointed to the live registry:\n%s", body)
+	}
+}
+
+// TestServeCloseDrainsScrapes pins the teardown contract: Close must not
+// return while a handler can still be reading the registry. Scrapers
+// hammer the endpoint while the server shuts down mid-flight; run under
+// -race this catches any handler outliving Close.
+func TestServeCloseDrainsScrapes(t *testing.T) {
+	r := populated()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					return // listener closed: scraping is over
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Let the scrapers land a few requests, then tear down under load.
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close under load: %v", err)
+	}
+	// After Close returns no handler may touch the registry: mutate it
+	// freely and join the scrapers.
+	r.AddCounter(r.Counter("post_close_total", ""), 1)
+	wg.Wait()
+
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("endpoint still serving after Close")
+	}
+}
+
+// TestServeCloseIdempotent allows double-Close, the path a defer plus an
+// explicit shutdown takes.
+func TestServeCloseIdempotent(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("second Close: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package prof
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -75,5 +76,38 @@ func TestStopUnwritableMemPath(t *testing.T) {
 	stop() // must not panic; the error goes to stderr
 	if _, err := os.Stat(bad); !os.IsNotExist(err) {
 		t.Errorf("heap profile unexpectedly written to %s", bad)
+	}
+}
+
+// TestStopConcurrent hammers the stop closure from many goroutines: the
+// sync.Once must make exactly one of them write the profiles while the
+// rest return cleanly. Run under -race this pins the teardown against
+// the background callers serve mode adds (signal handler, OnWindow
+// error path, deferred cleanup).
+func TestStopConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop()
+		}()
+	}
+	wg.Wait()
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
 	}
 }

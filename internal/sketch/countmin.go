@@ -1,0 +1,121 @@
+package sketch
+
+import "fmt"
+
+// CountMin is a count-min sketch over packed uint64 keys with int64
+// counters. Integer counters make Merge exact: addition is associative,
+// so merging shard sketches in any grouping reproduces the sketch of the
+// concatenated stream bit for bit — the metamorphic property the sketch
+// test suite pins at 1/2/8 shards.
+//
+// Estimates never undercount: Estimate(k) >= the true total added under
+// k, with overcount bounded by count/width per row (standard CM bound,
+// taken as the min over depth independent rows).
+type CountMin struct {
+	depth int
+	width int // power of two
+	mask  uint64
+	rows  []int64 // depth × width, row-major
+	count int64   // total weight added, for error bounds
+}
+
+// cmRowSeeds are fixed per-row hash seeds. Constants — not derived from
+// any runtime state — so independently constructed sketches of equal
+// shape are always merge-compatible.
+var cmRowSeeds = [...]uint64{
+	0x9ae16a3b2f90404f, 0xc3a5c85c97cb3127, 0xb492b66fbe98f273,
+	0x9ddfea08eb382d69, 0x8f14e45fceea1e7b, 0xa54ff53a5f1d36f1,
+	0x510e527fade682d1, 0x9b05688c2b3e6c1f,
+}
+
+// NewCountMin returns a depth × width sketch; width is rounded up to a
+// power of two, depth is capped at the fixed seed set.
+func NewCountMin(depth, width int) *CountMin {
+	if depth <= 0 {
+		depth = 4
+	}
+	if depth > len(cmRowSeeds) {
+		depth = len(cmRowSeeds)
+	}
+	w := 16
+	for w < width {
+		w <<= 1
+	}
+	return &CountMin{
+		depth: depth,
+		width: w,
+		mask:  uint64(w - 1),
+		rows:  make([]int64, depth*w),
+	}
+}
+
+// Add folds v into the counters for key k. v may be any non-negative
+// weight (bytes, packets).
+func (c *CountMin) Add(k uint64, v int64) {
+	c.count += v
+	base := 0
+	for d := 0; d < c.depth; d++ {
+		slot := mix(k^cmRowSeeds[d]) & c.mask
+		c.rows[base+int(slot)] += v
+		base += c.width
+	}
+}
+
+// Estimate returns the count-min estimate for k: the minimum counter
+// across rows, an upper bound on the true total.
+func (c *CountMin) Estimate(k uint64) int64 {
+	est := int64(-1)
+	base := 0
+	for d := 0; d < c.depth; d++ {
+		slot := mix(k^cmRowSeeds[d]) & c.mask
+		if v := c.rows[base+int(slot)]; est < 0 || v < est {
+			est = v
+		}
+		base += c.width
+	}
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// Count returns the total weight added since the last Reset.
+func (c *CountMin) Count() int64 { return c.count }
+
+// ErrorBound returns the additive overcount ceiling e·N/width that each
+// row guarantees with high probability — the declared bound the
+// sketcherr harness checks estimates against.
+func (c *CountMin) ErrorBound() int64 {
+	if c.width == 0 {
+		return 0
+	}
+	// e/width ≈ 2.718/width; integer math keeps the bound deterministic.
+	return (c.count*2718 + 999) / (1000 * int64(c.width))
+}
+
+// Merge folds o into c. Both sketches must have identical shape; since
+// row seeds are package constants, equal shape implies equal hash
+// functions and the merge is exact.
+func (c *CountMin) Merge(o *CountMin) {
+	if o == nil {
+		return
+	}
+	if c.depth != o.depth || c.width != o.width {
+		panic(fmt.Sprintf("sketch: merging count-min %dx%d into %dx%d", o.depth, o.width, c.depth, c.width))
+	}
+	for i, v := range o.rows {
+		c.rows[i] += v
+	}
+	c.count += o.count
+}
+
+// Reset zeroes the sketch without releasing its backing array.
+func (c *CountMin) Reset() {
+	for i := range c.rows {
+		c.rows[i] = 0
+	}
+	c.count = 0
+}
+
+// Bytes returns the fixed memory footprint of the counter array.
+func (c *CountMin) Bytes() int { return 8 * len(c.rows) }

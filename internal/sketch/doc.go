@@ -1,0 +1,39 @@
+// Package sketch provides the bounded-memory streaming summaries behind
+// Config.SketchMode: count-min (byte counts per aggregate), space-saving
+// (heavy-hitter candidates), HyperLogLog (distinct flows/hosts/racks),
+// and a merging t-digest (size/duration/rate quantiles).
+//
+// All four follow the same contract as the exact openhash tables they
+// replace:
+//
+//   - Deterministic: every structure is a pure function of its input
+//     sequence. Hashing is seeded by fixed constants, never by runtime
+//     state, so two sketches fed the same stream are bit-identical.
+//   - Reset-reusable: Reset clears contents without releasing backing
+//     arrays; a steady-state window roll performs zero allocations.
+//   - Mergeable: shard-local sketches fold into a global one at the same
+//     task-order frontier as fbflow.Partial and obs shards. Count-min
+//     (int64 addition) and HLL (register max) merge exactly — the merge
+//     of shard sketches is bit-identical to the sketch of the
+//     concatenated stream, at any shard count. Space-saving and t-digest
+//     merges are deterministic functions of the operand states, so a
+//     fixed merge order yields worker-count-invariant results.
+//
+// Memory is fixed at construction time — independent of the number of
+// distinct keys — which is the whole point: the exact analysis tables
+// grow with distinct flows, the wrong trade at million-host scale. The
+// internal/sketcherr harness proves the accuracy side of that trade
+// stays inside declared bounds against the exact tables every window.
+package sketch
+
+// mix is the shared 64-bit finalizer (splitmix64): packed keys are
+// bit-fields whose low bits barely vary, so identity hashing would
+// cluster. Seeded variants fold the seed in before finalizing.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}

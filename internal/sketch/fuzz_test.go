@@ -1,0 +1,129 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCountMin drives a count-min sketch with an arbitrary operation
+// tape and cross-checks the hard estimator invariants against an exact
+// map: estimates never undercount, a half/half split merged back equals
+// the whole sketch, and Reset leaves no residue. (The additive error
+// ceiling is probabilistic — an adversarial tape can collide all rows —
+// so it is pinned statistically in TestCountMinBounds, not here.)
+func FuzzCountMin(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	seed := make([]byte, 0, 96)
+	for i := 0; i < 8; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, uint64(i)*0x9e3779b97f4a7c15)
+		seed = binary.LittleEndian.AppendUint32(seed, uint32(1500*i+40))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type op struct {
+			key uint64
+			v   int64
+		}
+		var ops []op
+		for len(data) >= 12 {
+			k := binary.LittleEndian.Uint64(data)
+			v := int64(binary.LittleEndian.Uint32(data[8:]))%100000 + 1
+			ops = append(ops, op{key: k &^ (1 << 63), v: v})
+			data = data[12:]
+		}
+		whole := NewCountMin(4, 256)
+		lo, hi := NewCountMin(4, 256), NewCountMin(4, 256)
+		truth := map[uint64]int64{}
+		for i, o := range ops {
+			whole.Add(o.key, o.v)
+			if i < len(ops)/2 {
+				lo.Add(o.key, o.v)
+			} else {
+				hi.Add(o.key, o.v)
+			}
+			truth[o.key] += o.v
+		}
+		for k, want := range truth {
+			if got := whole.Estimate(k); got < want {
+				t.Fatalf("estimate %d under truth %d for key %d", got, want, k)
+			}
+		}
+		lo.Merge(hi)
+		for k := range truth {
+			if lo.Estimate(k) != whole.Estimate(k) {
+				t.Fatalf("split-merge estimate differs from whole for key %d", k)
+			}
+		}
+		if lo.Count() != whole.Count() {
+			t.Fatalf("split-merge count %d, whole %d", lo.Count(), whole.Count())
+		}
+		whole.Reset()
+		if whole.Count() != 0 {
+			t.Fatal("Reset left a nonzero count")
+		}
+		for k := range truth {
+			if whole.Estimate(k) != 0 {
+				t.Fatalf("Reset left a nonzero estimate for key %d", k)
+			}
+		}
+	})
+}
+
+// FuzzTDigestMerge splits an arbitrary float tape between two digests at
+// an arbitrary point, merges them, and checks structural invariants:
+// total weight is preserved exactly, quantiles are monotone in q, stay
+// within [min, max], and the extreme quantiles recover min and max.
+func FuzzTDigestMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 0, 0, 64, 64}, uint8(1))
+	seed := make([]byte, 0, 128)
+	for i := 0; i < 32; i++ {
+		seed = binary.LittleEndian.AppendUint32(seed, math.Float32bits(float32(i*i)+0.5))
+	}
+	f.Add(seed, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, splitAt uint8) {
+		var vals []float64
+		for len(data) >= 4 {
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(data)))
+			data = data[4:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return
+		}
+		split := int(splitAt) % len(vals)
+		a, b := NewTDigest(50), NewTDigest(50)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			if i < split {
+				a.Add(v, 1)
+			} else {
+				b.Add(v, 1)
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		a.Merge(b)
+		if got, want := a.Count(), float64(len(vals)); got != want {
+			t.Fatalf("merged count %v, want %v", got, want)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := a.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantiles not monotone: q=%v gives %v after %v", q, v, prev)
+			}
+			if v < lo || v > hi {
+				t.Fatalf("q=%v estimate %v escapes data range [%v, %v]", q, v, lo, hi)
+			}
+			prev = v
+		}
+		if a.Quantile(0) != lo || a.Quantile(1) != hi {
+			t.Fatalf("extremes: got [%v, %v], want [%v, %v]", a.Quantile(0), a.Quantile(1), lo, hi)
+		}
+	})
+}

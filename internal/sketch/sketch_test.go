@@ -1,0 +1,339 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"slices"
+	"testing"
+
+	"fbdcnet/internal/rng"
+)
+
+// skItem is one (key, weight) element of a synthetic stream.
+type skItem struct {
+	key uint64
+	v   int64
+}
+
+// stream generates a deterministic heavy-tailed stream the way the
+// engine seeds shard work: rng.NewKeyed over (seed, stream id). A few
+// keys are hot (zipf-ish via modular clustering), most are cold.
+func stream(seed uint64, n int) []skItem {
+	r := rng.NewKeyed(seed, 0xbeef)
+	out := make([]skItem, n)
+	for i := range out {
+		var k uint64
+		if r.Bool(0.5) {
+			k = r.Uint64n(16) // hot set
+		} else {
+			k = 16 + r.Uint64n(4096)
+		}
+		out[i] = skItem{key: k, v: int64(40 + r.Uint64n(1460))}
+	}
+	return out
+}
+
+// shardSplit partitions items into w contiguous shards, the same
+// geometry the fleet collector uses for host ranges.
+func shardSplit(items []skItem, w int) [][]skItem {
+	shards := make([][]skItem, w)
+	per := (len(items) + w - 1) / w
+	for i := range shards {
+		lo := min(i*per, len(items))
+		hi := min(lo+per, len(items))
+		shards[i] = items[lo:hi]
+	}
+	return shards
+}
+
+// TestCountMinMergeMatchesConcat is the metamorphic merge property:
+// the sketch of the concatenated stream is bit-identical to the merge of
+// per-shard sketches, at 1, 2, and 8 shards — int64 counters make
+// addition associative, so this is exact, not approximate.
+func TestCountMinMergeMatchesConcat(t *testing.T) {
+	items := stream(42, 20000)
+	whole := NewCountMin(4, 2048)
+	for _, it := range items {
+		whole.Add(it.key, it.v)
+	}
+	for _, w := range []int{1, 2, 8} {
+		merged := NewCountMin(4, 2048)
+		for _, shard := range shardSplit(items, w) {
+			part := NewCountMin(4, 2048)
+			for _, it := range shard {
+				part.Add(it.key, it.v)
+			}
+			merged.Merge(part)
+		}
+		if !reflect.DeepEqual(whole.rows, merged.rows) || whole.count != merged.count {
+			t.Fatalf("%d-shard merge differs from concatenated sketch", w)
+		}
+	}
+}
+
+// TestCountMinBounds pins the estimator guarantees: never undercounts,
+// and overcounts by at most the declared additive bound.
+func TestCountMinBounds(t *testing.T) {
+	items := stream(7, 50000)
+	cm := NewCountMin(4, 2048)
+	truth := map[uint64]int64{}
+	for _, it := range items {
+		cm.Add(it.key, it.v)
+		truth[it.key] += it.v
+	}
+	bound := cm.ErrorBound()
+	for k, want := range truth {
+		got := cm.Estimate(k)
+		if got < want {
+			t.Fatalf("key %d: estimate %d under truth %d", k, got, want)
+		}
+		if got > want+bound {
+			t.Fatalf("key %d: estimate %d exceeds truth %d + bound %d", k, got, want, bound)
+		}
+	}
+}
+
+// TestHLLMergeMatchesConcat: register max is commutative and idempotent,
+// so shard merges reproduce the concatenated sketch exactly.
+func TestHLLMergeMatchesConcat(t *testing.T) {
+	items := stream(43, 30000)
+	whole := NewHLL(12)
+	for _, it := range items {
+		whole.Add(it.key)
+	}
+	for _, w := range []int{1, 2, 8} {
+		merged := NewHLL(12)
+		for _, shard := range shardSplit(items, w) {
+			part := NewHLL(12)
+			for _, it := range shard {
+				part.Add(it.key)
+			}
+			merged.Merge(part)
+		}
+		if !bytes.Equal(whole.regs, merged.regs) {
+			t.Fatalf("%d-shard HLL merge differs from concatenated sketch", w)
+		}
+	}
+}
+
+// TestHLLAccuracy checks the estimate stays within 3 standard errors of
+// a known distinct count across a range of cardinalities.
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 5000, 200000} {
+		h := NewHLL(12)
+		r := rng.NewKeyed(9, uint64(n))
+		seen := map[uint64]bool{}
+		for len(seen) < n {
+			k := r.Uint64()
+			seen[k] = true
+			h.Add(k)
+			h.Add(k) // duplicates must not inflate
+		}
+		est := h.Estimate()
+		rel := math.Abs(est-float64(n)) / float64(n)
+		if tol := 3 * h.RelativeErrorBound(); rel > tol {
+			t.Fatalf("n=%d: estimate %.0f off by %.2f%%, tolerance %.2f%%", n, est, 100*rel, 100*tol)
+		}
+	}
+}
+
+// TestSpaceSavingGuarantees pins the classic summary invariants on the
+// single-stream sketch and on every shard-merge of it: estimates bracket
+// truth, and every key heavier than Total/k is tracked.
+func TestSpaceSavingGuarantees(t *testing.T) {
+	items := stream(44, 30000)
+	truth := map[uint64]int64{}
+	var total int64
+	for _, it := range items {
+		truth[it.key] += it.v
+		total += it.v
+	}
+	const k = 64
+	check := func(name string, s *SpaceSaving) {
+		t.Helper()
+		if s.Total() != total {
+			t.Fatalf("%s: total %d, want %d", name, s.Total(), total)
+		}
+		for key, want := range truth {
+			count, err, ok := s.Estimate(key)
+			if !ok {
+				if want > total/int64(k) {
+					t.Fatalf("%s: heavy key %d (weight %d > N/k=%d) not tracked", name, key, want, total/int64(k))
+				}
+				continue
+			}
+			if count < want {
+				t.Fatalf("%s: key %d count %d under truth %d", name, key, count, want)
+			}
+			if count-err > want {
+				t.Fatalf("%s: key %d lower bound %d over truth %d", name, key, count-err, want)
+			}
+		}
+		if s.Len() > k {
+			t.Fatalf("%s: %d entries exceed capacity %d", name, s.Len(), k)
+		}
+	}
+	whole := NewSpaceSaving(k)
+	for _, it := range items {
+		whole.Update(it.key, it.v)
+	}
+	check("whole", whole)
+	for _, w := range []int{2, 8} {
+		merged := NewSpaceSaving(k)
+		for _, shard := range shardSplit(items, w) {
+			part := NewSpaceSaving(k)
+			for _, it := range shard {
+				part.Update(it.key, it.v)
+			}
+			merged.Merge(part)
+		}
+		check("merged", merged)
+	}
+}
+
+// TestSpaceSavingDeterministicMerge: merging the same shard sketches in
+// the same order twice yields identical Top sequences — the property the
+// task-order frontier relies on for worker-count invariance.
+func TestSpaceSavingDeterministicMerge(t *testing.T) {
+	items := stream(45, 20000)
+	build := func() []Entry {
+		merged := NewSpaceSaving(48)
+		for _, shard := range shardSplit(items, 8) {
+			part := NewSpaceSaving(48)
+			for _, it := range shard {
+				part.Update(it.key, it.v)
+			}
+			merged.Merge(part)
+		}
+		return merged.Top(nil)
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical merge sequences produced different summaries")
+	}
+}
+
+// TestTDigestQuantiles pins accuracy against exact order statistics and
+// the merge-vs-concatenated drift at 1/2/8 shards.
+func TestTDigestQuantiles(t *testing.T) {
+	items := stream(46, 40000)
+	exact := make([]float64, len(items))
+	for i, it := range items {
+		exact[i] = float64(it.v)
+	}
+	// Exact quantiles via full sort.
+	sorted := append([]float64(nil), exact...)
+	slices.Sort(sorted)
+	exactQ := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	build := func(w int) *TDigest {
+		merged := NewTDigest(100)
+		for _, shard := range shardSplit(items, w) {
+			part := NewTDigest(100)
+			for _, it := range shard {
+				part.Add(float64(it.v), 1)
+			}
+			merged.Merge(part)
+		}
+		return merged
+	}
+	for _, w := range []int{1, 2, 8} {
+		td := build(w)
+		if got, want := td.Count(), float64(len(items)); got != want {
+			t.Fatalf("%d shards: count %v, want %v", w, got, want)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			got := td.Quantile(q)
+			if got < prev {
+				t.Fatalf("%d shards: quantiles not monotone at q=%v", w, q)
+			}
+			prev = got
+			want := exactQ(q)
+			span := sorted[len(sorted)-1] - sorted[0]
+			if math.Abs(got-want) > 0.05*span {
+				t.Fatalf("%d shards: q=%v estimate %.1f vs exact %.1f drifts past 5%% of range", w, q, got, want)
+			}
+		}
+		if td.Quantile(0) != sorted[0] || td.Quantile(1) != sorted[len(sorted)-1] {
+			t.Fatalf("%d shards: extreme quantiles lost min/max", w)
+		}
+	}
+}
+
+// TestResetReuse: every sketch must be empty after Reset and produce
+// identical results on a second identical fill — the serve loop rolls
+// windows this way forever.
+func TestResetReuse(t *testing.T) {
+	items := stream(47, 10000)
+	cm, ss, hll, td := NewCountMin(4, 1024), NewSpaceSaving(32), NewHLL(12), NewTDigest(100)
+	fill := func() (int64, []Entry, float64, float64) {
+		for _, it := range items {
+			cm.Add(it.key, it.v)
+			ss.Update(it.key, it.v)
+			hll.Add(it.key)
+			td.Add(float64(it.v), 1)
+		}
+		return cm.Estimate(3), ss.Top(nil), hll.Estimate(), td.Quantile(0.5)
+	}
+	e1, t1, h1, q1 := fill()
+	cm.Reset()
+	ss.Reset()
+	hll.Reset()
+	td.Reset()
+	if cm.Count() != 0 || ss.Len() != 0 || hll.Estimate() != 0 || td.Count() != 0 {
+		t.Fatal("Reset left residual state")
+	}
+	e2, t2, h2, q2 := fill()
+	if e1 != e2 || h1 != h2 || q1 != q2 || !reflect.DeepEqual(t1, t2) {
+		t.Fatal("second fill after Reset differs from first")
+	}
+}
+
+// TestSteadyStateAllocs pins the zero-allocation contract of every
+// sketch's update path once warm — the serve loop updates sketches per
+// packet batch and must not churn the heap.
+func TestSteadyStateAllocs(t *testing.T) {
+	cm, ss, hll, td := NewCountMin(4, 2048), NewSpaceSaving(64), NewHLL(12), NewTDigest(100)
+	r := rng.NewKeyed(48, 1)
+	// Warm up: fill capacities and trigger first compactions.
+	for i := 0; i < 50000; i++ {
+		k := r.Uint64n(4096)
+		cm.Add(k, 100)
+		ss.Update(k, 100)
+		hll.Add(k)
+		td.Add(float64(k), 1)
+	}
+	var i uint64
+	if n := testing.AllocsPerRun(5000, func() {
+		i++
+		k := (i * 2654435761) % 4096
+		cm.Add(k, 100)
+		ss.Update(k, 100)
+		hll.Add(k)
+		td.Add(float64(k), 1)
+	}); n != 0 {
+		t.Fatalf("steady-state sketch updates allocate %.2f per op, want 0", n)
+	}
+}
+
+// TestBytesFixed: memory must be a function of construction parameters,
+// not of how many distinct keys were fed.
+func TestBytesFixed(t *testing.T) {
+	cm, ss, hll, td := NewCountMin(4, 2048), NewSpaceSaving(64), NewHLL(12), NewTDigest(100)
+	b0 := cm.Bytes() + ss.Bytes() + hll.Bytes() + td.Bytes()
+	r := rng.NewKeyed(49, 1)
+	for i := 0; i < 200000; i++ {
+		k := r.Uint64()
+		cm.Add(k, 1)
+		ss.Update(k, 1)
+		hll.Add(k)
+		td.Add(float64(k%100000), 1)
+	}
+	if b1 := cm.Bytes() + ss.Bytes() + hll.Bytes() + td.Bytes(); b1 != b0 {
+		t.Fatalf("footprint moved from %d to %d bytes under 200k distinct keys", b0, b1)
+	}
+}

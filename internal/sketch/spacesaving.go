@@ -1,0 +1,277 @@
+package sketch
+
+import "slices"
+
+// SpaceSaving is the Metwally et al. stream-summary: a fixed set of k
+// counters tracking the heaviest keys of a weighted stream. Every key
+// whose true weight exceeds N/k is guaranteed present, and each tracked
+// key carries an interval [Count-Err, Count] bracketing its true weight.
+//
+// The structure is fully deterministic: ties in the eviction order break
+// on ascending key, and Merge walks its operand in a canonical order, so
+// a fixed merge sequence (the parallel engine's task-order frontier)
+// yields worker-count-invariant results.
+//
+// Memory is fixed at construction: a k-entry slab, a k-entry min-heap,
+// and a 2k-slot open-addressing index, reused across Reset.
+type SpaceSaving struct {
+	cap   int
+	slab  []Entry // live entries, unordered; heap orders them
+	heap  []int32 // heap of slab indices, min (count, key) at root
+	pos   []int32 // slab index -> heap position
+	total int64   // total stream weight since Reset
+	// Open-addressing index: key -> slab index. Sized 2·cap (≥50% free),
+	// linear probing with backward-shift deletion, no insertion-order
+	// tracking — evictions must delete, which openhash.Table cannot.
+	idxKeys []uint64
+	idxVals []int32
+	idxMask uint64
+	scratch []Entry // Top/Merge sort buffer
+}
+
+// Entry is one tracked key: Count over-approximates the true weight,
+// Count-Err under-approximates it.
+type Entry struct {
+	Key   uint64
+	Count int64
+	Err   int64
+}
+
+// ssEmpty marks an empty index slot; no packed key in this repo is all
+// ones (every layout keeps high bits clear).
+const ssEmpty = ^uint64(0)
+
+// NewSpaceSaving returns a summary tracking up to k keys.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	n := 16
+	for n < 2*k {
+		n <<= 1
+	}
+	s := &SpaceSaving{
+		cap:     k,
+		slab:    make([]Entry, 0, k),
+		heap:    make([]int32, 0, k),
+		pos:     make([]int32, k),
+		idxKeys: make([]uint64, n),
+		idxVals: make([]int32, n),
+		idxMask: uint64(n - 1),
+		scratch: make([]Entry, 0, 2*k),
+	}
+	for i := range s.idxKeys {
+		s.idxKeys[i] = ssEmpty
+	}
+	return s
+}
+
+// Cap returns the fixed counter capacity k.
+func (s *SpaceSaving) Cap() int { return s.cap }
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int { return len(s.slab) }
+
+// Total returns the total weight observed since the last Reset.
+func (s *SpaceSaving) Total() int64 { return s.total }
+
+// Update folds weight v of key k into the summary.
+func (s *SpaceSaving) Update(k uint64, v int64) {
+	s.total += v
+	s.add(k, v, 0)
+}
+
+// add inserts or increments (k, v) with an extra error term err carried
+// in from a merge operand.
+func (s *SpaceSaving) add(k uint64, v, err int64) {
+	if si, ok := s.lookup(k); ok {
+		s.slab[si].Count += v
+		s.slab[si].Err += err
+		s.siftDown(int(s.pos[si]))
+		return
+	}
+	if len(s.slab) < s.cap {
+		s.slab = append(s.slab, Entry{Key: k, Count: v, Err: err})
+		si := int32(len(s.slab) - 1)
+		s.heap = append(s.heap, si)
+		s.pos[si] = int32(len(s.heap) - 1)
+		s.insert(k, si)
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	// Evict the minimum-count entry (ties break on ascending key): the
+	// newcomer inherits its count as error floor — the classic
+	// space-saving step that keeps Count an upper bound on truth.
+	si := s.heap[0]
+	old := &s.slab[si]
+	s.delete(old.Key)
+	floor := old.Count
+	*old = Entry{Key: k, Count: floor + v, Err: floor + err}
+	s.insert(k, si)
+	s.siftDown(0)
+}
+
+// Estimate returns the tracked count interval for k. ok is false when k
+// is not among the tracked keys (its true weight is then at most the
+// current minimum tracked count).
+func (s *SpaceSaving) Estimate(k uint64) (count, err int64, ok bool) {
+	si, found := s.lookup(k)
+	if !found {
+		return 0, 0, false
+	}
+	return s.slab[si].Count, s.slab[si].Err, true
+}
+
+// Top appends the tracked entries ordered by count descending (key
+// ascending on ties) to dst and returns it. The order matches the exact
+// heavy-prefix sort of analysis.HeavyHitters, so rank comparisons
+// between the two are apples to apples.
+func (s *SpaceSaving) Top(dst []Entry) []Entry {
+	dst = append(dst, s.slab...)
+	slices.SortFunc(dst, func(a, b Entry) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		}
+		if a.Key < b.Key {
+			return -1
+		}
+		if a.Key > b.Key {
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// Merge folds o into s. Entries are drained from o in canonical
+// (count desc, key asc) order, so the result is a pure function of the
+// two summaries' contents — merge order across shards is fixed by the
+// caller (task order), making results worker-count invariant.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil || len(o.slab) == 0 {
+		return
+	}
+	s.scratch = o.Top(s.scratch[:0])
+	for i := range s.scratch {
+		e := &s.scratch[i]
+		s.add(e.Key, e.Count, e.Err)
+	}
+	s.total += o.total
+}
+
+// Reset clears the summary without releasing backing arrays. Clearing
+// the whole index is O(index size) — fine at window-roll frequency.
+func (s *SpaceSaving) Reset() {
+	for i := range s.idxKeys {
+		s.idxKeys[i] = ssEmpty
+	}
+	s.slab = s.slab[:0]
+	s.heap = s.heap[:0]
+	s.total = 0
+}
+
+// Bytes returns the fixed memory footprint.
+func (s *SpaceSaving) Bytes() int {
+	return 24*cap(s.slab) + 4*cap(s.heap) + 4*len(s.pos) +
+		12*len(s.idxKeys) + 24*cap(s.scratch)
+}
+
+// --- open-addressing index -------------------------------------------------
+
+func (s *SpaceSaving) lookup(k uint64) (int32, bool) {
+	for i := mix(k) & s.idxMask; ; i = (i + 1) & s.idxMask {
+		switch s.idxKeys[i] {
+		case k:
+			return s.idxVals[i], true
+		case ssEmpty:
+			return 0, false
+		}
+	}
+}
+
+func (s *SpaceSaving) insert(k uint64, v int32) {
+	for i := mix(k) & s.idxMask; ; i = (i + 1) & s.idxMask {
+		if s.idxKeys[i] == ssEmpty {
+			s.idxKeys[i], s.idxVals[i] = k, v
+			return
+		}
+	}
+}
+
+// delete removes k using backward-shift deletion, which keeps probe
+// chains intact without tombstones (the index never degrades under the
+// eviction churn of a long-lived serve window).
+func (s *SpaceSaving) delete(k uint64) {
+	i := mix(k) & s.idxMask
+	for s.idxKeys[i] != k {
+		if s.idxKeys[i] == ssEmpty {
+			return
+		}
+		i = (i + 1) & s.idxMask
+	}
+	for {
+		s.idxKeys[i] = ssEmpty
+		j := i
+		for {
+			j = (j + 1) & s.idxMask
+			if s.idxKeys[j] == ssEmpty {
+				return
+			}
+			home := mix(s.idxKeys[j]) & s.idxMask
+			// Move j back to i when its home slot does not lie in (i, j].
+			if (i <= j && (home <= i || home > j)) || (i > j && home <= i && home > j) {
+				break
+			}
+		}
+		s.idxKeys[i], s.idxVals[i] = s.idxKeys[j], s.idxVals[j]
+		i = j
+	}
+}
+
+// --- min-heap on (count, key) ----------------------------------------------
+
+func (s *SpaceSaving) less(a, b int32) bool {
+	ea, eb := &s.slab[a], &s.slab[b]
+	if ea.Count != eb.Count {
+		return ea.Count < eb.Count
+	}
+	return ea.Key < eb.Key
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i]] = int32(i)
+	s.pos[s.heap[j]] = int32(j)
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[p]) {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && s.less(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r < n && s.less(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}

@@ -1,0 +1,131 @@
+package sketcherr
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/topology"
+)
+
+// testConfig returns the harness config, honoring SKETCHERR_SCALE so the
+// CI sketch-accuracy job can re-run the same assertions at -scale large
+// without a separate test body.
+func testConfig(t *testing.T) Config {
+	cfg := DefaultConfig()
+	if s := os.Getenv("SKETCHERR_SCALE"); s != "" {
+		sc, ok := topology.ParseScale(s)
+		if !ok {
+			t.Fatalf("SKETCHERR_SCALE=%q is not a known scale", s)
+		}
+		cfg.Scale = sc
+	}
+	return cfg
+}
+
+// TestSketchErrBounds is the acceptance gate: the dual run must stay
+// inside the Default error bounds on every window. The memory-ratio
+// clause only binds at large scale (the CI sketch-accuracy job) — at
+// small and medium scale the exact tables have not outgrown the fixed
+// sketch state, so the ratio is not yet meaningful.
+func TestSketchErrBounds(t *testing.T) {
+	cfg := testConfig(t)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 {
+		t.Fatal("dual run saw no packets")
+	}
+	if len(rep.Windows) == 0 {
+		t.Fatal("dual run produced no windows")
+	}
+	bounds := Default()
+	if cfg.Scale < topology.ScaleLarge {
+		bounds.MemRatioMin = 0
+	}
+	t.Logf("windows=%d packets=%d maxRankErr=%.4f maxHLLErr=%.4f maxDrift=%.4f memRatio=%.2f (exact %d B, sketch %d B)",
+		len(rep.Windows), rep.Packets, rep.MaxHHRankErr(), rep.MaxHLLRelErr(),
+		rep.MaxQuantileDrift(), rep.MemRatio, rep.ExactBytes, rep.SketchBytes)
+	if err := rep.Check(bounds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchErrDeterministic pins the harness itself: the same config
+// must reproduce the identical report, windows and all — both pipelines
+// are pure functions of the rng stream.
+func TestSketchErrDeterministic(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Seconds = 3
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Packets != b.Packets {
+		t.Fatalf("packet counts differ: %d vs %d", a.Packets, b.Packets)
+	}
+	if !reflect.DeepEqual(a.Windows, b.Windows) {
+		t.Fatalf("window reports differ:\n%+v\n%+v", a.Windows, b.Windows)
+	}
+}
+
+// TestCheckReportsEveryViolation exercises the bound checker on a
+// synthetic report breaking all four clauses at once.
+func TestCheckReportsEveryViolation(t *testing.T) {
+	rep := &Report{
+		Windows: []WindowErr{{
+			Window:        0,
+			HHRankErr:     0.5,
+			HLLRelErr:     0.5,
+			QuantileDrift: 0.5,
+		}},
+		ExactBytes:  100,
+		SketchBytes: 100,
+		MemRatio:    1,
+	}
+	err := rep.Check(Default())
+	if err == nil {
+		t.Fatal("expected violations")
+	}
+	for _, want := range []string{"HH rank error", "HLL relative error", "quantile drift", "memory ratio"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing clause %q", err, want)
+		}
+	}
+	if ok := rep.Check(Bounds{HHRankErr: 1, HLLRelErr: 1, QuantileDrift: 1}); ok != nil {
+		t.Errorf("permissive bounds should pass, got %v", ok)
+	}
+}
+
+// BenchmarkSketchErr publishes the accuracy and memory metrics to the
+// benchdiff gate: each is reported so that an increase is a regression,
+// letting BENCH_PR7.json pin accuracy the way other baselines pin speed.
+func BenchmarkSketchErr(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Seconds = 5
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The rank error is offset by one: benchdiff skips zero baselines, and
+	// the current error is exactly zero — 1+pct keeps it gated (any future
+	// nonzero error is an immediate >25% increase).
+	b.ReportMetric(1+rep.MaxHHRankErr()*100, "one-plus-rank-err-pct")
+	b.ReportMetric(rep.MaxHLLRelErr()*100, "hll-err-pct")
+	b.ReportMetric(rep.MaxQuantileDrift()*100, "drift-pct")
+	// Inverted so that growth of the sketch footprint (or shrinkage of the
+	// advantage) reads as an increase.
+	if rep.MemRatio > 0 {
+		b.ReportMetric(1/rep.MemRatio, "sketch-mem-frac")
+	}
+}
