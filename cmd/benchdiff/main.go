@@ -200,6 +200,26 @@ func diffManifests(basePath, curPath string, threshold, minSeconds float64) (int
 	return regressed, nil
 }
 
+// missingBaselines returns the required baseline names (comma-separated
+// in the -require flag) absent from the loaded baseline map. A gate that
+// names a metric the baseline file lacks would otherwise pass vacuously:
+// compare skips unmatched names, so a typo in the gate or a baseline file
+// that was never regenerated silently stops guarding anything.
+func missingBaselines(require string, baselines map[string]float64) []string {
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := baselines[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
 // compare joins measured results with baselines; benchmarks present on
 // only one side are ignored (CI may bench a subset).
 func compare(measured, baselines map[string]float64) []diff {
@@ -223,6 +243,7 @@ func main() {
 	manifestCur := flag.String("manifest-current", "", "current run manifest for stage-timing comparison")
 	stageThreshold := flag.Float64("stage-threshold", 0.20, "fail when a stage's wall time regresses by more than this fraction")
 	stageMin := flag.Float64("stage-min-seconds", 0.05, "ignore stages whose baseline wall time is below this many seconds")
+	require := flag.String("require", "", "comma-separated baseline metric names that must exist in -baseline; fail (listing the missing keys) instead of silently skipping them")
 	flag.Parse()
 
 	if (*manifestBase == "") != (*manifestCur == "") {
@@ -271,6 +292,11 @@ func main() {
 	baselines, err := loadBaselines(*baseline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if missing := missingBaselines(*require, baselines); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s has no baseline for required metric(s): %s\n",
+			*baseline, strings.Join(missing, ", "))
 		os.Exit(2)
 	}
 

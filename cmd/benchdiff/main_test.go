@@ -158,6 +158,23 @@ func TestDiffManifests(t *testing.T) {
 	}
 }
 
+func TestMissingBaselines(t *testing.T) {
+	baselines := map[string]float64{
+		"BenchmarkPartialEncode": 100,
+		"BenchmarkPartialDecode": 200,
+	}
+	if m := missingBaselines("", baselines); m != nil {
+		t.Fatalf("empty require reported missing keys: %v", m)
+	}
+	if m := missingBaselines("BenchmarkPartialEncode, BenchmarkPartialDecode", baselines); m != nil {
+		t.Fatalf("satisfied require reported missing keys: %v", m)
+	}
+	got := missingBaselines("BenchmarkPartialDecode,BenchmarkZ,BenchmarkA", baselines)
+	if len(got) != 2 || got[0] != "BenchmarkA" || got[1] != "BenchmarkZ" {
+		t.Fatalf("missing = %v, want sorted [BenchmarkA BenchmarkZ]", got)
+	}
+}
+
 func TestCompareFlagsRegressions(t *testing.T) {
 	baselines := map[string]float64{
 		"BenchmarkA":              1000,

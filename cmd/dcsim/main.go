@@ -21,11 +21,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/fbflow"
@@ -56,6 +59,13 @@ func main() {
 	out := flag.String("out", "trace.fbm", "output trace file")
 	pcapOut := flag.String("pcap", "", "also export the mirror trace as a pcap file")
 	fleet := flag.Bool("fleet", false, "run the fleet-wide Fbflow view and print its summary")
+	distributed := flag.Int("distributed", 0, "with -fleet: collect through this many local agent processes streaming binary partials to an in-process aggregator (0 = in-process collection)")
+	agentFaults := flag.Bool("agent-faults", false, "with -distributed: kill one agent at its seed-planned crash point and restart it, recording the coverage gap")
+	fleetAgent := flag.Bool("fleet-agent", false, "internal: run as one fleet shard agent (set by -distributed re-exec)")
+	fleetAgentID := flag.Int("fleet-agent-id", 0, "internal: agent id")
+	fleetAgentInc := flag.Int("fleet-agent-inc", 0, "internal: agent incarnation")
+	fleetAgentConnect := flag.String("fleet-agent-connect", "", "internal: aggregator socket path")
+	fleetAgentCount := flag.Int("fleet-agent-count", 0, "internal: total agent count")
 	serve := flag.Bool("serve", false, "run the endless rolling-window collection loop (SIGHUP reloads -serve-config, SIGINT/SIGTERM stop cleanly)")
 	serveWindows := flag.Int("serve-windows", 0, "with -serve: stop after this many windows (0 = run until signalled)")
 	serveConfig := flag.String("serve-config", "", "with -serve: JSON file re-read on SIGHUP (window_sec, samples, matrix, taggers, mem_ceiling_mb, sketch)")
@@ -120,6 +130,12 @@ func main() {
 	if err != nil {
 		logger.Error("building system", "err", err)
 		os.Exit(1)
+	}
+
+	if *fleetAgent {
+		runFleetAgent(sys, *fleetAgentID, *fleetAgentCount, *fleetAgentInc,
+			*fleetAgentConnect, *agentFaults, logger)
+		return
 	}
 
 	if *metricsAddr != "" {
@@ -241,6 +257,21 @@ func main() {
 		did = true
 	}
 	if *fleet {
+		if *distributed > 0 {
+			gaps, err := sys.CollectFleetDistributed(*distributed,
+				fleetAgentArgs(cfg, *distributed, *agentFaults))
+			if err != nil {
+				logger.Error("distributed fleet collection failed", "err", err)
+				os.Exit(1)
+			}
+			if len(gaps) > 0 {
+				cells := 0
+				for _, g := range gaps {
+					cells += g.Cells
+				}
+				logger.Warn("distributed collection has coverage gaps", "gaps", len(gaps), "cells", cells)
+			}
+		}
 		fmt.Print(sys.Table3().Render())
 		fmt.Println()
 		fmt.Print(sys.Section41().Render())
@@ -296,6 +327,61 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("wrote run manifest", "path", *manifestPath)
+	}
+}
+
+// runFleetAgent is the hidden -fleet-agent branch of the -distributed
+// re-exec: dial the aggregator, stream this shard range, and exit with
+// core.AgentCrashExitCode when the seed-planned crash point is reached
+// so the parent restarts the next incarnation.
+func runFleetAgent(sys *core.System, id, agents, incarnation int, connect string, faults bool, logger *slog.Logger) {
+	crashAfter := int64(-1)
+	if faults {
+		if plan := sys.PlanAgentCrash(agents); plan.Agent == id && incarnation == 0 {
+			crashAfter = plan.AfterTask
+		}
+	}
+	conn, err := core.DialFleetAgent("unix", connect, 10*time.Second)
+	if err != nil {
+		logger.Error("fleet agent dialing aggregator", "agent", id, "err", err)
+		os.Exit(1)
+	}
+	err = sys.RunFleetAgent(id, agents, uint32(incarnation), conn, crashAfter)
+	conn.Close()
+	if errors.Is(err, core.ErrPlannedCrash) {
+		os.Exit(core.AgentCrashExitCode)
+	}
+	if err != nil {
+		logger.Error("fleet agent failed", "agent", id, "err", err)
+		os.Exit(1)
+	}
+}
+
+// fleetAgentArgs builds the re-exec argument list reproducing this
+// process's fleet configuration for one agent incarnation.
+func fleetAgentArgs(cfg core.Config, agents int, faults bool) func(addr string, id, inc int) []string {
+	return func(addr string, id, inc int) []string {
+		args := []string{
+			"-fleet-agent",
+			"-fleet-agent-id", strconv.Itoa(id),
+			"-fleet-agent-inc", strconv.Itoa(inc),
+			"-fleet-agent-connect", addr,
+			"-fleet-agent-count", strconv.Itoa(agents),
+			"-scale", cfg.Scale.String(),
+			"-seed", strconv.FormatUint(cfg.Seed, 10),
+			"-windows", strconv.Itoa(cfg.FleetWindows),
+			"-quiet",
+		}
+		if cfg.FleetMatrix {
+			args = append(args, "-matrix")
+		}
+		if cfg.SketchMode {
+			args = append(args, "-sketch")
+		}
+		if faults {
+			args = append(args, "-agent-faults")
+		}
+		return args
 	}
 }
 

@@ -19,11 +19,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/netsim"
@@ -51,6 +54,13 @@ func main() {
 	long := flag.Int("long", 60, "long (flow analyses) trace seconds")
 	only := flag.String("only", "", "run a single experiment (e.g. table3, figure12, ablations, faults)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable summary instead of rendered tables")
+	distributed := flag.Int("distributed", 0, "collect the fleet dataset through this many local agent processes streaming binary partials to an in-process aggregator (0 = in-process collection)")
+	agentFaults := flag.Bool("agent-faults", false, "with -distributed: kill one agent at its seed-planned crash point and restart it, recording the coverage gap")
+	fleetAgent := flag.Bool("fleet-agent", false, "internal: run as one fleet shard agent (set by -distributed re-exec)")
+	fleetAgentID := flag.Int("fleet-agent-id", 0, "internal: agent id")
+	fleetAgentInc := flag.Int("fleet-agent-inc", 0, "internal: agent incarnation")
+	fleetAgentConnect := flag.String("fleet-agent-connect", "", "internal: aggregator socket path")
+	fleetAgentCount := flag.Int("fleet-agent-count", 0, "internal: total agent count")
 	parallel := flag.Int("parallel", 0, "worker goroutines for dataset generation (0 = GOMAXPROCS); results are identical at any value")
 	sketchMode := flag.Bool("sketch", false, "replace exact heavy-hitter tables with bounded-memory sketches and add HLL distinct counts to fleet collection")
 	faults := flag.String("faults", "", fmt.Sprintf("fault scenario for the degraded-mode section and summary (%s)",
@@ -109,6 +119,29 @@ func main() {
 	if err != nil {
 		logger.Error("building system", "err", err)
 		os.Exit(1)
+	}
+
+	if *fleetAgent {
+		// The hidden -distributed re-exec branch: stream one shard range
+		// and exit before any experiment (or manifest) output.
+		runFleetAgent(sys, *fleetAgentID, *fleetAgentCount, *fleetAgentInc,
+			*fleetAgentConnect, *agentFaults, logger)
+		return
+	}
+	if *distributed > 0 {
+		gaps, err := sys.CollectFleetDistributed(*distributed,
+			fleetAgentArgs(cfg, *distributed, *agentFaults))
+		if err != nil {
+			logger.Error("distributed fleet collection failed", "err", err)
+			os.Exit(1)
+		}
+		if len(gaps) > 0 {
+			cells := 0
+			for _, g := range gaps {
+				cells += g.Cells
+			}
+			logger.Warn("distributed collection has coverage gaps", "gaps", len(gaps), "cells", cells)
+		}
 	}
 
 	if *metricsAddr != "" {
@@ -182,6 +215,61 @@ func writePaths(path string, sys *core.System) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runFleetAgent is the hidden -fleet-agent branch of the -distributed
+// re-exec: dial the aggregator, stream this shard range, and exit with
+// core.AgentCrashExitCode when the seed-planned crash point is reached
+// so the parent restarts the next incarnation.
+func runFleetAgent(sys *core.System, id, agents, incarnation int, connect string, faults bool, logger *slog.Logger) {
+	crashAfter := int64(-1)
+	if faults {
+		if plan := sys.PlanAgentCrash(agents); plan.Agent == id && incarnation == 0 {
+			crashAfter = plan.AfterTask
+		}
+	}
+	conn, err := core.DialFleetAgent("unix", connect, 10*time.Second)
+	if err != nil {
+		logger.Error("fleet agent dialing aggregator", "agent", id, "err", err)
+		os.Exit(1)
+	}
+	err = sys.RunFleetAgent(id, agents, uint32(incarnation), conn, crashAfter)
+	conn.Close()
+	if errors.Is(err, core.ErrPlannedCrash) {
+		os.Exit(core.AgentCrashExitCode)
+	}
+	if err != nil {
+		logger.Error("fleet agent failed", "agent", id, "err", err)
+		os.Exit(1)
+	}
+}
+
+// fleetAgentArgs builds the re-exec argument list reproducing this
+// process's fleet configuration for one agent incarnation.
+func fleetAgentArgs(cfg core.Config, agents int, faults bool) func(addr string, id, inc int) []string {
+	return func(addr string, id, inc int) []string {
+		args := []string{
+			"-fleet-agent",
+			"-fleet-agent-id", strconv.Itoa(id),
+			"-fleet-agent-inc", strconv.Itoa(inc),
+			"-fleet-agent-connect", addr,
+			"-fleet-agent-count", strconv.Itoa(agents),
+			"-scale", cfg.Scale.String(),
+			"-seed", strconv.FormatUint(cfg.Seed, 10),
+			"-windows", strconv.Itoa(cfg.FleetWindows),
+			"-quiet",
+		}
+		if cfg.FleetMatrix {
+			args = append(args, "-matrix")
+		}
+		if cfg.SketchMode {
+			args = append(args, "-sketch")
+		}
+		if faults {
+			args = append(args, "-agent-faults")
+		}
+		return args
+	}
 }
 
 // validScenario rejects unknown -faults values before any work happens.

@@ -183,6 +183,7 @@ type System struct {
 	bundles   map[bundleKey]*bundleSlot
 	fleetOnce sync.Once
 	fleet     *fbflow.Dataset
+	fleetGaps []CoverageGap
 
 	// Degraded-mode (fault injection) memos: the shared workload headers,
 	// their offered totals, the healthy baseline arm, and the configured

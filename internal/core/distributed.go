@@ -1,0 +1,818 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/fbwire"
+	"fbdcnet/internal/obs"
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/services"
+)
+
+// Distributed fleet collection: the production shape of the paper's
+// Fbflow pipeline. N agent processes each own a contiguous range of the
+// (window × shard) task grid's shard axis, run sampling and partial
+// accumulation locally, and stream binary partial frames to one
+// aggregator that merges them at the global task-order frontier.
+//
+// The determinism contract is the same as the in-process engine's:
+// every (window, shard) cell draws from an rng stream keyed by its own
+// coordinates, and partials merge in global task order — window-major,
+// shard within window — so the aggregated dataset is bit-identical to
+// the single-process run at any agent count. Agents overlap comms with
+// compute by double-buffering partials (window W+1 accumulates while W
+// encodes and sends), and the aggregator merges frames as they arrive
+// rather than barriering per window, parking out-of-order cells exactly
+// like collectFleet parks out-of-order workers.
+
+// AgentCrashExitCode is the exit status of an agent that dies at its
+// planned crash point. The spawner restarts exactly this status with an
+// incremented incarnation; anything else is a real failure.
+const AgentCrashExitCode = 3
+
+// ErrPlannedCrash is returned by RunFleetAgent when the agent reaches
+// its planned crash task. The hosting process should exit with
+// AgentCrashExitCode.
+var ErrPlannedCrash = errors.New("core: fleet agent reached its planned crash point")
+
+// ShardRange is one agent's contiguous range [Lo, Hi) of per-window
+// shard indices.
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// Span returns the number of shards the range owns.
+func (r ShardRange) Span() int { return r.Hi - r.Lo }
+
+// fleetShardsPerWindow returns the shard-axis width of the task grid —
+// a pure function of topology size and collection mode, never of the
+// agent or worker count.
+func (s *System) fleetShardsPerWindow() int {
+	n, width := s.Topo.NumHosts(), fleetShardHosts
+	if s.Cfg.FleetMatrix {
+		n, width = len(s.Topo.Racks), fleetMatrixShardRacks
+	}
+	return (n + width - 1) / width
+}
+
+// FleetShardMap splits the shard axis into one contiguous range per
+// agent. Trailing agents may own empty ranges when there are more
+// agents than shards; they still handshake and FIN so the aggregator's
+// accounting stays uniform.
+func (s *System) FleetShardMap(agents int) []ShardRange {
+	spw := s.fleetShardsPerWindow()
+	m := make([]ShardRange, agents)
+	for a := 0; a < agents; a++ {
+		m[a] = ShardRange{Lo: a * spw / agents, Hi: (a + 1) * spw / agents}
+	}
+	return m
+}
+
+// fleetConfigCheck fingerprints every configuration field that shapes
+// the task grid or its rng streams. Agent and aggregator exchange it in
+// HELLO: a mismatch means the processes would silently compute
+// different datasets, so the handshake fails instead.
+func (s *System) fleetConfigCheck() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	mix(s.Cfg.Seed)
+	mix(uint64(s.Cfg.Scale))
+	mix(uint64(s.Cfg.FleetWindows))
+	mix(math.Float64bits(s.Cfg.FleetWindowSec))
+	mix(uint64(s.Cfg.FleetSamples))
+	mix(b2u(s.Cfg.FleetMatrix))
+	mix(b2u(s.Cfg.SketchMode))
+	mix(uint64(s.fleetShardsPerWindow()))
+	return h
+}
+
+// agentTask maps an agent-local task index to its grid cell. Agent
+// streams are window-major within the agent's shard range, so resuming
+// at a window boundary is resuming at a multiple of the span.
+func agentTask(rg ShardRange, t uint64) (window, shard int) {
+	span := uint64(rg.Span())
+	return int(t / span), rg.Lo + int(t%span)
+}
+
+// RunFleetAgent runs one agent over an established aggregator
+// connection: handshake, then compute-and-stream every cell of this
+// agent's shard range from the aggregator's resume point. crashAfter,
+// when >= 0, is the agent-local task index after whose frame the agent
+// abandons the run with ErrPlannedCrash — the deterministic stand-in
+// for an agent host dying mid-window.
+//
+// Compute and comms overlap: a sender goroutine owns the socket while
+// the main loop accumulates the next cell into a second (and third)
+// pooled partial, so the steady state keeps both the CPU and the wire
+// busy without any per-window barrier.
+func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.ReadWriter, crashAfter int64) error {
+	if agentID < 0 || agentID >= agents {
+		return fmt.Errorf("core: agent id %d outside [0, %d)", agentID, agents)
+	}
+	rg := s.FleetShardMap(agents)[agentID]
+	span := rg.Span()
+	expected := uint64(span * s.Cfg.FleetWindows)
+
+	w := fbwire.NewWriter(conn)
+	r := fbwire.NewReader(conn)
+	if err := w.WriteHello(fbwire.Hello{
+		Version:     fbwire.Version,
+		AgentID:     uint32(agentID),
+		Incarnation: incarnation,
+		ShardLo:     uint32(rg.Lo),
+		ShardHi:     uint32(rg.Hi),
+		Windows:     uint32(s.Cfg.FleetWindows),
+		Check:       s.fleetConfigCheck(),
+	}); err != nil {
+		return fmt.Errorf("core: agent %d hello: %w", agentID, err)
+	}
+	f, err := r.Next()
+	if err != nil {
+		return fmt.Errorf("core: agent %d awaiting welcome: %w", agentID, err)
+	}
+	if f.Type != fbwire.TypeWelcome {
+		return fmt.Errorf("core: agent %d expected welcome, got frame type %#x", agentID, f.Type)
+	}
+	resume, err := fbwire.ParseWelcome(f.Payload)
+	if err != nil {
+		return err
+	}
+	if resume > expected {
+		return fmt.Errorf("core: agent %d told to resume at task %d of %d", agentID, resume, expected)
+	}
+
+	reg := s.Cfg.Obs
+	sp := reg.StartSpan(fmt.Sprintf("fleet-agent-%d", agentID))
+	defer sp.End()
+
+	tagger := fbflow.NewTagger(s.Topo)
+	var prog *services.FleetProgram
+	var mprog *services.MatrixProgram
+	var mat *services.DemandMatrix
+	if s.Cfg.FleetMatrix {
+		mprog = services.NewMatrixProgram(s.Pick, s.Cfg.Params)
+		mat = services.NewDemandMatrix()
+	} else {
+		prog = services.NewFleetProgram(s.Pick, s.Cfg.Params)
+	}
+
+	// Double buffer: the main loop computes into one partial while the
+	// sender encodes and flushes the previous one. A third partial in the
+	// free pool absorbs the jitter between the two.
+	newPartial := func() *fbflow.Partial {
+		p := fbflow.NewPartial()
+		if s.Cfg.SketchMode {
+			p.EnableCardinality()
+		}
+		return p
+	}
+	type job struct {
+		seq uint64
+		p   *fbflow.Partial
+	}
+	free := make(chan *fbflow.Partial, 3)
+	free <- newPartial()
+	free <- newPartial()
+	free <- newPartial()
+	jobs := make(chan job, 1)
+	sendRes := make(chan error, 1)
+	go func() {
+		for j := range jobs {
+			window, shard := agentTask(rg, j.seq)
+			err := w.WritePartial(fbwire.PartialHeader{Seq: j.seq, Window: uint32(window), Shard: uint32(shard)}, j.p)
+			j.p.Reset()
+			free <- j.p
+			if err != nil {
+				sendRes <- err
+				return
+			}
+			if crashAfter >= 0 && j.seq == uint64(crashAfter) {
+				sendRes <- ErrPlannedCrash
+				return
+			}
+		}
+		sendRes <- nil
+	}()
+
+	drain := func(err error) error {
+		close(jobs)
+		if serr := <-sendRes; err == nil {
+			err = serr
+		}
+		return err
+	}
+	sh := reg.NewShard()
+	for t := resume; t < expected; t++ {
+		var p *fbflow.Partial
+		select {
+		case p = <-free:
+		case serr := <-sendRes:
+			// The sender died (socket error or planned crash): stop
+			// computing and surface its verdict.
+			close(jobs)
+			return serr
+		}
+		window, shard := agentTask(rg, t)
+		task := fleetTask{window: window, shard: shard, lo: shard * fleetShardHosts, hi: min((shard+1)*fleetShardHosts, s.Topo.NumHosts())}
+		if s.Cfg.FleetMatrix {
+			task.lo = shard * fleetMatrixShardRacks
+			task.hi = min(task.lo+fleetMatrixShardRacks, len(s.Topo.Racks))
+			s.collectMatrixShard(tagger, mprog, task, mat, p, sh)
+		} else {
+			s.collectShard(tagger, prog, task, p, sh)
+		}
+		sh.Fold()
+		select {
+		case jobs <- job{seq: t, p: p}:
+		case serr := <-sendRes:
+			return serr
+		}
+	}
+	if err := drain(nil); err != nil {
+		return err
+	}
+	if err := w.WriteFin(expected - resume); err != nil {
+		return fmt.Errorf("core: agent %d fin: %w", agentID, err)
+	}
+	reg.SetGauge(fmt.Sprintf("fbdcnet_agent_%d_tx_bytes", agentID), float64(w.BytesWritten()))
+	return nil
+}
+
+// CoverageGap is one contiguous run of task cells the aggregator never
+// received — an agent died mid-window and the restart resumed at the
+// next window boundary, or an agent never came back at all. Gaps are
+// the distributed analogue of lost-forever bytes: accounted, not
+// silently absorbed.
+type CoverageGap struct {
+	Agent   int `json:"agent"`
+	Window  int `json:"window"`
+	ShardLo int `json:"shard_lo"` // global shard ids [ShardLo, ShardHi)
+	ShardHi int `json:"shard_hi"`
+	Cells   int `json:"cells"`
+}
+
+// fleetAggregator is the shared state of one aggregation run.
+type fleetAggregator struct {
+	s      *System
+	agents int
+	shards []ShardRange
+	spw    int
+	cells  int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	parked    []*fbflow.Partial
+	gapped    []bool
+	merged    []bool
+	next      int
+	ds        *fbflow.Dataset
+	pool      sync.Pool
+	received  []uint64 // agent-task credit, gapped cells included
+	expected  []uint64
+	fin       []bool
+	connected []bool
+	lastInc   []int64
+	lastSeen  []time.Time
+	gaps      []CoverageGap
+	err       error
+}
+
+// ServeFleetAggregator accepts agent connections on ln and merges their
+// partial streams into one dataset at the global task-order frontier.
+// It returns when every agent has delivered its full shard range or has
+// been gapped out after reconnectWait without a live connection. The
+// returned gaps are sorted in task order, so gap accounting is as
+// deterministic as the dataset itself.
+func (s *System) ServeFleetAggregator(ln net.Listener, agents int, reconnectWait time.Duration) (*fbflow.Dataset, []CoverageGap, error) {
+	if agents < 1 {
+		return nil, nil, fmt.Errorf("core: aggregator needs at least one agent")
+	}
+	if reconnectWait <= 0 {
+		reconnectWait = 10 * time.Second
+	}
+	spw := s.fleetShardsPerWindow()
+	ag := &fleetAggregator{
+		s:         s,
+		agents:    agents,
+		shards:    s.FleetShardMap(agents),
+		spw:       spw,
+		cells:     spw * s.Cfg.FleetWindows,
+		ds:        fbflow.NewDataset(),
+		received:  make([]uint64, agents),
+		expected:  make([]uint64, agents),
+		fin:       make([]bool, agents),
+		connected: make([]bool, agents),
+		lastInc:   make([]int64, agents),
+		lastSeen:  make([]time.Time, agents),
+	}
+	ag.cond = sync.NewCond(&ag.mu)
+	ag.parked = make([]*fbflow.Partial, ag.cells)
+	ag.gapped = make([]bool, ag.cells)
+	ag.merged = make([]bool, ag.cells)
+	ag.pool.New = func() any { return fbflow.NewPartial() }
+	now := time.Now()
+	for a := 0; a < agents; a++ {
+		ag.expected[a] = uint64(ag.shards[a].Span() * s.Cfg.FleetWindows)
+		ag.lastInc[a] = -1
+		ag.lastSeen[a] = now
+	}
+
+	reg := s.Cfg.Obs
+	sp := reg.StartSpan("fleet-aggregate")
+	defer sp.End()
+	winProg := reg.NewProgress("fleet-windows", int64(s.Cfg.FleetWindows))
+
+	// Accept loop: runs until the listener closes. Each connection is
+	// one agent incarnation.
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ag.handleConn(conn, winProg)
+			}()
+		}
+	}()
+
+	err := ag.wait(reconnectWait)
+	ln.Close()
+	wg.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(ag.gaps, func(i, j int) bool {
+		a, b := ag.gaps[i], ag.gaps[j]
+		if a.Window != b.Window {
+			return a.Window < b.Window
+		}
+		return a.ShardLo < b.ShardLo
+	})
+	if reg.Enabled() {
+		winProg.Set(int64(s.Cfg.FleetWindows))
+		gapCells := 0
+		for _, g := range ag.gaps {
+			gapCells += g.Cells
+		}
+		reg.SetGauge("fbdcnet_fleet_gap_cells", float64(gapCells))
+	}
+	return ag.ds, ag.gaps, nil
+}
+
+// wait blocks until every agent is finished or the run fails, tail-
+// gapping agents that stay disconnected longer than reconnectWait.
+func (ag *fleetAggregator) wait(reconnectWait time.Duration) error {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for range tick.C {
+		ag.mu.Lock()
+		if ag.err != nil {
+			err := ag.err
+			ag.mu.Unlock()
+			return err
+		}
+		doneAll := true
+		now := time.Now()
+		for a := 0; a < ag.agents; a++ {
+			if ag.fin[a] {
+				continue
+			}
+			if !ag.connected[a] && now.Sub(ag.lastSeen[a]) > reconnectWait {
+				// The agent is not coming back: its remaining cells are
+				// lost forever. Account them and finish its ledger.
+				ag.markGaps(a, ag.received[a], ag.expected[a])
+				ag.received[a] = ag.expected[a]
+				ag.fin[a] = true
+				ag.cond.Broadcast()
+				continue
+			}
+			doneAll = false
+		}
+		ag.mu.Unlock()
+		if doneAll {
+			return nil
+		}
+	}
+	return nil
+}
+
+// handleConn runs one agent incarnation's session.
+func (ag *fleetAggregator) handleConn(conn net.Conn, winProg *obs.Progress) {
+	defer conn.Close()
+	reg := ag.s.Cfg.Obs
+	r := fbwire.NewReader(conn)
+	w := fbwire.NewWriter(conn)
+
+	f, err := r.Next()
+	if err != nil || f.Type != fbwire.TypeHello {
+		return // never identified itself; nothing to account
+	}
+	h, err := fbwire.ParseHello(f.Payload)
+	if err != nil {
+		ag.fail(fmt.Errorf("core: aggregator: bad hello: %w", err))
+		return
+	}
+	a := int(h.AgentID)
+
+	ag.mu.Lock()
+	if a >= ag.agents {
+		ag.failLocked(fmt.Errorf("core: aggregator: agent id %d outside fleet of %d", a, ag.agents))
+		ag.mu.Unlock()
+		return
+	}
+	rg := ag.shards[a]
+	if h.Check != ag.s.fleetConfigCheck() || int(h.ShardLo) != rg.Lo || int(h.ShardHi) != rg.Hi || int(h.Windows) != ag.s.Cfg.FleetWindows {
+		ag.failLocked(fmt.Errorf("core: aggregator: agent %d handshake mismatch (shards [%d,%d) want [%d,%d), check %#x)",
+			a, h.ShardLo, h.ShardHi, rg.Lo, rg.Hi, h.Check))
+		ag.mu.Unlock()
+		return
+	}
+	// A restarted agent can dial before the previous connection's EOF is
+	// fully drained; wait for the old handler to retire so the resume
+	// point reflects every frame the dead incarnation delivered.
+	for ag.connected[a] && ag.err == nil {
+		ag.cond.Wait()
+	}
+	if ag.err != nil || ag.fin[a] {
+		ag.mu.Unlock()
+		return
+	}
+	if int64(h.Incarnation) <= ag.lastInc[a] {
+		ag.failLocked(fmt.Errorf("core: aggregator: agent %d replayed incarnation %d", a, h.Incarnation))
+		ag.mu.Unlock()
+		return
+	}
+	span := uint64(rg.Span())
+	if h.Incarnation > 0 && span > 0 && ag.received[a]%span != 0 {
+		// The previous incarnation died mid-window. Its window's rng
+		// stream cannot be partially replayed without double-counting, so
+		// the tail of that window is a coverage gap and the restart
+		// resumes at the next window boundary.
+		boundary := (ag.received[a]/span + 1) * span
+		ag.markGaps(a, ag.received[a], boundary)
+		ag.received[a] = boundary
+	}
+	ag.lastInc[a] = int64(h.Incarnation)
+	ag.connected[a] = true
+	ag.lastSeen[a] = time.Now()
+	resume := ag.received[a]
+	ag.mu.Unlock()
+
+	reg.AddGauge("fbdcnet_fleet_agents_connected", 1)
+	connStart := time.Now()
+	defer func() {
+		reg.AddGauge("fbdcnet_fleet_agents_connected", -1)
+		reg.RecordSpan(fmt.Sprintf("fleet-agent-conn-%d", a), time.Since(connStart))
+		reg.Count(obs.Series("fbdcnet_fleet_agent_rx_bytes_total", "agent", fmt.Sprint(a)), float64(r.BytesRead()))
+		ag.mu.Lock()
+		ag.connected[a] = false
+		ag.lastSeen[a] = time.Now()
+		ag.cond.Broadcast()
+		ag.mu.Unlock()
+	}()
+
+	if err := w.WriteWelcome(resume); err != nil {
+		return
+	}
+
+	p := ag.pool.Get().(*fbflow.Partial)
+	defer func() {
+		p.Reset()
+		ag.pool.Put(p)
+	}()
+	for {
+		f, err := r.Next()
+		if err != nil {
+			// Death (EOF, reset) mid-stream: the ledger keeps what
+			// arrived; a restart or the reconnect timeout settles the rest.
+			return
+		}
+		switch f.Type {
+		case fbwire.TypePartial:
+			ph, err := fbwire.DecodePartial(f.Payload, p)
+			if err != nil {
+				ag.fail(fmt.Errorf("core: aggregator: agent %d frame: %w", a, err))
+				return
+			}
+			ag.mu.Lock()
+			if ph.Seq != ag.received[a] {
+				ag.failLocked(fmt.Errorf("core: aggregator: agent %d sent task %d, expected %d", a, ph.Seq, ag.received[a]))
+				ag.mu.Unlock()
+				return
+			}
+			window, shard := agentTask(rg, ph.Seq)
+			if int(ph.Window) != window || int(ph.Shard) != shard {
+				ag.failLocked(fmt.Errorf("core: aggregator: agent %d task %d labeled (%d,%d), want (%d,%d)",
+					a, ph.Seq, ph.Window, ph.Shard, window, shard))
+				ag.mu.Unlock()
+				return
+			}
+			cell := window*ag.spw + shard
+			ag.parked[cell] = p
+			ag.received[a]++
+			ag.advanceLocked(winProg)
+			// Whether the frontier consumed the cell or it stays parked,
+			// the partial no longer belongs to this handler.
+			p = ag.pool.Get().(*fbflow.Partial)
+			ag.mu.Unlock()
+		case fbwire.TypeFin:
+			sent, err := fbwire.ParseFin(f.Payload)
+			ag.mu.Lock()
+			if err != nil || ag.received[a] != ag.expected[a] {
+				ag.failLocked(fmt.Errorf("core: aggregator: agent %d fin at %d of %d tasks (sent %d, err %v)",
+					a, ag.received[a], ag.expected[a], sent, err))
+				ag.mu.Unlock()
+				return
+			}
+			ag.fin[a] = true
+			ag.cond.Broadcast()
+			ag.mu.Unlock()
+			return
+		default:
+			ag.fail(fmt.Errorf("core: aggregator: agent %d sent unexpected frame type %#x", a, f.Type))
+			return
+		}
+	}
+}
+
+// advanceLocked merges every cell the task-order frontier can reach:
+// parked cells merge (and their partials return to the pool), gapped
+// cells skip. Caller holds ag.mu.
+func (ag *fleetAggregator) advanceLocked(winProg *obs.Progress) {
+	moved := false
+	for ag.next < ag.cells {
+		if q := ag.parked[ag.next]; q != nil {
+			ag.parked[ag.next] = nil
+			ag.ds.MergePartial(q)
+			q.Reset()
+			ag.pool.Put(q)
+			ag.merged[ag.next] = true
+		} else if !ag.gapped[ag.next] {
+			break
+		}
+		ag.next++
+		moved = true
+	}
+	if moved && ag.spw > 0 {
+		winProg.Set(int64(ag.next / ag.spw))
+	}
+}
+
+// markGaps accounts agent tasks [from, to) as coverage gaps, grouped
+// into one contiguous run per window. Caller holds ag.mu.
+func (ag *fleetAggregator) markGaps(a int, from, to uint64) {
+	rg := ag.shards[a]
+	for t := from; t < to; {
+		window, shard := agentTask(rg, t)
+		runEnd := uint64(window+1) * uint64(rg.Span())
+		if runEnd > to {
+			runEnd = to
+		}
+		n := int(runEnd - t)
+		ag.gaps = append(ag.gaps, CoverageGap{
+			Agent: a, Window: window, ShardLo: shard, ShardHi: shard + n, Cells: n,
+		})
+		for c := 0; c < n; c++ {
+			ag.gapped[window*ag.spw+shard+c] = true
+		}
+		t = runEnd
+	}
+	ag.advanceLocked(nil)
+}
+
+// fail records the first fatal protocol error; the waiter surfaces it.
+func (ag *fleetAggregator) fail(err error) {
+	ag.mu.Lock()
+	ag.failLocked(err)
+	ag.mu.Unlock()
+}
+
+func (ag *fleetAggregator) failLocked(err error) {
+	if ag.err == nil {
+		ag.err = err
+	}
+	ag.cond.Broadcast()
+}
+
+// AgentCrashPlan schedules one deterministic agent death: the victim
+// exits (status AgentCrashExitCode) right after streaming its
+// AfterTask-th task, and the spawner restarts it with the next
+// incarnation.
+type AgentCrashPlan struct {
+	Agent     int
+	AfterTask int64
+}
+
+// PlanAgentCrash derives the crash schedule from the seed, like every
+// other fault in the repo: the victim and its death point are a pure
+// function of (Seed, agents), so two runs of the same configuration
+// crash — and gap — identically. The death lands mid-window whenever
+// the victim owns more than one shard, which is what forces a real
+// coverage gap rather than a clean boundary handoff.
+func (s *System) PlanAgentCrash(agents int) AgentCrashPlan {
+	m := s.FleetShardMap(agents)
+	var owners []int
+	for a, rg := range m {
+		if rg.Span() > 0 {
+			owners = append(owners, a)
+		}
+	}
+	r := rng.NewKeyed(s.Cfg.Seed^0xc4a54, uint64(agents))
+	victim := owners[r.Intn(len(owners))]
+	span := m[victim].Span()
+	off := 0
+	if span > 1 {
+		off = r.Intn(span - 1) // not the last shard of the window: forces a gap
+	}
+	window := s.Cfg.FleetWindows / 2
+	return AgentCrashPlan{Agent: victim, AfterTask: int64(window*span + off)}
+}
+
+// DialFleetAgent dials the aggregator with retry until timeout — agents
+// race the aggregator's listener at process startup.
+func DialFleetAgent(network, addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial(network, addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("core: dialing aggregator %s %s: %w", network, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// AgentSpawner launches one agent process incarnation. The command must
+// run an agent that dials the aggregator and exits zero on FIN,
+// AgentCrashExitCode at a planned crash, and anything else on failure.
+type AgentSpawner func(agentID, incarnation int) (*exec.Cmd, error)
+
+// RunDistributedFleet is the local multi-process driver: it listens on
+// (network, addr), spawns one agent process per shard-map entry through
+// spawn — restarting planned-crash exits with a bumped incarnation —
+// and aggregates their streams. It returns the merged dataset and the
+// coverage gaps (empty for a clean run).
+func (s *System) RunDistributedFleet(network, addr string, agents int, spawn AgentSpawner, reconnectWait time.Duration) (*fbflow.Dataset, []CoverageGap, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	spawnErrs := make(chan error, agents)
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for inc := 0; ; inc++ {
+				cmd, err := spawn(a, inc)
+				if err != nil {
+					spawnErrs <- fmt.Errorf("core: spawning agent %d: %w", a, err)
+					return
+				}
+				err = cmd.Run()
+				if err == nil {
+					return
+				}
+				var ee *exec.ExitError
+				if errors.As(err, &ee) && ee.ExitCode() == AgentCrashExitCode {
+					continue // planned crash: restart as the next incarnation
+				}
+				spawnErrs <- fmt.Errorf("core: agent %d process: %w", a, err)
+				return
+			}
+		}(a)
+	}
+	ds, gaps, aggErr := s.ServeFleetAggregator(ln, agents, reconnectWait)
+	ln.Close()
+	wg.Wait()
+	close(spawnErrs)
+	for e := range spawnErrs {
+		if aggErr == nil {
+			aggErr = e
+		}
+	}
+	if aggErr != nil {
+		return nil, nil, aggErr
+	}
+	return ds, gaps, nil
+}
+
+// ParseListenSpec splits an address spec into (network, address):
+// "unix:/path" and "tcp:host:port" are explicit; a bare path is a unix
+// socket, anything else with a colon is TCP.
+func ParseListenSpec(spec string) (network, addr string) {
+	switch {
+	case strings.HasPrefix(spec, "unix:"):
+		return "unix", spec[len("unix:"):]
+	case strings.HasPrefix(spec, "tcp:"):
+		return "tcp", spec[len("tcp:"):]
+	case strings.Contains(spec, ":"):
+		return "tcp", spec
+	default:
+		return "unix", spec
+	}
+}
+
+// SelfExecSpawner returns an AgentSpawner that re-runs the current
+// executable with args(agentID, incarnation). Agent stderr passes
+// through for diagnostics; stdout is discarded so agents cannot pollute
+// the aggregator's dataset output.
+func SelfExecSpawner(args func(agentID, incarnation int) []string) (AgentSpawner, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("core: resolving own executable: %w", err)
+	}
+	return func(a, inc int) (*exec.Cmd, error) {
+		cmd := exec.Command(exe, args(a, inc)...)
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}, nil
+}
+
+// CollectFleetDistributed runs this System's fleet collection across
+// `agents` self-exec agent processes over a unix socket in a private
+// temp directory, injects the aggregate as the System's fleet dataset,
+// and returns the coverage gaps (empty for a clean run). args builds
+// the child process's argument list; it receives the socket path.
+func (s *System) CollectFleetDistributed(agents int, args func(addr string, agentID, incarnation int) []string) ([]CoverageGap, error) {
+	dir, err := os.MkdirTemp("", "fbflow-agg-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	addr := filepath.Join(dir, "agg.sock")
+	spawn, err := SelfExecSpawner(func(a, inc int) []string { return args(addr, a, inc) })
+	if err != nil {
+		return nil, err
+	}
+	ds, gaps, err := s.RunDistributedFleet("unix", addr, agents, spawn, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !s.InjectFleetDataset(ds, gaps) {
+		return nil, fmt.Errorf("core: fleet dataset already collected before distributed run")
+	}
+	return gaps, nil
+}
+
+// fleetReferenceSkipping is the sequential oracle for gap runs: the
+// single-process collection with the given cells skipped at the merge.
+// The distributed dataset of a crashed run must equal it bit for bit.
+func (s *System) fleetReferenceSkipping(skip map[int]bool) *fbflow.Dataset {
+	tasks := s.fleetTasks()
+	tagger := fbflow.NewTagger(s.Topo)
+	ds := fbflow.NewDataset()
+	var prog *services.FleetProgram
+	var mprog *services.MatrixProgram
+	var mat *services.DemandMatrix
+	if s.Cfg.FleetMatrix {
+		mprog = services.NewMatrixProgram(s.Pick, s.Cfg.Params)
+		mat = services.NewDemandMatrix()
+	} else {
+		prog = services.NewFleetProgram(s.Pick, s.Cfg.Params)
+	}
+	p := fbflow.NewPartial()
+	if s.Cfg.SketchMode {
+		p.EnableCardinality()
+	}
+	for i, t := range tasks {
+		if skip[i] {
+			continue
+		}
+		p.Reset()
+		if s.Cfg.FleetMatrix {
+			s.collectMatrixShard(tagger, mprog, t, mat, p, nil)
+		} else {
+			s.collectShard(tagger, prog, t, p, nil)
+		}
+		ds.MergePartial(p)
+	}
+	return ds
+}

@@ -1,0 +1,279 @@
+// Package fbwire is the binary stream protocol between distributed fleet
+// agents and the fbflowd aggregator — the Scribe leg of the paper's
+// Fbflow pipeline (§3.3.1), reduced to what the reproduction needs: a
+// handshake, then length-prefixed partial frames in task order.
+//
+// A session over one connection looks like:
+//
+//	agent → HELLO   (agent identity, shard range, incarnation, config check)
+//	agent ← WELCOME (resume task index — 0 for a fresh run, later after a
+//	                 crash: the aggregator skips the died window's tail)
+//	agent → PARTIAL × n  (seq, window, shard, fbflow.Partial payload)
+//	agent → FIN     (frames sent, for accounting)
+//
+// PARTIAL frames carry the agent-local task sequence number and the
+// Reader enforces strict monotonicity, so a duplicated or replayed frame
+// fails in the decoder itself rather than corrupting aggregation state.
+// Every length and count is bounds-checked against hard caps: corrupt
+// input errors, it never panics and never drives an unbounded read.
+//
+// The codec is allocation-free in the steady state: Writer encodes into
+// one reusable buffer, Reader decodes frames into another, and the
+// Partial payload codec (fbflow.AppendBinary/DecodeBinary) reuses table
+// capacity across frames.
+package fbwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fbdcnet/internal/fbflow"
+)
+
+// Version identifies the protocol revision carried in HELLO.
+const Version = 1
+
+// Frame types.
+const (
+	TypeHello   = 0x01
+	TypeWelcome = 0x02
+	TypePartial = 0x03
+	TypeFin     = 0x04
+)
+
+// MaxFrameBytes caps one frame's payload: larger than any real window
+// partial (a full large-preset window encodes to a few MiB) but small
+// enough that a corrupt length prefix cannot drive an OOM allocation.
+const MaxFrameBytes = 1 << 28
+
+// helloWireLen is the fixed HELLO payload size after the type byte.
+const helloWireLen = 2 + 4*5 + 8
+
+// partialHeaderLen is the PARTIAL payload prefix before the fbflow bytes.
+const partialHeaderLen = 8 + 4 + 4
+
+// Hello is the agent's opening announcement.
+type Hello struct {
+	Version     uint16
+	AgentID     uint32
+	Incarnation uint32 // 0 for the first process, +1 per restart
+	ShardLo     uint32 // owned shard range [ShardLo, ShardHi)
+	ShardHi     uint32
+	Windows     uint32
+	Check       uint64 // config fingerprint; both sides must agree
+}
+
+// PartialHeader addresses one PARTIAL frame's cell.
+type PartialHeader struct {
+	Seq    uint64 // agent-local task index, strictly increasing
+	Window uint32
+	Shard  uint32
+}
+
+// Writer frames and writes the agent side of the protocol. Not safe for
+// concurrent use.
+type Writer struct {
+	w       *bufio.Writer
+	buf     []byte // reusable frame assembly buffer
+	written int64  // frame bytes written, for the comms-volume gauges
+}
+
+// NewWriter returns a Writer framing onto w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// BytesWritten returns the total frame bytes flushed so far.
+func (w *Writer) BytesWritten() int64 { return w.written }
+
+// begin starts a frame in the reusable buffer: a 4-byte length
+// placeholder, then the type byte.
+func (w *Writer) begin(frameType byte) []byte {
+	return append(w.buf[:0], 0, 0, 0, 0, frameType)
+}
+
+// flushFrame back-fills the length prefix and writes w.buf as one call.
+func (w *Writer) flushFrame() error {
+	n := len(w.buf) - 4 // type byte + payload
+	if n > MaxFrameBytes {
+		return fmt.Errorf("fbwire: frame of %d bytes exceeds cap %d", n, MaxFrameBytes)
+	}
+	binary.LittleEndian.PutUint32(w.buf, uint32(n))
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	w.written += int64(len(w.buf))
+	return w.w.Flush()
+}
+
+// WriteHello sends the opening HELLO frame.
+func (w *Writer) WriteHello(h Hello) error {
+	b := w.begin(TypeHello)
+	b = binary.LittleEndian.AppendUint16(b, h.Version)
+	b = binary.LittleEndian.AppendUint32(b, h.AgentID)
+	b = binary.LittleEndian.AppendUint32(b, h.Incarnation)
+	b = binary.LittleEndian.AppendUint32(b, h.ShardLo)
+	b = binary.LittleEndian.AppendUint32(b, h.ShardHi)
+	b = binary.LittleEndian.AppendUint32(b, h.Windows)
+	b = binary.LittleEndian.AppendUint64(b, h.Check)
+	w.buf = b
+	return w.flushFrame()
+}
+
+// WriteWelcome sends the aggregator's WELCOME reply: the task index the
+// agent must resume from.
+func (w *Writer) WriteWelcome(resume uint64) error {
+	w.buf = binary.LittleEndian.AppendUint64(w.begin(TypeWelcome), resume)
+	return w.flushFrame()
+}
+
+// WritePartial sends one cell's partial. The encode reuses the writer's
+// buffer, so the steady state allocates nothing.
+func (w *Writer) WritePartial(h PartialHeader, p *fbflow.Partial) error {
+	b := w.begin(TypePartial)
+	b = binary.LittleEndian.AppendUint64(b, h.Seq)
+	b = binary.LittleEndian.AppendUint32(b, h.Window)
+	b = binary.LittleEndian.AppendUint32(b, h.Shard)
+	w.buf = p.AppendBinary(b)
+	return w.flushFrame()
+}
+
+// WriteFin sends the closing FIN frame carrying the number of PARTIAL
+// frames this incarnation sent.
+func (w *Writer) WriteFin(sent uint64) error {
+	w.buf = binary.LittleEndian.AppendUint64(w.begin(TypeFin), sent)
+	return w.flushFrame()
+}
+
+// Frame is one decoded frame. Payload aliases the Reader's internal
+// buffer and is valid only until the next call to Next.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// Reader reads and validates frames from one connection. Not safe for
+// concurrent use.
+type Reader struct {
+	r       *bufio.Reader
+	buf     []byte
+	pfx     [4]byte // length-prefix scratch; a field so ReadFull doesn't heap-escape it
+	read    int64
+	seenSeq bool
+	lastSeq uint64 // last PARTIAL seq, valid when seenSeq
+}
+
+// NewReader returns a Reader framing off r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// BytesRead returns the total frame bytes consumed so far.
+func (r *Reader) BytesRead() int64 { return r.read }
+
+// Next reads one frame. io.EOF is returned only at a clean frame
+// boundary; a partial frame yields io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.pfx[:1]); err != nil {
+		return Frame{}, err // clean EOF possible here only
+	}
+	if _, err := io.ReadFull(r.r, r.pfx[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := int(binary.LittleEndian.Uint32(r.pfx[:]))
+	if n < 1 {
+		return Frame{}, fmt.Errorf("fbwire: empty frame")
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("fbwire: frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n, n+n/2)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	r.read += int64(4 + n)
+	f := Frame{Type: r.buf[0], Payload: r.buf[1:]}
+	switch f.Type {
+	case TypeHello, TypeWelcome, TypePartial, TypeFin:
+	default:
+		return Frame{}, fmt.Errorf("fbwire: unknown frame type %#x", f.Type)
+	}
+	if f.Type == TypePartial {
+		if len(f.Payload) < partialHeaderLen {
+			return Frame{}, fmt.Errorf("fbwire: partial frame header truncated (%d bytes)", len(f.Payload))
+		}
+		seq := binary.LittleEndian.Uint64(f.Payload)
+		if r.seenSeq && seq <= r.lastSeq {
+			return Frame{}, fmt.Errorf("fbwire: partial frame seq %d duplicates or reorders (last %d)", seq, r.lastSeq)
+		}
+		r.seenSeq, r.lastSeq = true, seq
+	}
+	return f, nil
+}
+
+// ParseHello decodes a HELLO payload.
+func ParseHello(payload []byte) (Hello, error) {
+	if len(payload) != helloWireLen {
+		return Hello{}, fmt.Errorf("fbwire: hello payload is %d bytes, want %d", len(payload), helloWireLen)
+	}
+	h := Hello{
+		Version:     binary.LittleEndian.Uint16(payload),
+		AgentID:     binary.LittleEndian.Uint32(payload[2:]),
+		Incarnation: binary.LittleEndian.Uint32(payload[6:]),
+		ShardLo:     binary.LittleEndian.Uint32(payload[10:]),
+		ShardHi:     binary.LittleEndian.Uint32(payload[14:]),
+		Windows:     binary.LittleEndian.Uint32(payload[18:]),
+		Check:       binary.LittleEndian.Uint64(payload[22:]),
+	}
+	if h.Version != Version {
+		return Hello{}, fmt.Errorf("fbwire: protocol version %d, want %d", h.Version, Version)
+	}
+	if h.ShardHi < h.ShardLo {
+		return Hello{}, fmt.Errorf("fbwire: hello shard range [%d, %d) is inverted", h.ShardLo, h.ShardHi)
+	}
+	return h, nil
+}
+
+// ParseWelcome decodes a WELCOME payload.
+func ParseWelcome(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("fbwire: welcome payload is %d bytes, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// ParseFin decodes a FIN payload.
+func ParseFin(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("fbwire: fin payload is %d bytes, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// DecodePartial decodes a PARTIAL payload's header and body into a
+// reusable Partial. The payload must come from a Frame of TypePartial.
+func DecodePartial(payload []byte, into *fbflow.Partial) (PartialHeader, error) {
+	if len(payload) < partialHeaderLen {
+		return PartialHeader{}, fmt.Errorf("fbwire: partial frame header truncated (%d bytes)", len(payload))
+	}
+	h := PartialHeader{
+		Seq:    binary.LittleEndian.Uint64(payload),
+		Window: binary.LittleEndian.Uint32(payload[8:]),
+		Shard:  binary.LittleEndian.Uint32(payload[12:]),
+	}
+	if err := into.DecodeBinary(payload[partialHeaderLen:]); err != nil {
+		return PartialHeader{}, err
+	}
+	return h, nil
+}

@@ -1,0 +1,296 @@
+package fbwire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// fillPartial accumulates a deterministic record stream into p so frames
+// under test carry realistic columnar payloads.
+func fillPartial(tb testing.TB, p *fbflow.Partial, seed uint64, n int) {
+	tb.Helper()
+	topo := topology.MustBuild(topology.Preset(topology.ScaleTiny))
+	tagger := fbflow.NewTagger(topo)
+	r := rng.New(seed)
+	hosts := topo.NumHosts()
+	for i := 0; i < n; i++ {
+		src := topology.HostID(r.Intn(hosts))
+		dst := topology.HostID(r.Intn(hosts))
+		rec, ok := tagger.Flow(int64(i%7), topo.Addr(src), topo.Addr(dst), 40+r.Float64()*1e6)
+		if !ok {
+			tb.Fatalf("tagger rejected in-topology flow %d", i)
+		}
+		p.Add(rec)
+	}
+}
+
+// sessionBytes encodes a full agent session: HELLO, n PARTIAL frames, FIN.
+func sessionBytes(tb testing.TB, n int, card bool) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHello(Hello{Version: Version, AgentID: 2, Incarnation: 0, ShardLo: 4, ShardHi: 8, Windows: 6, Check: 0xfeedface}); err != nil {
+		tb.Fatal(err)
+	}
+	p := fbflow.NewPartial()
+	if card {
+		p.EnableCardinality()
+	}
+	for i := 0; i < n; i++ {
+		p.Reset()
+		fillPartial(tb, p, uint64(100+i), 512)
+		h := PartialHeader{Seq: uint64(i), Window: uint32(i / 4), Shard: uint32(4 + i%4)}
+		if err := w.WritePartial(h, p); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.WriteFin(uint64(n)); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	wire := sessionBytes(t, 6, true)
+	r := NewReader(bytes.NewReader(wire))
+
+	f, err := r.Next()
+	if err != nil || f.Type != TypeHello {
+		t.Fatalf("first frame: type %#x err %v", f.Type, err)
+	}
+	h, err := ParseHello(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.AgentID != 2 || h.ShardLo != 4 || h.ShardHi != 8 || h.Windows != 6 || h.Check != 0xfeedface {
+		t.Fatalf("hello round-trip: %+v", h)
+	}
+
+	into := fbflow.NewPartial()
+	want := fbflow.NewPartial()
+	want.EnableCardinality()
+	for i := 0; i < 6; i++ {
+		f, err := r.Next()
+		if err != nil || f.Type != TypePartial {
+			t.Fatalf("partial %d: type %#x err %v", i, f.Type, err)
+		}
+		ph, err := DecodePartial(f.Payload, into)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ph.Seq != uint64(i) || ph.Window != uint32(i/4) || ph.Shard != uint32(4+i%4) {
+			t.Fatalf("partial header %d round-trip: %+v", i, ph)
+		}
+		want.Reset()
+		fillPartial(t, want, uint64(100+i), 512)
+		// Byte-identical re-encode proves the payload (and its insertion
+		// order) survived framing intact.
+		if !bytes.Equal(into.AppendBinary(nil), want.AppendBinary(nil)) {
+			t.Fatalf("partial %d payload changed across the wire", i)
+		}
+	}
+
+	f, err = r.Next()
+	if err != nil || f.Type != TypeFin {
+		t.Fatalf("fin frame: type %#x err %v", f.Type, err)
+	}
+	sent, err := ParseFin(f.Payload)
+	if err != nil || sent != 6 {
+		t.Fatalf("fin: sent %d err %v", sent, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+	if r.BytesRead() != int64(len(wire)) {
+		t.Fatalf("BytesRead %d, wire %d", r.BytesRead(), len(wire))
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteWelcome(17); err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesWritten() != int64(buf.Len()) {
+		t.Fatalf("BytesWritten %d, buffer %d", w.BytesWritten(), buf.Len())
+	}
+	r := NewReader(&buf)
+	f, err := r.Next()
+	if err != nil || f.Type != TypeWelcome {
+		t.Fatalf("welcome frame: type %#x err %v", f.Type, err)
+	}
+	resume, err := ParseWelcome(f.Payload)
+	if err != nil || resume != 17 {
+		t.Fatalf("welcome: resume %d err %v", resume, err)
+	}
+}
+
+func TestReaderRejectsDuplicateSeq(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	p := fbflow.NewPartial()
+	fillPartial(t, p, 5, 64)
+	if err := w.WritePartial(PartialHeader{Seq: 3, Window: 0, Shard: 0}, p); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte{}, buf.Bytes()...)
+
+	// The same frame twice: the replay must error at the reader.
+	r := NewReader(bytes.NewReader(append(append([]byte{}, frame...), frame...)))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "duplicates") {
+		t.Fatalf("replayed frame got %v, want duplicate-seq error", err)
+	}
+
+	// A lower seq after a higher one must also error.
+	if err := w.WritePartial(PartialHeader{Seq: 1, Window: 0, Shard: 1}, p); err != nil {
+		t.Fatal(err)
+	}
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("reordered seq decoded cleanly")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	wire := sessionBytes(t, 2, false)
+
+	// Every truncation point must end in io.ErrUnexpectedEOF or a real
+	// error, never a panic or a clean EOF mid-frame.
+	for cut := 1; cut < len(wire); cut += 211 {
+		r := NewReader(bytes.NewReader(wire[:cut]))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if err == io.EOF && cut != len(wire) {
+			// A cut at a frame boundary legitimately reads as clean EOF.
+			ok := false
+			probe := NewReader(bytes.NewReader(wire[:cut]))
+			for {
+				if _, perr := probe.Next(); perr != nil {
+					ok = perr == io.EOF
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("cut at %d: clean EOF mid-frame", cut)
+			}
+		}
+	}
+
+	// A corrupt length prefix beyond the cap must error before allocating.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, TypeFin}
+	if _, err := NewReader(bytes.NewReader(huge)).Next(); err == nil {
+		t.Fatal("oversized frame length decoded cleanly")
+	}
+	// A zero-length frame is invalid: every frame has a type byte.
+	if _, err := NewReader(bytes.NewReader([]byte{0, 0, 0, 0})).Next(); err == nil {
+		t.Fatal("empty frame decoded cleanly")
+	}
+	// Unknown frame type.
+	if _, err := NewReader(bytes.NewReader([]byte{1, 0, 0, 0, 0x7f})).Next(); err == nil {
+		t.Fatal("unknown frame type decoded cleanly")
+	}
+
+	// Fixed-size payload parsers must reject wrong lengths.
+	if _, err := ParseHello(make([]byte, 5)); err == nil {
+		t.Fatal("short hello parsed cleanly")
+	}
+	if _, err := ParseWelcome(make([]byte, 4)); err == nil {
+		t.Fatal("short welcome parsed cleanly")
+	}
+	if _, err := ParseFin(make([]byte, 9)); err == nil {
+		t.Fatal("long fin parsed cleanly")
+	}
+	// Version and shard-range validation in HELLO.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHello(Hello{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseHello(f.Payload); err == nil {
+		t.Fatal("wrong protocol version parsed cleanly")
+	}
+	buf.Reset()
+	if err := w.WriteHello(Hello{Version: Version, ShardLo: 8, ShardHi: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = NewReader(&buf).Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseHello(f.Payload); err == nil {
+		t.Fatal("inverted shard range parsed cleanly")
+	}
+}
+
+// TestSteadyStateAllocs pins the full agent→aggregator wire path —
+// encode+frame on one side, read+decode on the other — at zero
+// steady-state allocations per frame.
+func TestSteadyStateAllocs(t *testing.T) {
+	p := fbflow.NewPartial()
+	fillPartial(t, p, 11, 4096)
+	sink := &countWriter{}
+	w := NewWriter(sink)
+	seq := uint64(0)
+	write := func() {
+		if err := w.WritePartial(PartialHeader{Seq: seq, Window: 0, Shard: 0}, p); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	write() // warm the encode buffer
+	if n := testing.AllocsPerRun(50, write); n != 0 {
+		t.Fatalf("steady-state frame encode allocates %v/op", n)
+	}
+
+	// Decode side: one frame's bytes replayed through a resettable reader.
+	var one bytes.Buffer
+	w2 := NewWriter(&one)
+	if err := w2.WritePartial(PartialHeader{Seq: 0, Window: 0, Shard: 0}, p); err != nil {
+		t.Fatal(err)
+	}
+	frame := one.Bytes()
+	src := bytes.NewReader(frame)
+	r := NewReader(src)
+	into := fbflow.NewPartial()
+	read := func() {
+		src.Reset(frame)
+		r.seenSeq = false // replaying the same seq on purpose
+		f, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodePartial(f.Payload, into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read() // warm the frame buffer and into's tables
+	if n := testing.AllocsPerRun(50, read); n != 0 {
+		t.Fatalf("steady-state frame decode allocates %v/op", n)
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,85 @@
+package fbwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"fbdcnet/internal/fbflow"
+)
+
+// FuzzFrameDecode drives the full aggregator-side decode path — framing,
+// header parsers, and the fbflow partial payload codec — with arbitrary
+// bytes. The invariants: never panic, never over-read (every frame's
+// declared length is capped and bounds-checked), terminate with io.EOF
+// only at a clean frame boundary, and reject duplicate or reordered
+// PARTIAL sequence numbers.
+func FuzzFrameDecode(f *testing.F) {
+	// A full valid session (hello, partials with cardinality, fin).
+	f.Add(sessionBytes(f, 3, true))
+	f.Add(sessionBytes(f, 1, false))
+	// The same partial frame twice: a replay the reader must reject.
+	one := sessionBytes(f, 1, false)
+	f.Add(append(append([]byte{}, one...), one...))
+	// Truncated mid-frame.
+	f.Add(one[:len(one)/2])
+	// Corrupt length prefix claiming 4 GiB.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, TypePartial})
+	// Empty frame and unknown type.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 0x7f})
+	// A partial frame whose payload is garbage after a valid header.
+	bad := make([]byte, 0, 64)
+	bad = binary.LittleEndian.AppendUint32(bad, 1+partialHeaderLen+8)
+	bad = append(bad, TypePartial)
+	bad = binary.LittleEndian.AppendUint64(bad, 0) // seq
+	bad = binary.LittleEndian.AppendUint32(bad, 0) // window
+	bad = binary.LittleEndian.AppendUint32(bad, 0) // shard
+	bad = append(bad, 99, 0xff, 1, 2, 3, 4, 5, 6)  // bogus partial payload
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		into := fbflow.NewPartial()
+		frames := 0
+		var lastSeq uint64
+		seenSeq := false
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				if err == io.EOF && r.BytesRead() != int64(len(data)) {
+					t.Fatalf("clean EOF after %d of %d bytes", r.BytesRead(), len(data))
+				}
+				if err != io.EOF && err.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				return
+			}
+			switch fr.Type {
+			case TypeHello:
+				if h, err := ParseHello(fr.Payload); err == nil && h.ShardHi < h.ShardLo {
+					t.Fatalf("parser admitted inverted shard range: %+v", h)
+				}
+			case TypeWelcome:
+				_, _ = ParseWelcome(fr.Payload)
+			case TypeFin:
+				_, _ = ParseFin(fr.Payload)
+			case TypePartial:
+				h, err := DecodePartial(fr.Payload, into)
+				if err == nil {
+					if seenSeq && h.Seq <= lastSeq {
+						t.Fatalf("decoder admitted non-increasing seq %d after %d", h.Seq, lastSeq)
+					}
+					seenSeq, lastSeq = true, h.Seq
+				}
+			default:
+				t.Fatalf("reader returned unknown frame type %#x", fr.Type)
+			}
+			frames++
+			if frames > 1<<20 {
+				t.Fatal("reader produced implausibly many frames")
+			}
+		}
+	})
+}

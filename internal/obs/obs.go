@@ -203,6 +203,33 @@ func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// AddGauge adjusts a named gauge by a delta, registering it lazily at
+// zero. The delta form serves connection-style gauges (agents up, links
+// live) written from several goroutines, where last-write-wins SetGauge
+// would lose updates.
+func (r *Registry) AddGauge(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.gauges[name]; !ok {
+		r.gaugeOrder = append(r.gaugeOrder, name)
+	}
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
+// GaugeValue reads a named gauge back (0 when unset or disabled) —
+// a test and digest hook, not a hot path.
+func (r *Registry) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
 // Count accumulates v into a labeled series (full series name, labels
 // included). Series are registered lazily at fold time.
 func (r *Registry) Count(series string, v float64) {

@@ -1,6 +1,9 @@
 package sketch
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // hllSeed decorrelates the HLL hash from the count-min rows and the
 // openhash finalizer, which see the same packed keys.
@@ -88,6 +91,43 @@ func (h *HLL) Reset() {
 
 // Bytes returns the fixed register-array footprint.
 func (h *HLL) Bytes() int { return len(h.regs) }
+
+// AppendBinary appends the sketch's wire form — one precision byte
+// followed by the raw register array — to buf and returns the extended
+// slice. Registers are already one byte each, so the wire form is the
+// in-memory form and the append is a straight copy.
+func (h *HLL) AppendBinary(buf []byte) []byte {
+	buf = append(buf, h.p)
+	return append(buf, h.regs...)
+}
+
+// DecodeBinary replaces h's registers with the wire form at the front of
+// data (as produced by AppendBinary) and returns the remainder. The
+// encoded precision must match h's, and every register must be a
+// representable rank — corrupt input errors rather than poisoning later
+// estimates.
+func (h *HLL) DecodeBinary(data []byte) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("sketch: HLL wire form truncated")
+	}
+	if data[0] != h.p {
+		return nil, fmt.Errorf("sketch: HLL precision mismatch: wire %d, sketch %d", data[0], h.p)
+	}
+	n := len(h.regs)
+	if len(data) < 1+n {
+		return nil, fmt.Errorf("sketch: HLL registers truncated: need %d bytes, have %d", n, len(data)-1)
+	}
+	// Add's guard bit bounds the rank at 65-p; anything larger cannot have
+	// been produced by a real sketch.
+	maxRank := byte(65 - h.p)
+	for i, r := range data[1 : 1+n] {
+		if r > maxRank {
+			return nil, fmt.Errorf("sketch: HLL register %d holds impossible rank %d (max %d)", i, r, maxRank)
+		}
+	}
+	copy(h.regs, data[1:1+n])
+	return data[1+n:], nil
+}
 
 // RelativeErrorBound returns the standard error 1.04/sqrt(m) of the
 // estimator — the declared bound the sketcherr harness scales into its

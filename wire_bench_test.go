@@ -1,0 +1,110 @@
+package fbdcnet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/fbwire"
+	"fbdcnet/internal/rng"
+	"fbdcnet/internal/topology"
+)
+
+// benchPartial builds one realistic large-preset window-shard partial:
+// n records tagged through the real Tagger, sources drawn from one
+// 128-host shard of the 138k-host fleet and destinations fleet-wide —
+// the key population an agent actually accumulates before encoding a
+// frame.
+func benchPartial(tb testing.TB, n int) *fbflow.Partial {
+	tb.Helper()
+	topo := topology.MustBuild(topology.Preset(topology.ScaleLarge))
+	tagger := fbflow.NewTagger(topo)
+	r := rng.New(7)
+	hosts := topo.NumHosts()
+	const shardHosts = 128
+	p := fbflow.NewPartial()
+	for i := 0; i < n; i++ {
+		src := topology.HostID(r.Intn(shardHosts))
+		dst := topology.HostID(r.Intn(hosts))
+		rec, ok := tagger.Flow(int64(i%7), topo.Addr(src), topo.Addr(dst), 40+r.Float64()*1e6)
+		if !ok {
+			tb.Fatalf("tagger rejected in-topology flow %d", i)
+		}
+		p.Add(rec)
+	}
+	return p
+}
+
+// BenchmarkPartialEncode measures the agent-side wire path: one columnar
+// partial (4096 records) encoded as a length-prefixed PARTIAL frame into
+// a reusable Writer. The steady state must not allocate — the agent
+// encodes one frame per (window, shard) cell and any per-frame garbage
+// multiplies across the fleet. BENCH_PR8.json gates ns/op and
+// bytes/frame.
+func BenchmarkPartialEncode(b *testing.B) {
+	p := benchPartial(b, 4096)
+	w := fbwire.NewWriter(io.Discard)
+	// Warm the writer's frame buffer so b.N ops measure the steady state.
+	if err := w.WritePartial(fbwire.PartialHeader{Seq: 0}, p); err != nil {
+		b.Fatal(err)
+	}
+	before := w.BytesWritten()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := fbwire.PartialHeader{Seq: uint64(i + 1), Window: uint32(i % 6), Shard: uint32(i % 4)}
+		if err := w.WritePartial(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(w.BytesWritten()-before)/float64(b.N), "bytes/frame")
+}
+
+// BenchmarkPartialDecode measures the aggregator-side path: frame
+// delivery (Reader.Next) plus columnar decode into a reused Partial.
+// The wire blob holds a long run of frames with increasing sequence
+// numbers; the Reader is rebuilt only when the blob is exhausted, so the
+// per-op alloc count shows the amortized steady state (0). BENCH_PR8.json
+// gates ns/op.
+func BenchmarkPartialDecode(b *testing.B) {
+	p := benchPartial(b, 4096)
+	const frames = 512
+	var blob bytes.Buffer
+	w := fbwire.NewWriter(&blob)
+	for i := 0; i < frames; i++ {
+		h := fbwire.PartialHeader{Seq: uint64(i), Window: uint32(i % 6), Shard: uint32(i % 4)}
+		if err := w.WritePartial(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wire := blob.Bytes()
+
+	into := fbflow.NewPartial()
+	br := bytes.NewReader(wire)
+	r := fbwire.NewReader(br)
+	left := frames
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire) / frames))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if left == 0 {
+			br.Reset(wire)
+			r = fbwire.NewReader(br)
+			left = frames
+		}
+		f, err := r.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fbwire.DecodePartial(f.Payload, into); err != nil {
+			b.Fatal(err)
+		}
+		left--
+	}
+	b.StopTimer()
+	if !bytes.Equal(into.AppendBinary(nil), p.AppendBinary(nil)) {
+		b.Fatal("decoded partial does not round-trip to the encoded bytes")
+	}
+}
