@@ -31,6 +31,7 @@ import (
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/export"
 	"fbdcnet/internal/prof"
 	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
@@ -71,7 +72,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
-	manifestPath := flag.String("manifest", "run_manifest.json", "write the run manifest (config, stage timings, counters) to this file; empty disables")
+	manifestPath := flag.String("manifest", "run_manifest.json", "write the run manifest (config, stage timings, counters; distributed runs add the per-agent section) to this file; empty disables")
+	traceOut := flag.String("trace-out", "", "write the run timeline (all agents plus the aggregator on one clock) as Chrome trace-event JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress informational diagnostics on stderr (warnings and errors still print)")
 	flag.Parse()
 
@@ -124,13 +126,30 @@ func main() {
 	if *fleetAgent {
 		// The hidden -distributed re-exec branch: stream one shard range
 		// and exit before any experiment (or manifest) output.
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, cfg.Obs)
+			if err != nil {
+				logger.Error("starting agent metrics endpoint", "err", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			logger.Info("agent metrics endpoint listening", "agent", *fleetAgentID, "addr", srv.Addr())
+		}
 		runFleetAgent(sys, *fleetAgentID, *fleetAgentCount, *fleetAgentInc,
 			*fleetAgentConnect, *agentFaults, logger)
 		return
 	}
 	if *distributed > 0 {
+		if *metricsAddr != "" {
+			// Agents run -quiet; announce their derived endpoints here.
+			for a := 0; a < *distributed; a++ {
+				if addr := core.AgentMetricsAddr(*metricsAddr, a); addr != "" {
+					logger.Info("agent metrics endpoint", "agent", a, "addr", addr)
+				}
+			}
+		}
 		gaps, err := sys.CollectFleetDistributed(*distributed,
-			fleetAgentArgs(cfg, *distributed, *agentFaults))
+			fleetAgentArgs(cfg, *distributed, *agentFaults, *metricsAddr))
 		if err != nil {
 			logger.Error("distributed fleet collection failed", "err", err)
 			os.Exit(1)
@@ -176,6 +195,7 @@ func main() {
 
 	if *manifestPath != "" {
 		m := cfg.Obs.Manifest(cfg.ManifestMeta("experiments"))
+		m.Agents = sys.AgentManifestRecords()
 		if err := m.Validate(); err != nil {
 			logger.Warn("manifest fails schema validation", "err", err)
 		}
@@ -184,6 +204,14 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("wrote run manifest", "path", *manifestPath)
+	}
+	if *traceOut != "" {
+		procs := export.FromRun(cfg.Obs, sys.AgentReports())
+		if err := export.WriteFile(*traceOut, procs); err != nil {
+			logger.Error("writing run timeline", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote run timeline", "path", *traceOut, "procs", len(procs))
 	}
 }
 
@@ -246,7 +274,7 @@ func runFleetAgent(sys *core.System, id, agents, incarnation int, connect string
 
 // fleetAgentArgs builds the re-exec argument list reproducing this
 // process's fleet configuration for one agent incarnation.
-func fleetAgentArgs(cfg core.Config, agents int, faults bool) func(addr string, id, inc int) []string {
+func fleetAgentArgs(cfg core.Config, agents int, faults bool, metricsAddr string) func(addr string, id, inc int) []string {
 	return func(addr string, id, inc int) []string {
 		args := []string{
 			"-fleet-agent",
@@ -267,6 +295,9 @@ func fleetAgentArgs(cfg core.Config, agents int, faults bool) func(addr string, 
 		}
 		if faults {
 			args = append(args, "-agent-faults")
+		}
+		if maddr := core.AgentMetricsAddr(metricsAddr, id); maddr != "" {
+			args = append(args, "-metrics-addr", maddr)
 		}
 		return args
 	}

@@ -33,6 +33,7 @@ import (
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/export"
 	"fbdcnet/internal/topology"
 )
 
@@ -54,7 +55,9 @@ func main() {
 	matrix := flag.Bool("matrix", false, "synthesize fleet traffic as rack-pair demand matrices instead of per-host flow sampling")
 	sketch := flag.Bool("sketch", false, "carry HLL distinct counts through collection (sketch mode)")
 	parallel := flag.Int("parallel", 0, "with -single: worker goroutines (0 = GOMAXPROCS)")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress); with -spawn, agents serve on the same host at port+1+id")
+	manifestPath := flag.String("manifest", "", "write the run manifest JSON here (aggregator runs include the federated per-agent section)")
+	traceOut := flag.String("trace-out", "", "write the unified run timeline here as Chrome trace-event JSON (open in Perfetto)")
 	quiet := flag.Bool("quiet", false, "suppress informational diagnostics on stderr")
 	flag.Parse()
 
@@ -104,7 +107,36 @@ func main() {
 		printDigest(sys, logger)
 	default:
 		runAggregator(sys, *listen, *agents, *spawnLocal, *agentFaults,
-			time.Duration(*reconnectWait)*time.Second, *scaleFlag, logger)
+			time.Duration(*reconnectWait)*time.Second, *scaleFlag, *metricsAddr, logger)
+	}
+	writeObsArtifacts(sys, *manifestPath, *traceOut, logger)
+}
+
+// writeObsArtifacts writes the run manifest and the Chrome trace-event
+// timeline when the corresponding flags were given. Aggregator runs get
+// the federated per-agent section and every agent's spans; other modes
+// write their process-local view.
+func writeObsArtifacts(sys *core.System, manifestPath, traceOut string, logger *slog.Logger) {
+	if manifestPath != "" {
+		m := sys.Cfg.Obs.Manifest(sys.Cfg.ManifestMeta("fbflowd"))
+		m.Agents = sys.AgentManifestRecords()
+		if err := m.Validate(); err != nil {
+			logger.Error("manifest failed schema validation", "err", err)
+			os.Exit(1)
+		}
+		if err := m.WriteFile(manifestPath); err != nil {
+			logger.Error("writing manifest", "path", manifestPath, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("manifest written", "path", manifestPath, "agents", len(m.Agents))
+	}
+	if traceOut != "" {
+		procs := export.FromRun(sys.Cfg.Obs, sys.AgentReports())
+		if err := export.WriteFile(traceOut, procs); err != nil {
+			logger.Error("writing trace", "path", traceOut, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("trace written", "path", traceOut, "procs", len(procs))
 	}
 }
 
@@ -140,7 +172,7 @@ func runAgent(sys *core.System, id, agents, incarnation int, connect string, fau
 
 // runAggregator serves the merge frontier, optionally spawning the
 // agents locally, and prints the digest.
-func runAggregator(sys *core.System, listen string, agents int, spawnLocal, faults bool, reconnectWait time.Duration, scaleName string, logger *slog.Logger) {
+func runAggregator(sys *core.System, listen string, agents int, spawnLocal, faults bool, reconnectWait time.Duration, scaleName, metricsAddr string, logger *slog.Logger) {
 	agentArgsTo := func(connectSpec string, a, inc int) []string {
 		args := []string{
 			"-agent", "-id", strconv.Itoa(a), "-agents", strconv.Itoa(agents),
@@ -159,7 +191,19 @@ func runAggregator(sys *core.System, listen string, agents int, spawnLocal, faul
 		if faults {
 			args = append(args, "-agent-faults")
 		}
+		if addr := core.AgentMetricsAddr(metricsAddr, a); addr != "" {
+			args = append(args, "-metrics-addr", addr)
+		}
 		return args
+	}
+	if spawnLocal && metricsAddr != "" {
+		// Spawned agents run -quiet, so announce their derived endpoints
+		// here (a port-0 base makes each agent pick its own free port).
+		for a := 0; a < agents; a++ {
+			if addr := core.AgentMetricsAddr(metricsAddr, a); addr != "" {
+				logger.Info("agent metrics endpoint", "agent", a, "addr", addr)
+			}
+		}
 	}
 	agentArgs := func(addr string, a, inc int) []string {
 		return agentArgsTo("unix:"+addr, a, inc)

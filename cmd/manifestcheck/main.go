@@ -9,19 +9,25 @@
 // (fbdcnet_fleet_heap_peak_bytes gauge) stayed under the ceiling — the
 // CI memory gate for million-host runs.
 //
+// With -trace the arguments are Chrome trace-event JSON files (written
+// via -trace-out) and each is structurally validated instead.
+//
 // Usage:
 //
 //	manifestcheck run_manifest.json [more.json ...]
+//	manifestcheck -trace run_trace.json [more.json ...]
 //
 // Exit status is 0 when every file validates, 1 otherwise.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/export"
 )
 
 // heapPeakGauge is the gauge the fleet collector records after merging
@@ -52,16 +58,27 @@ func checkMemCeiling(m *obs.Manifest) error {
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck MANIFEST.json [...]")
+	trace := flag.Bool("trace", false, "arguments are Chrome trace-event JSON files; validate their structure instead of the manifest schema")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-trace] FILE.json [...]")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "manifestcheck: %v\n", err)
 			bad++
+			continue
+		}
+		if *trace {
+			if err := export.Validate(data); err != nil {
+				fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
+				bad++
+				continue
+			}
+			fmt.Printf("manifestcheck: %s ok (trace)\n", path)
 			continue
 		}
 		if err := obs.ValidateSchema(obs.ManifestSchema, data); err != nil {

@@ -185,6 +185,13 @@ type System struct {
 	fleet     *fbflow.Dataset
 	fleetGaps []CoverageGap
 
+	// Federated observability of the last distributed run: the latest
+	// report per agent and each agent's final incarnation (-1 = never
+	// connected). Set by the aggregator, read by manifest and timeline
+	// export.
+	agentReports []*obs.AgentReport
+	agentIncs    []int64
+
 	// Degraded-mode (fault injection) memos: the shared workload headers,
 	// their offered totals, the healthy baseline arm, and the configured
 	// scenario's result.

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -164,7 +165,17 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 
 	reg := s.Cfg.Obs
 	sp := reg.StartSpan(fmt.Sprintf("fleet-agent-%d", agentID))
-	defer sp.End()
+	// The span must end before the agent report is encoded so its event
+	// reaches the federated timeline; the flag keeps the deferred End (the
+	// error paths) from double-counting.
+	spanEnded := false
+	endSpan := func() {
+		if !spanEnded {
+			spanEnded = true
+			sp.End()
+		}
+	}
+	defer endSpan()
 
 	tagger := fbflow.NewTagger(s.Topo)
 	var prog *services.FleetProgram
@@ -187,22 +198,36 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 		}
 		return p
 	}
+	// Each pooled buffer pairs a partial with the cell's encoded obs
+	// delta. The delta frame travels ahead of its partial on the same
+	// connection, so by the time the aggregator's frontier consumes the
+	// cell its metrics are already parked beside it.
+	type cellBuf struct {
+		p   *fbflow.Partial
+		obs []byte
+	}
 	type job struct {
 		seq uint64
-		p   *fbflow.Partial
+		b   *cellBuf
 	}
-	free := make(chan *fbflow.Partial, 3)
-	free <- newPartial()
-	free <- newPartial()
-	free <- newPartial()
+	free := make(chan *cellBuf, 3)
+	free <- &cellBuf{p: newPartial()}
+	free <- &cellBuf{p: newPartial()}
+	free <- &cellBuf{p: newPartial()}
 	jobs := make(chan job, 1)
 	sendRes := make(chan error, 1)
 	go func() {
 		for j := range jobs {
 			window, shard := agentTask(rg, j.seq)
-			err := w.WritePartial(fbwire.PartialHeader{Seq: j.seq, Window: uint32(window), Shard: uint32(shard)}, j.p)
-			j.p.Reset()
-			free <- j.p
+			var err error
+			if len(j.b.obs) > 0 {
+				err = w.WriteObs(fbwire.ObsCell, j.seq, j.b.obs)
+			}
+			if err == nil {
+				err = w.WritePartial(fbwire.PartialHeader{Seq: j.seq, Window: uint32(window), Shard: uint32(shard)}, j.b.p)
+			}
+			j.b.p.Reset()
+			free <- j.b
 			if err != nil {
 				sendRes <- err
 				return
@@ -224,27 +249,38 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 	}
 	sh := reg.NewShard()
 	for t := resume; t < expected; t++ {
-		var p *fbflow.Partial
+		var b *cellBuf
 		select {
-		case p = <-free:
+		case b = <-free:
 		case serr := <-sendRes:
 			// The sender died (socket error or planned crash): stop
 			// computing and surface its verdict.
 			close(jobs)
 			return serr
 		}
+		var t0 time.Time
+		if reg.Enabled() {
+			t0 = time.Now()
+		}
 		window, shard := agentTask(rg, t)
 		task := fleetTask{window: window, shard: shard, lo: shard * fleetShardHosts, hi: min((shard+1)*fleetShardHosts, s.Topo.NumHosts())}
 		if s.Cfg.FleetMatrix {
 			task.lo = shard * fleetMatrixShardRacks
 			task.hi = min(task.lo+fleetMatrixShardRacks, len(s.Topo.Racks))
-			s.collectMatrixShard(tagger, mprog, task, mat, p, sh)
+			s.collectMatrixShard(tagger, mprog, task, mat, b.p, sh)
 		} else {
-			s.collectShard(tagger, prog, task, p, sh)
+			s.collectShard(tagger, prog, task, b.p, sh)
 		}
+		if reg.Enabled() {
+			sh.Observe(s.obsIDs.fleetShardUs, time.Since(t0).Microseconds())
+		}
+		// Encode the cell's delta before Fold resets the shard; the fold
+		// keeps the agent's own registry live for its -metrics-addr
+		// endpoint (a separate process, so nothing double-counts).
+		b.obs = sh.AppendDelta(b.obs[:0])
 		sh.Fold()
 		select {
-		case jobs <- job{seq: t, p: p}:
+		case jobs <- job{seq: t, b: b}:
 		case serr := <-sendRes:
 			return serr
 		}
@@ -252,10 +288,16 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 	if err := drain(nil); err != nil {
 		return err
 	}
+	endSpan()
+	if reg.Enabled() {
+		reg.SetGauge(fmt.Sprintf("fbdcnet_agent_%d_tx_bytes", agentID), float64(w.BytesWritten()))
+		if err := w.WriteObs(fbwire.ObsFinal, 0, reg.AppendReport(nil, uint32(agentID), incarnation)); err != nil {
+			return fmt.Errorf("core: agent %d obs report: %w", agentID, err)
+		}
+	}
 	if err := w.WriteFin(expected - resume); err != nil {
 		return fmt.Errorf("core: agent %d fin: %w", agentID, err)
 	}
-	reg.SetGauge(fmt.Sprintf("fbdcnet_agent_%d_tx_bytes", agentID), float64(w.BytesWritten()))
 	return nil
 }
 
@@ -296,6 +338,20 @@ type fleetAggregator struct {
 	lastSeen  []time.Time
 	gaps      []CoverageGap
 	err       error
+
+	// Federated observability. Cell deltas park beside their partials and
+	// fold only when the frontier consumes the cell; reports are
+	// per-process ephemera kept for the manifest and the exported
+	// timeline. All of it is best-effort: an undecodable obs payload is
+	// dropped and counted, never allowed to fail the dataset protocol.
+	parkedObs  [][]byte           // per-cell encoded delta awaiting its merge
+	obsFree    [][]byte           // recycled delta buffers
+	scratch    obs.Delta          // decode scratch, reused at the frontier
+	reports    []*obs.AgentReport // latest incarnation's report per agent
+	obsDrops   int64
+	agentLabel []string // preformatted agent-id labels for series names
+	stallCell  int      // frontier cell an open stall span is blaming, -1 if none
+	stallStart time.Time
 }
 
 // ServeFleetAggregator accepts agent connections on ln and merges their
@@ -330,12 +386,17 @@ func (s *System) ServeFleetAggregator(ln net.Listener, agents int, reconnectWait
 	ag.parked = make([]*fbflow.Partial, ag.cells)
 	ag.gapped = make([]bool, ag.cells)
 	ag.merged = make([]bool, ag.cells)
+	ag.parkedObs = make([][]byte, ag.cells)
+	ag.reports = make([]*obs.AgentReport, agents)
+	ag.agentLabel = make([]string, agents)
+	ag.stallCell = -1
 	ag.pool.New = func() any { return fbflow.NewPartial() }
 	now := time.Now()
 	for a := 0; a < agents; a++ {
 		ag.expected[a] = uint64(ag.shards[a].Span() * s.Cfg.FleetWindows)
 		ag.lastInc[a] = -1
 		ag.lastSeen[a] = now
+		ag.agentLabel[a] = fmt.Sprint(a)
 	}
 
 	reg := s.Cfg.Obs
@@ -380,8 +441,72 @@ func (s *System) ServeFleetAggregator(ln net.Listener, agents int, reconnectWait
 			gapCells += g.Cells
 		}
 		reg.SetGauge("fbdcnet_fleet_gap_cells", float64(gapCells))
+		reg.SetGauge("fbdcnet_fleet_obs_dropped_frames", float64(ag.obsDrops))
+		s.storeAgentObs(ag)
 	}
 	return ag.ds, ag.gaps, nil
+}
+
+// storeAgentObs keeps the run's federated agent reports and incarnation
+// ledger on the System so manifest and timeline export can reach them
+// after aggregation finishes.
+func (s *System) storeAgentObs(ag *fleetAggregator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agentReports = append([]*obs.AgentReport(nil), ag.reports...)
+	s.agentIncs = append([]int64(nil), ag.lastInc...)
+}
+
+// AgentReports returns the latest federated report per agent from the
+// last distributed run (nil entries for agents that never delivered
+// one; nil slice for single-process or metrics-off runs).
+func (s *System) AgentReports() []*obs.AgentReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agentReports
+}
+
+// AgentManifestRecords builds the per-agent manifest section of a
+// distributed run from the federated reports, incarnation ledger, and
+// coverage gaps. It returns nil when no distributed run happened.
+func (s *System) AgentManifestRecords() []obs.AgentRecord {
+	s.mu.Lock()
+	reports, incs := s.agentReports, s.agentIncs
+	s.mu.Unlock()
+	if len(incs) == 0 {
+		return nil
+	}
+	gapCells := make([]int, len(incs))
+	for _, g := range s.FleetCoverageGaps() {
+		if g.Agent >= 0 && g.Agent < len(gapCells) {
+			gapCells[g.Agent] += g.Cells
+		}
+	}
+	recs := make([]obs.AgentRecord, len(incs))
+	for a := range recs {
+		rec := obs.AgentRecord{
+			Agent:    a,
+			GapCells: gapCells[a],
+			Stages:   []obs.StageRecord{},
+			Gauges:   map[string]float64{},
+		}
+		if incs[a] >= 0 {
+			rec.Incarnations = incs[a] + 1
+			rec.Restarts = incs[a]
+		}
+		if a < len(reports) && reports[a] != nil {
+			rep := reports[a]
+			rec.SpanEvents = len(rep.Events)
+			if rep.Stages != nil {
+				rec.Stages = rep.Stages
+			}
+			for _, g := range rep.Gauges {
+				rec.Gauges[g.Name] = g.V
+			}
+		}
+		recs[a] = rec
+	}
+	return recs
 }
 
 // wait blocks until every agent is finished or the run fails, tail-
@@ -413,12 +538,107 @@ func (ag *fleetAggregator) wait(reconnectWait time.Duration) error {
 			}
 			doneAll = false
 		}
+		ag.healthLocked(now)
 		ag.mu.Unlock()
 		if doneAll {
 			return nil
 		}
 	}
 	return nil
+}
+
+// healthLocked refreshes the wire-path health gauges, the per-agent
+// liveness series, the agent panel on the live progress page, and the
+// frontier-stall spans. Runs on every waiter tick; caller holds ag.mu.
+func (ag *fleetAggregator) healthLocked(now time.Time) {
+	reg := ag.s.Cfg.Obs
+	if !reg.Enabled() {
+		return
+	}
+	frontierWin := 0
+	if ag.spw > 0 {
+		frontierWin = ag.next / ag.spw
+	}
+	parkedCells := 0
+	for _, p := range ag.parked {
+		if p != nil {
+			parkedCells++
+		}
+	}
+	reg.SetGauge("fbdcnet_fleet_frontier_window", float64(frontierWin))
+	reg.SetGauge("fbdcnet_fleet_parked_cells", float64(parkedCells))
+	reg.SetGauge("fbdcnet_fleet_obs_dropped_frames", float64(ag.obsDrops))
+	var b strings.Builder
+	b.WriteString("  agent  state  inc  tasks            lag(win)  last-seen\n")
+	for a := 0; a < ag.agents; a++ {
+		up := 0.0
+		state := "down"
+		switch {
+		case ag.fin[a]:
+			state = "fin"
+		case ag.connected[a]:
+			state, up = "up", 1
+		}
+		lagWin := 0
+		if span := ag.shards[a].Span(); span > 0 {
+			lagWin = int(ag.received[a])/span - frontierWin
+		}
+		age := now.Sub(ag.lastSeen[a]).Seconds()
+		lbl := ag.agentLabel[a]
+		reg.SetGauge(obs.Series("fbdcnet_fleet_agent_up", "agent", lbl), up)
+		reg.SetGauge(obs.Series("fbdcnet_fleet_agent_last_seen_age_seconds", "agent", lbl), age)
+		reg.SetGauge(obs.Series("fbdcnet_fleet_agent_tasks_received", "agent", lbl), float64(ag.received[a]))
+		reg.SetGauge(obs.Series("fbdcnet_fleet_agent_frontier_lag_windows", "agent", lbl), float64(lagWin))
+		reg.SetGauge(obs.Series("fbdcnet_fleet_agent_incarnation", "agent", lbl), float64(ag.lastInc[a]))
+		fmt.Fprintf(&b, "  %-5d  %-5s %4d  %7d/%-7d %8d  %6.1fs ago\n",
+			a, state, ag.lastInc[a], ag.received[a], ag.expected[a], lagWin, age)
+	}
+	reg.SetPanel("agents", b.String())
+	ag.stallLocked(now, parkedCells)
+}
+
+// stallLocked tracks frontier stalls: the merge head waiting on one
+// agent's cell while later cells sit parked. Each stall becomes a
+// `frontier-stall:agent-N` span on the aggregator timeline (the
+// frontier-lag annotation of the exported trace) and a per-agent
+// stall-seconds series. Caller holds ag.mu.
+func (ag *fleetAggregator) stallLocked(now time.Time, parkedCells int) {
+	blocked := parkedCells > 0 &&
+		ag.next < ag.cells && ag.parked[ag.next] == nil && !ag.gapped[ag.next]
+	switch {
+	case blocked && ag.stallCell == ag.next:
+		// Still stalled on the same cell: the open span keeps growing.
+	case blocked:
+		ag.flushStallLocked(now)
+		ag.stallCell, ag.stallStart = ag.next, now
+	default:
+		ag.flushStallLocked(now)
+	}
+}
+
+// flushStallLocked closes the open stall span, if any. Caller holds
+// ag.mu.
+func (ag *fleetAggregator) flushStallLocked(now time.Time) {
+	if ag.stallCell < 0 {
+		return
+	}
+	owner := ag.ownerOfCell(ag.stallCell)
+	reg := ag.s.Cfg.Obs
+	reg.RecordSpanAt(fmt.Sprintf("frontier-stall:agent-%d", owner), ag.stallStart, now)
+	reg.Count(obs.Series("fbdcnet_fleet_frontier_stall_seconds_total", "agent", ag.agentLabel[owner]),
+		now.Sub(ag.stallStart).Seconds())
+	ag.stallCell = -1
+}
+
+// ownerOfCell maps a task-grid cell to the agent owning its shard.
+func (ag *fleetAggregator) ownerOfCell(cell int) int {
+	shard := cell % ag.spw
+	for a, rg := range ag.shards {
+		if shard >= rg.Lo && shard < rg.Hi {
+			return a
+		}
+	}
+	return 0
 }
 
 // handleConn runs one agent incarnation's session.
@@ -485,10 +705,15 @@ func (ag *fleetAggregator) handleConn(conn net.Conn, winProg *obs.Progress) {
 
 	reg.AddGauge("fbdcnet_fleet_agents_connected", 1)
 	connStart := time.Now()
+	var frames int64
 	defer func() {
 		reg.AddGauge("fbdcnet_fleet_agents_connected", -1)
-		reg.RecordSpan(fmt.Sprintf("fleet-agent-conn-%d", a), time.Since(connStart))
-		reg.Count(obs.Series("fbdcnet_fleet_agent_rx_bytes_total", "agent", fmt.Sprint(a)), float64(r.BytesRead()))
+		reg.RecordSpanAt(fmt.Sprintf("fleet-agent-conn-%d", a), connStart, time.Now())
+		reg.Count(obs.Series("fbdcnet_fleet_agent_rx_bytes_total", "agent", ag.agentLabel[a]), float64(r.BytesRead()))
+		reg.Count(obs.Series("fbdcnet_fleet_agent_rx_frames_total", "agent", ag.agentLabel[a]), float64(frames))
+		if h.Incarnation > 0 {
+			reg.Count(obs.Series("fbdcnet_fleet_agent_reconnects_total", "agent", ag.agentLabel[a]), 1)
+		}
 		ag.mu.Lock()
 		ag.connected[a] = false
 		ag.lastSeen[a] = time.Now()
@@ -512,7 +737,42 @@ func (ag *fleetAggregator) handleConn(conn net.Conn, winProg *obs.Progress) {
 			// arrived; a restart or the reconnect timeout settles the rest.
 			return
 		}
+		frames++
 		switch f.Type {
+		case fbwire.TypeObs:
+			// Observability is best-effort where the dataset protocol is
+			// strict: an undecodable obs payload is dropped and counted,
+			// never allowed to fail the run or move the merge frontier.
+			oh, body, err := fbwire.ParseObs(f.Payload)
+			if err != nil {
+				ag.dropObs(a)
+				continue
+			}
+			switch oh.Kind {
+			case fbwire.ObsCell:
+				ag.mu.Lock()
+				if oh.Seq != ag.received[a] || ag.scratch.Decode(body) != nil {
+					ag.dropObsLocked(a)
+					ag.mu.Unlock()
+					continue
+				}
+				window, shard := agentTask(rg, oh.Seq)
+				cell := window*ag.spw + shard
+				if old := ag.parkedObs[cell]; old != nil {
+					ag.obsFree = append(ag.obsFree, old[:0])
+				}
+				ag.parkedObs[cell] = append(ag.getObsBufLocked(), body...)
+				ag.mu.Unlock()
+			case fbwire.ObsFinal:
+				rep := new(obs.AgentReport)
+				if obs.DecodeReport(body, rep) != nil || int(rep.AgentID) != a {
+					ag.dropObs(a)
+					continue
+				}
+				ag.mu.Lock()
+				ag.reports[a] = rep
+				ag.mu.Unlock()
+			}
 		case fbwire.TypePartial:
 			ph, err := fbwire.DecodePartial(f.Payload, p)
 			if err != nil {
@@ -560,20 +820,57 @@ func (ag *fleetAggregator) handleConn(conn net.Conn, winProg *obs.Progress) {
 	}
 }
 
+// dropObs counts one dropped obs frame from agent a.
+func (ag *fleetAggregator) dropObs(a int) {
+	ag.mu.Lock()
+	ag.dropObsLocked(a)
+	ag.mu.Unlock()
+}
+
+// dropObsLocked counts one dropped obs frame. Caller holds ag.mu.
+func (ag *fleetAggregator) dropObsLocked(a int) {
+	ag.obsDrops++
+	ag.s.Cfg.Obs.Count(obs.Series("fbdcnet_fleet_obs_drops_total", "agent", ag.agentLabel[a]), 1)
+}
+
+// getObsBufLocked pops a recycled delta buffer (nil when the free list
+// is empty — append grows it). Caller holds ag.mu.
+func (ag *fleetAggregator) getObsBufLocked() []byte {
+	if n := len(ag.obsFree); n > 0 {
+		b := ag.obsFree[n-1]
+		ag.obsFree = ag.obsFree[:n-1]
+		return b
+	}
+	return nil
+}
+
 // advanceLocked merges every cell the task-order frontier can reach:
 // parked cells merge (and their partials return to the pool), gapped
-// cells skip. Caller holds ag.mu.
+// cells skip. A parked obs delta folds into the registry exactly when
+// its cell merges; a delta at a gapped cell (the agent shipped the obs
+// frame, then died before the partial) is discarded, so federated
+// metrics stay a pure function of the merged cell set. Caller holds
+// ag.mu.
 func (ag *fleetAggregator) advanceLocked(winProg *obs.Progress) {
 	moved := false
 	for ag.next < ag.cells {
-		if q := ag.parked[ag.next]; q != nil {
+		q := ag.parked[ag.next]
+		if q == nil && !ag.gapped[ag.next] {
+			break
+		}
+		if ob := ag.parkedObs[ag.next]; ob != nil {
+			ag.parkedObs[ag.next] = nil
+			if q != nil && ag.scratch.Decode(ob) == nil {
+				ag.s.Cfg.Obs.FoldDelta(&ag.scratch)
+			}
+			ag.obsFree = append(ag.obsFree, ob[:0])
+		}
+		if q != nil {
 			ag.parked[ag.next] = nil
 			ag.ds.MergePartial(q)
 			q.Reset()
 			ag.pool.Put(q)
 			ag.merged[ag.next] = true
-		} else if !ag.gapped[ag.next] {
-			break
 		}
 		ag.next++
 		moved = true
@@ -724,6 +1021,29 @@ func (s *System) RunDistributedFleet(network, addr string, agents int, spawn Age
 	return ds, gaps, nil
 }
 
+// AgentMetricsAddr derives agent a's live-metrics listen address from
+// the aggregator's -metrics-addr: the same host with the port offset by
+// 1+a, so one flag fans out to N processes without collisions. Port 0
+// (kernel-assigned) passes through as 0 for every agent; an unparsable
+// base yields "" (metrics endpoint disabled for the agents).
+func AgentMetricsAddr(base string, a int) string {
+	if base == "" {
+		return ""
+	}
+	host, port, err := net.SplitHostPort(base)
+	if err != nil {
+		return ""
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 0 {
+		return ""
+	}
+	if p == 0 {
+		return net.JoinHostPort(host, "0")
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+1+a))
+}
+
 // ParseListenSpec splits an address spec into (network, address):
 // "unix:/path" and "tcp:host:port" are explicit; a bare path is a unix
 // socket, anything else with a colon is TCP.
@@ -802,16 +1122,29 @@ func (s *System) fleetReferenceSkipping(skip map[int]bool) *fbflow.Dataset {
 	if s.Cfg.SketchMode {
 		p.EnableCardinality()
 	}
+	// Instrumented like the distributed path: one obs shard observed and
+	// folded per kept cell, so a registry-carrying oracle run is also the
+	// counter reference for federation under gaps.
+	reg := s.Cfg.Obs
+	sh := reg.NewShard()
 	for i, t := range tasks {
 		if skip[i] {
 			continue
 		}
 		p.Reset()
-		if s.Cfg.FleetMatrix {
-			s.collectMatrixShard(tagger, mprog, t, mat, p, nil)
-		} else {
-			s.collectShard(tagger, prog, t, p, nil)
+		var t0 time.Time
+		if reg.Enabled() {
+			t0 = time.Now()
 		}
+		if s.Cfg.FleetMatrix {
+			s.collectMatrixShard(tagger, mprog, t, mat, p, sh)
+		} else {
+			s.collectShard(tagger, prog, t, p, sh)
+		}
+		if reg.Enabled() {
+			sh.Observe(s.obsIDs.fleetShardUs, time.Since(t0).Microseconds())
+		}
+		sh.Fold()
 		ds.MergePartial(p)
 	}
 	return ds

@@ -11,6 +11,12 @@
 //	agent → PARTIAL × n  (seq, window, shard, fbflow.Partial payload)
 //	agent → FIN     (frames sent, for accounting)
 //
+// When observability is on, each PARTIAL is preceded by an OBS frame
+// carrying that cell's metric delta (bound to the same seq), and one
+// final OBS frame with the agent's report precedes FIN. OBS frames are
+// optional and opaque at this layer — an aggregator that cannot decode
+// one drops it without touching the dataset protocol.
+//
 // PARTIAL frames carry the agent-local task sequence number and the
 // Reader enforces strict monotonicity, so a duplicated or replayed frame
 // fails in the decoder itself rather than corrupting aggregation state.
@@ -41,7 +47,21 @@ const (
 	TypeWelcome = 0x02
 	TypePartial = 0x03
 	TypeFin     = 0x04
+	TypeObs     = 0x05
 )
+
+// Obs payload kinds. ObsCell carries one cell's metric delta and
+// precedes the PARTIAL frame with the same seq on the wire, so the delta
+// is always parked by the time the merge frontier consumes the cell.
+// ObsFinal carries the agent's once-per-incarnation report, sent right
+// before FIN (its seq is 0).
+const (
+	ObsCell  = 0x01
+	ObsFinal = 0x02
+)
+
+// obsHeaderLen is the OBS payload prefix before the opaque obs body.
+const obsHeaderLen = 1 + 8
 
 // MaxFrameBytes caps one frame's payload: larger than any real window
 // partial (a full large-preset window encodes to a few MiB) but small
@@ -140,6 +160,37 @@ func (w *Writer) WritePartial(h PartialHeader, p *fbflow.Partial) error {
 	return w.flushFrame()
 }
 
+// WriteObs sends one observability frame: an ObsCell delta bound to the
+// PARTIAL seq it precedes, or an ObsFinal agent report. The body is the
+// internal/obs wire payload, opaque to this layer; the encode reuses the
+// writer's buffer, so the steady state allocates nothing.
+func (w *Writer) WriteObs(kind byte, seq uint64, body []byte) error {
+	b := w.begin(TypeObs)
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	w.buf = append(b, body...)
+	return w.flushFrame()
+}
+
+// ObsHeader addresses one OBS frame's body.
+type ObsHeader struct {
+	Kind byte
+	Seq  uint64 // for ObsCell: the seq of the PARTIAL this delta belongs to
+}
+
+// ParseObs splits an OBS payload into its header and opaque body. The
+// body aliases the payload (and therefore the Reader's buffer).
+func ParseObs(payload []byte) (ObsHeader, []byte, error) {
+	if len(payload) < obsHeaderLen {
+		return ObsHeader{}, nil, fmt.Errorf("fbwire: obs frame header truncated (%d bytes)", len(payload))
+	}
+	h := ObsHeader{Kind: payload[0], Seq: binary.LittleEndian.Uint64(payload[1:])}
+	if h.Kind != ObsCell && h.Kind != ObsFinal {
+		return ObsHeader{}, nil, fmt.Errorf("fbwire: unknown obs kind %#x", h.Kind)
+	}
+	return h, payload[obsHeaderLen:], nil
+}
+
 // WriteFin sends the closing FIN frame carrying the number of PARTIAL
 // frames this incarnation sent.
 func (w *Writer) WriteFin(sent uint64) error {
@@ -205,7 +256,7 @@ func (r *Reader) Next() (Frame, error) {
 	r.read += int64(4 + n)
 	f := Frame{Type: r.buf[0], Payload: r.buf[1:]}
 	switch f.Type {
-	case TypeHello, TypeWelcome, TypePartial, TypeFin:
+	case TypeHello, TypeWelcome, TypePartial, TypeFin, TypeObs:
 	default:
 		return Frame{}, fmt.Errorf("fbwire: unknown frame type %#x", f.Type)
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fbdcnet/internal/fbflow"
+	"fbdcnet/internal/obs"
 )
 
 // FuzzFrameDecode drives the full aggregator-side decode path — framing,
@@ -73,6 +74,96 @@ func FuzzFrameDecode(f *testing.F) {
 					}
 					seenSeq, lastSeq = true, h.Seq
 				}
+			default:
+				t.Fatalf("reader returned unknown frame type %#x", fr.Type)
+			}
+			frames++
+			if frames > 1<<20 {
+				t.Fatal("reader produced implausibly many frames")
+			}
+		}
+	})
+}
+
+// obsFrameBytes frames one OBS frame (kind, seq, body) as the agent's
+// Writer would emit it.
+func obsFrameBytes(tb testing.TB, kind byte, seq uint64, body []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteObs(kind, seq, body); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzObsFrame drives the metrics side-channel decode path — OBS frame
+// parsing plus the obs delta and agent-report payload codecs — with
+// arbitrary bytes. The invariants: never panic, malformed payloads
+// error out, and OBS frames never perturb the PARTIAL sequence check
+// (metrics are best-effort; the dataset protocol stays strict).
+func FuzzObsFrame(f *testing.F) {
+	// A real cell delta: encode from a live shard.
+	reg := obs.NewRegistry()
+	c := reg.Counter("fbdcnet_fleet_flow_attempts_total", "t")
+	h := reg.Histogram("fbdcnet_fleet_shard_us", "t")
+	sh := reg.NewShard()
+	sh.Add(c, 41)
+	sh.Observe(h, 1300)
+	f.Add(obsFrameBytes(f, ObsCell, 0, sh.AppendDelta(nil)))
+	// A real final report.
+	f.Add(obsFrameBytes(f, ObsFinal, 0, reg.AppendReport(nil, 2, 1)))
+	// An OBS frame interleaved before its PARTIAL, as on the real wire.
+	mixed := append(obsFrameBytes(f, ObsCell, 0, sh.AppendDelta(nil)), sessionBytes(f, 1, false)...)
+	f.Add(mixed)
+	// Truncated, bad kind, garbage body.
+	whole := obsFrameBytes(f, ObsCell, 3, sh.AppendDelta(nil))
+	f.Add(whole[:len(whole)-4])
+	f.Add(obsFrameBytes(f, 0x7e, 9, []byte{1, 2, 3}))
+	f.Add(obsFrameBytes(f, ObsCell, 1, []byte{0xde, 0xad, 0xbe, 0xef}))
+	f.Add(obsFrameBytes(f, ObsFinal, 0, []byte{1}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var d obs.Delta
+		var rep obs.AgentReport
+		fold := obs.NewRegistry()
+		frames := 0
+		var lastSeq uint64
+		seenSeq := false
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				return
+			}
+			switch fr.Type {
+			case TypeObs:
+				oh, body, err := ParseObs(fr.Payload)
+				if err != nil {
+					break
+				}
+				if oh.Kind != ObsCell && oh.Kind != ObsFinal {
+					t.Fatalf("ParseObs admitted kind %#x", oh.Kind)
+				}
+				// Both payload decoders must fail closed on garbage; a
+				// successful delta decode must fold without panicking.
+				if oh.Kind == ObsCell {
+					if err := d.Decode(body); err == nil {
+						fold.FoldDelta(&d)
+					}
+				} else {
+					_ = obs.DecodeReport(body, &rep)
+				}
+			case TypePartial:
+				if h, err := DecodePartial(fr.Payload, fbflow.NewPartial()); err == nil {
+					// OBS frames between partials must not reset or advance
+					// the strict seq ordering of the dataset stream.
+					if seenSeq && h.Seq <= lastSeq {
+						t.Fatalf("obs frames perturbed partial seq: %d after %d", h.Seq, lastSeq)
+					}
+					seenSeq, lastSeq = true, h.Seq
+				}
+			case TypeHello, TypeWelcome, TypeFin:
 			default:
 				t.Fatalf("reader returned unknown frame type %#x", fr.Type)
 			}

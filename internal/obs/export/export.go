@@ -1,0 +1,152 @@
+// Package export renders a run's span-event ledgers as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. For a distributed run the aggregator's own ledger
+// and every agent's federated report land on one timeline: all
+// processes run on one host, so their unix-nanosecond clocks agree to
+// well under a frame width, and each process becomes one Perfetto
+// process track (pid 0 = aggregator, pid 1+N = agent N). Frontier-stall
+// spans recorded by the aggregator (`frontier-stall:agent-N`) annotate
+// which agent the merge frontier was waiting on and for how long.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fbdcnet/internal/obs"
+)
+
+// Proc is one process track on the exported timeline.
+type Proc struct {
+	PID    int
+	Name   string
+	Events []obs.SpanEvent
+}
+
+// FromRun assembles the process tracks of a distributed run: the
+// aggregator's own registry ledger plus every federated agent report.
+// Nil reports (an agent that never delivered one) are skipped; a nil
+// registry contributes no aggregator track.
+func FromRun(agg *obs.Registry, reports []*obs.AgentReport) []Proc {
+	var procs []Proc
+	if agg.Enabled() {
+		evs, _ := agg.SpanEvents()
+		procs = append(procs, Proc{PID: 0, Name: "aggregator", Events: evs})
+	}
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		procs = append(procs, Proc{
+			PID:    1 + int(rep.AgentID),
+			Name:   fmt.Sprintf("agent-%d", rep.AgentID),
+			Events: rep.Events,
+		})
+	}
+	return procs
+}
+
+// traceEvent is one Chrome trace-event object. Ts and Dur are in
+// microseconds per the trace-event format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of a trace (the array format is
+// also legal but cannot carry displayTimeUnit).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the process tracks as Chrome trace-event JSON.
+// Timestamps are normalized to the earliest event so the trace opens at
+// t=0 regardless of wall-clock epoch.
+func ChromeTrace(procs []Proc) ([]byte, error) {
+	base := int64(0)
+	first := true
+	for _, p := range procs {
+		for _, e := range p.Events {
+			if first || e.StartNs < base {
+				base, first = e.StartNs, false
+			}
+		}
+	}
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, p := range procs {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: p.PID,
+			Args: map[string]any{"name": p.Name},
+		})
+		for _, e := range p.Events {
+			if e.EndNs < e.StartNs {
+				return nil, fmt.Errorf("export: event %q in %s ends before it starts", e.Name, p.Name)
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: e.Name, Ph: "X",
+				Ts:  float64(e.StartNs-base) / 1e3,
+				Dur: float64(e.EndNs-e.StartNs) / 1e3,
+				PID: p.PID,
+			})
+		}
+	}
+	return json.MarshalIndent(tf, "", " ")
+}
+
+// WriteFile renders the tracks and writes the trace JSON to path.
+func WriteFile(path string, procs []Proc) error {
+	data, err := ChromeTrace(procs)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate structurally checks Chrome trace-event JSON: a non-empty
+// traceEvents array whose entries carry the required fields with sane
+// values — the same check CI applies to exported traces.
+func Validate(data []byte) error {
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("export: trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("export: trace has no events")
+	}
+	for i, ev := range tf.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("export: event %d has no name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("export: event %d (%s) has no phase", i, name)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("export: event %d (%s) has no pid", i, name)
+		}
+		switch ph {
+		case "M":
+		case "X":
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				return fmt.Errorf("export: event %d (%s) has a bad ts", i, name)
+			}
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				return fmt.Errorf("export: event %d (%s) has a negative dur", i, name)
+			}
+		default:
+			return fmt.Errorf("export: event %d (%s) has unsupported phase %q", i, name, ph)
+		}
+	}
+	return nil
+}

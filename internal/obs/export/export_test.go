@@ -1,0 +1,128 @@
+package export
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fbdcnet/internal/obs"
+)
+
+func sampleProcs() []Proc {
+	base := time.Now().UnixNano()
+	return []Proc{
+		{PID: 0, Name: "aggregator", Events: []obs.SpanEvent{
+			{Name: "fleet-aggregate", StartNs: base, EndNs: base + 5e6},
+			{Name: "frontier-stall:agent-1", StartNs: base + 1e6, EndNs: base + 2e6},
+		}},
+		{PID: 1, Name: "agent-0", Events: []obs.SpanEvent{
+			{Name: "fleet-agent-0", StartNs: base + 1e5, EndNs: base + 4e6},
+		}},
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	data, err := ChromeTrace(sampleProcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("generated trace fails own validation: %v", err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	// 2 metadata + 3 duration events.
+	var meta, dur int
+	minTs := -1.0
+	for _, ev := range tf.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if ev["name"] != "process_name" {
+				t.Errorf("metadata event name = %v", ev["name"])
+			}
+		case "X":
+			dur++
+			ts := ev["ts"].(float64)
+			if minTs < 0 || ts < minTs {
+				minTs = ts
+			}
+		}
+	}
+	if meta != 2 || dur != 3 {
+		t.Errorf("got %d metadata + %d duration events, want 2 + 3", meta, dur)
+	}
+	// Timestamps are normalized to the earliest span.
+	if minTs != 0 {
+		t.Errorf("earliest ts = %v, want 0 (normalized)", minTs)
+	}
+}
+
+func TestFromRunAssignsPIDs(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.RecordSpanAt("fleet-aggregate", time.Now().Add(-time.Second), time.Now())
+	reports := []*obs.AgentReport{
+		{AgentID: 0, Events: []obs.SpanEvent{{Name: "a", StartNs: 1, EndNs: 2}}},
+		nil, // dead agent never reported
+		{AgentID: 2, Events: []obs.SpanEvent{{Name: "c", StartNs: 3, EndNs: 4}}},
+	}
+	procs := FromRun(reg, reports)
+	pids := map[int]string{}
+	for _, p := range procs {
+		pids[p.PID] = p.Name
+	}
+	if pids[0] != "aggregator" {
+		t.Errorf("pid 0 = %q, want aggregator", pids[0])
+	}
+	if pids[1] != "agent-0" || pids[3] != "agent-2" {
+		t.Errorf("agent pids wrong: %v", pids)
+	}
+	if _, ok := pids[2]; ok {
+		t.Errorf("nil report produced a proc: %v", pids)
+	}
+	// Disabled registry: no aggregator proc.
+	procs = FromRun(nil, reports)
+	for _, p := range procs {
+		if p.PID == 0 {
+			t.Errorf("disabled registry still produced aggregator proc")
+		}
+	}
+}
+
+func TestWriteFileAndValidate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteFile(path, sampleProcs()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no events":       `{"traceEvents": []}`,
+		"missing ph":      `{"traceEvents": [{"name": "x", "pid": 0}]}`,
+		"bad ph":          `{"traceEvents": [{"name": "x", "ph": "Q", "pid": 0}]}`,
+		"missing pid":     `{"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]}`,
+		"negative ts":     `{"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "ts": -5}]}`,
+		"negative dur":    `{"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "ts": 0, "dur": -1}]}`,
+		"non-string name": `{"traceEvents": [{"name": 7, "ph": "X", "pid": 0, "ts": 0}]}`,
+	}
+	for name, data := range cases {
+		if err := Validate([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -50,6 +50,19 @@ type HistRecord struct {
 	Buckets map[string]int64 `json:"buckets"`
 }
 
+// AgentRecord is one fleet agent's section in a federated (distributed
+// run) manifest: its restart history, coverage gaps, final gauges, and
+// the stage timings its last incarnation reported over the wire.
+type AgentRecord struct {
+	Agent        int                `json:"agent"`
+	Incarnations int64              `json:"incarnations"`
+	Restarts     int64              `json:"restarts"`
+	GapCells     int                `json:"gap_cells"`
+	SpanEvents   int                `json:"span_events"`
+	Stages       []StageRecord      `json:"stages"`
+	Gauges       map[string]float64 `json:"gauges"`
+}
+
 // ProgressRecord is one task's final completion state.
 type ProgressRecord struct {
 	Task  string `json:"task"`
@@ -74,6 +87,11 @@ type Manifest struct {
 	Gauges        map[string]float64 `json:"gauges"`
 	Histograms    []HistRecord       `json:"histograms"`
 	Progress      []ProgressRecord   `json:"progress"`
+
+	// Agents is present only on distributed-run manifests written by the
+	// aggregator: one record per fleet agent, built from the AgentReports
+	// federated over fbwire.
+	Agents []AgentRecord `json:"agents,omitempty"`
 }
 
 // GitRev returns the VCS revision stamped into the binary, or "" when

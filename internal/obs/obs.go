@@ -90,9 +90,34 @@ type Registry struct {
 	spanOrder []string
 	spans     map[string]*spanStats
 
+	// events is the bounded span-event ledger behind the unified run
+	// timeline: every completed span's [start, end] on the wall clock, in
+	// completion order. Past maxSpanEvents new events are dropped and
+	// counted, so a pathological run degrades the trace, not the process.
+	events        []SpanEvent
+	eventsDropped int64
+
 	progOrder []string
 	progress  map[string]*progressState
+
+	// panels are preformatted text blocks rendered on the live progress
+	// page (e.g. the aggregator's agent-liveness table).
+	panelOrder []string
+	panels     map[string]string
 }
+
+// SpanEvent is one completed span occurrence on the wall clock, in unix
+// nanoseconds. Events from different processes on the same host share
+// the clock, which is what lets obs/export lay a whole distributed run
+// on one timeline.
+type SpanEvent struct {
+	Name    string
+	StartNs int64
+	EndNs   int64
+}
+
+// maxSpanEvents bounds the per-registry event ledger.
+const maxSpanEvents = 8192
 
 // NewRegistry returns an empty registry with its start time stamped.
 func NewRegistry() *Registry {
@@ -104,6 +129,7 @@ func NewRegistry() *Registry {
 		series:     map[string]float64{},
 		spans:      map[string]*spanStats{},
 		progress:   map[string]*progressState{},
+		panels:     map[string]string{},
 	}
 }
 
@@ -129,6 +155,12 @@ func (r *Registry) Counter(name, help string) CounterID {
 	if id, ok := r.counterIDs[name]; ok {
 		return id
 	}
+	return r.counterLocked(name, help)
+}
+
+// counterLocked registers a counter. Caller holds r.mu and has checked
+// the name is new.
+func (r *Registry) counterLocked(name, help string) CounterID {
 	id := CounterID(len(r.counterNames))
 	r.counterIDs[name] = id
 	r.counterNames = append(r.counterNames, name)
@@ -147,6 +179,12 @@ func (r *Registry) Histogram(name, help string) HistID {
 	if id, ok := r.histIDs[name]; ok {
 		return id
 	}
+	return r.histogramLocked(name, help)
+}
+
+// histogramLocked registers a histogram. Caller holds r.mu and has
+// checked the name is new.
+func (r *Registry) histogramLocked(name, help string) HistID {
 	id := HistID(len(r.histNames))
 	r.histIDs[name] = id
 	r.histNames = append(r.histNames, name)
@@ -404,6 +442,60 @@ func (r *Registry) CounterValue(name string) int64 {
 		return 0
 	}
 	return r.counters[id]
+}
+
+// HistogramCount reads a folded histogram's observation count (test and
+// federation-equality helper; the count — unlike the wall-time sum — is
+// comparable across runs and modes).
+func (r *Registry) HistogramCount(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.histIDs[name]
+	if !ok {
+		return 0
+	}
+	return r.hists[id].count
+}
+
+// SpanEvents returns a copy of the span-event ledger and the number of
+// events dropped past the ledger cap.
+func (r *Registry) SpanEvents() ([]SpanEvent, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanEvent, len(r.events))
+	copy(out, r.events)
+	return out, r.eventsDropped
+}
+
+// addEventLocked appends one completed span to the ledger. Caller holds
+// r.mu.
+func (r *Registry) addEventLocked(name string, startNs, endNs int64) {
+	if len(r.events) >= maxSpanEvents {
+		r.eventsDropped++
+		return
+	}
+	r.events = append(r.events, SpanEvent{Name: name, StartNs: startNs, EndNs: endNs})
+}
+
+// SetPanel installs (or replaces) a named preformatted text block on the
+// live progress page. Panels are rendered verbatim after the progress
+// bars, in first-registration order.
+func (r *Registry) SetPanel(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.panels[name]; !ok {
+		r.panelOrder = append(r.panelOrder, name)
+	}
+	r.panels[name] = text
+	r.mu.Unlock()
 }
 
 // SeriesValue reads a labeled series value (test helper).

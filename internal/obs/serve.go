@@ -196,6 +196,9 @@ func (r *Registry) ProgressText() string {
 		fmt.Fprintf(&b, "  %-28s %-7s runs=%-5d wall=%8.2fs cpu=%8.2fs\n",
 			name, state, st.count, float64(st.wallNs)/1e9, float64(st.cpuNs)/1e9)
 	}
+	for _, name := range r.panelOrder {
+		fmt.Fprintf(&b, "\n%s:\n%s", name, r.panels[name])
+	}
 	return b.String()
 }
 

@@ -50,7 +50,8 @@ func (s Span) End() {
 	if s.r == nil {
 		return
 	}
-	wall := time.Since(s.t0)
+	end := time.Now()
+	wall := end.Sub(s.t0)
 	cpu := processCPUNs() - s.cpu0
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -65,6 +66,7 @@ func (s Span) End() {
 	}
 	st.allocs += ms.Mallocs - s.allocs0
 	st.bytes += ms.TotalAlloc - s.bytes0
+	r.addEventLocked(s.name, s.t0.UnixNano(), end.UnixNano())
 	r.mu.Unlock()
 }
 
@@ -79,6 +81,25 @@ func (r *Registry) RecordSpan(name string, wall time.Duration) {
 	st := r.spanStats(name)
 	st.count++
 	st.wallNs += wall.Nanoseconds()
+	r.mu.Unlock()
+}
+
+// RecordSpanAt folds one completed execution measured by the caller with
+// known wall-clock endpoints, placing it on the timeline ledger as well
+// as in the stage totals — used for spans whose lifetime outlives any
+// one stack frame (an agent connection, a frontier stall).
+func (r *Registry) RecordSpanAt(name string, start, end time.Time) {
+	if r == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	r.mu.Lock()
+	st := r.spanStats(name)
+	st.count++
+	st.wallNs += end.Sub(start).Nanoseconds()
+	r.addEventLocked(name, start.UnixNano(), end.UnixNano())
 	r.mu.Unlock()
 }
 

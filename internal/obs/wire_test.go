@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// wireTestRegistry builds a registry shaped like the core fleet metrics:
+// a few counters and histograms with registered IDs.
+func wireTestRegistry() (*Registry, []CounterID, []HistID) {
+	r := NewRegistry()
+	cids := []CounterID{
+		r.Counter("fbdcnet_fleet_flow_attempts_total", "offered flows"),
+		r.Counter("fbdcnet_fleet_records_total", "sampled records"),
+		r.Counter("fbdcnet_fleet_matrix_cells_total", "matrix cells"),
+	}
+	hids := []HistID{
+		r.Histogram("fbdcnet_fleet_shard_us", "per-shard wall micros"),
+		r.Histogram("fbdcnet_merge_bytes", "merge sizes"),
+	}
+	return r, cids, hids
+}
+
+func fillShard(sh *Shard, cids []CounterID, hids []HistID, salt int64) {
+	sh.Add(cids[0], 100+salt)
+	sh.Add(cids[1], 40+salt)
+	// cids[2] stays zero: zero slots must not appear on the wire.
+	sh.Observe(hids[0], 17+salt)
+	sh.Observe(hids[0], 1200+salt)
+	sh.Observe(hids[1], 1<<20)
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	src, cids, hids := wireTestRegistry()
+	sh := src.NewShard()
+	fillShard(sh, cids, hids, 3)
+
+	buf := sh.AppendDelta(nil)
+	sh.Fold()
+
+	dst, _, _ := wireTestRegistry()
+	var d Delta
+	if err := d.Decode(buf); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(d.Counters) != 2 {
+		t.Fatalf("decoded %d counters, want 2 (zero slots must be skipped)", len(d.Counters))
+	}
+	dst.FoldDelta(&d)
+
+	for _, name := range []string{"fbdcnet_fleet_flow_attempts_total", "fbdcnet_fleet_records_total", "fbdcnet_fleet_matrix_cells_total"} {
+		if got, want := dst.CounterValue(name), src.CounterValue(name); got != want {
+			t.Errorf("counter %s: folded %d, source %d", name, got, want)
+		}
+	}
+	for _, name := range []string{"fbdcnet_fleet_shard_us", "fbdcnet_merge_bytes"} {
+		if got, want := dst.HistogramCount(name), src.HistogramCount(name); got != want {
+			t.Errorf("histogram %s: folded count %d, source %d", name, got, want)
+		}
+	}
+	// The exposition must agree too — buckets and sums fold exactly.
+	if got, want := dst.PrometheusText(), src.PrometheusText(); got != want {
+		t.Errorf("federated exposition differs from source:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+func TestDeltaFoldRegistersUnknownNames(t *testing.T) {
+	src, cids, hids := wireTestRegistry()
+	sh := src.NewShard()
+	fillShard(sh, cids, hids, 0)
+	buf := sh.AppendDelta(nil)
+
+	dst := NewRegistry() // empty: every folded name is new
+	var d Delta
+	if err := d.Decode(buf); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	dst.FoldDelta(&d)
+	if got := dst.CounterValue("fbdcnet_fleet_flow_attempts_total"); got != 100 {
+		t.Errorf("lazily registered counter = %d, want 100", got)
+	}
+	if got := dst.HistogramCount("fbdcnet_fleet_shard_us"); got != 2 {
+		t.Errorf("lazily registered histogram count = %d, want 2", got)
+	}
+}
+
+func TestDeltaDecodeRejectsMalformed(t *testing.T) {
+	src, cids, hids := wireTestRegistry()
+	sh := src.NewShard()
+	fillShard(sh, cids, hids, 0)
+	valid := sh.AppendDelta(nil)
+
+	var d Delta
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    {99},
+		"truncated":      valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte{}, valid...), 0xFF),
+		"huge count":     {obsWireVersion, 0xFF, 0xFF},
+	}
+	for name, data := range cases {
+		if err := d.Decode(data); err == nil {
+			t.Errorf("%s: decode accepted malformed payload", name)
+		}
+	}
+	// Every truncation point must error, never panic.
+	for i := 0; i < len(valid); i++ {
+		if err := d.Decode(valid[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	if err := d.Decode(valid); err != nil {
+		t.Fatalf("valid payload rejected after malformed runs: %v", err)
+	}
+}
+
+func TestAgentReportRoundTrip(t *testing.T) {
+	r, cids, hids := wireTestRegistry()
+	sh := r.NewShard()
+	fillShard(sh, cids, hids, 0)
+	sh.Fold()
+	r.SetGauge("fbdcnet_agent_0_tx_bytes", 12345)
+	r.Count(Series("fbdcnet_x_total", "arm", "a"), 7)
+	sp := r.StartSpan("fleet-agent-0")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.RecordSpanAt("conn", time.Now().Add(-time.Second), time.Now())
+
+	buf := r.AppendReport(nil, 4, 2)
+	var rep AgentReport
+	if err := DecodeReport(buf, &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.AgentID != 4 || rep.Incarnation != 2 {
+		t.Errorf("identity = (%d, %d), want (4, 2)", rep.AgentID, rep.Incarnation)
+	}
+	if rep.StartUnixNs != r.Start().UnixNano() {
+		t.Errorf("start = %d, want %d", rep.StartUnixNs, r.Start().UnixNano())
+	}
+	gauges := map[string]float64{}
+	for _, g := range rep.Gauges {
+		gauges[g.Name] = g.V
+	}
+	if gauges["fbdcnet_agent_0_tx_bytes"] != 12345 {
+		t.Errorf("gauge not carried: %v", gauges)
+	}
+	series := map[string]float64{}
+	for _, s := range rep.Series {
+		series[s.Name] = s.V
+	}
+	if series[Series("fbdcnet_x_total", "arm", "a")] != 7 {
+		t.Errorf("series not carried: %v", series)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(rep.Stages))
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("events = %d, want 2 (span End + RecordSpanAt)", len(rep.Events))
+	}
+	for _, ev := range rep.Events {
+		if ev.EndNs < ev.StartNs {
+			t.Errorf("event %s ends before start", ev.Name)
+		}
+	}
+	// Malformed report payloads error, never panic.
+	for i := 0; i < len(buf); i += 3 {
+		if err := DecodeReport(buf[:i], &rep); err == nil {
+			t.Errorf("report truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestSpanEventLedgerBounded(t *testing.T) {
+	r := NewRegistry()
+	now := time.Now()
+	for i := 0; i < maxSpanEvents+100; i++ {
+		r.RecordSpanAt("x", now, now)
+	}
+	evs, dropped := r.SpanEvents()
+	if len(evs) != maxSpanEvents {
+		t.Errorf("ledger holds %d events, cap %d", len(evs), maxSpanEvents)
+	}
+	if dropped != 100 {
+		t.Errorf("dropped = %d, want 100", dropped)
+	}
+}
+
+// TestObsWireSteadyStateAllocs pins the snapshot-and-send path at zero
+// allocations per cell: encode from a warm shard into a reused buffer,
+// decode into a reused Delta, fold into a warm registry.
+func TestObsWireSteadyStateAllocs(t *testing.T) {
+	src, cids, hids := wireTestRegistry()
+	sh := src.NewShard()
+	dst, _, _ := wireTestRegistry()
+	var d Delta
+	var buf []byte
+	// Warm every lazy capacity before measuring.
+	fillShard(sh, cids, hids, 1)
+	buf = sh.AppendDelta(buf[:0])
+	sh.Fold()
+	if err := d.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	dst.FoldDelta(&d)
+
+	if n := testing.AllocsPerRun(200, func() {
+		fillShard(sh, cids, hids, 1)
+		buf = sh.AppendDelta(buf[:0])
+		sh.Fold()
+	}); n != 0 {
+		t.Errorf("encode path allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := d.Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+		dst.FoldDelta(&d)
+	}); n != 0 {
+		t.Errorf("decode+fold path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestNilShardAppendsNothing(t *testing.T) {
+	var sh *Shard
+	buf := []byte("seed")[:0]
+	out := sh.AppendDelta(buf)
+	if len(out) != 0 {
+		t.Errorf("nil shard appended %d bytes", len(out))
+	}
+	var r *Registry
+	rep := r.AppendReport(nil, 1, 0)
+	var decoded AgentReport
+	if err := DecodeReport(rep, &decoded); err != nil {
+		t.Fatalf("nil-registry report must still decode: %v", err)
+	}
+	if len(decoded.Gauges)+len(decoded.Series)+len(decoded.Stages)+len(decoded.Events) != 0 {
+		t.Errorf("nil-registry report not empty: %+v", decoded)
+	}
+	if !bytes.Equal(out, []byte{}) && out != nil {
+		t.Errorf("unexpected buffer state")
+	}
+}

@@ -1,0 +1,90 @@
+package fbdcnet
+
+import (
+	"testing"
+
+	"fbdcnet/internal/obs"
+)
+
+// benchObsRegistry builds a registry shaped like an agent's steady
+// state: the core fleet counters plus a few histograms, the set a real
+// shard touches every (window, shard) cell.
+func benchObsRegistry() (*obs.Registry, []obs.CounterID, []obs.HistID) {
+	r := obs.NewRegistry()
+	cids := []obs.CounterID{
+		r.Counter("fbdcnet_fleet_flow_attempts_total", "offered flows"),
+		r.Counter("fbdcnet_fleet_records_total", "sampled records"),
+		r.Counter("fbdcnet_fleet_matrix_cells_total", "matrix cells"),
+		r.Counter("fbdcnet_fleet_tasks_total", "cells computed"),
+		r.Counter("fbdcnet_merge_ops_total", "merges"),
+		r.Counter("fbdcnet_wire_frames_total", "frames"),
+	}
+	hids := []obs.HistID{
+		r.Histogram("fbdcnet_fleet_shard_us", "per-shard wall micros"),
+		r.Histogram("fbdcnet_merge_bytes", "merge sizes"),
+	}
+	return r, cids, hids
+}
+
+func benchFillShard(sh *obs.Shard, cids []obs.CounterID, hids []obs.HistID, i int) {
+	for k, c := range cids {
+		sh.Add(c, int64(100+i+k))
+	}
+	sh.Observe(hids[0], int64(10+i%1000))
+	sh.Observe(hids[0], int64(1<<(i%20)))
+	sh.Observe(hids[1], int64(60000+i))
+}
+
+// BenchmarkObsDeltaEncode measures the agent-side metrics side-channel:
+// one per-cell delta snapshot (6 counters + 2 histograms) appended into
+// a reusable buffer, then folded into the agent's own registry. This
+// runs once per (window, shard) cell alongside the PARTIAL encode, so
+// it must be allocation-free and a rounding error next to the ~16 µs
+// partial encode. BENCH_PR9.json gates ns/op and bytes/frame.
+func BenchmarkObsDeltaEncode(b *testing.B) {
+	reg, cids, hids := benchObsRegistry()
+	sh := reg.NewShard()
+	// Warm the buffer and the shard's lazy slots.
+	benchFillShard(sh, cids, hids, 0)
+	buf := sh.AppendDelta(nil)
+	sh.Fold()
+	var bytesOut int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchFillShard(sh, cids, hids, i)
+		buf = sh.AppendDelta(buf[:0])
+		bytesOut += int64(len(buf))
+		sh.Fold()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytesOut)/float64(b.N), "bytes/frame")
+}
+
+// BenchmarkObsDeltaDecode measures the aggregator side: decode one
+// parked delta payload into a reused Delta (names alias the payload)
+// and fold it into the federated registry at the merge frontier.
+// BENCH_PR9.json gates ns/op.
+func BenchmarkObsDeltaDecode(b *testing.B) {
+	src, cids, hids := benchObsRegistry()
+	sh := src.NewShard()
+	benchFillShard(sh, cids, hids, 0)
+	wire := sh.AppendDelta(nil)
+
+	dst, _, _ := benchObsRegistry()
+	var d obs.Delta
+	// Warm the Delta's entry capacity and the registry's name table.
+	if err := d.Decode(wire); err != nil {
+		b.Fatal(err)
+	}
+	dst.FoldDelta(&d)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+		dst.FoldDelta(&d)
+	}
+}
