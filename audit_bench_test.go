@@ -1,0 +1,61 @@
+package fbdcnet
+
+import (
+	"testing"
+
+	"fbdcnet/internal/obs/audit"
+)
+
+// BenchmarkAuditLedger measures the full per-cell audit cost on the
+// fleet emit path: folding a representative cell's worth of record
+// items (64 sampled records × 6 words, the tiny-preset shape) into a
+// stack-allocated streaming hash, then sealing it into the recorder's
+// ledger. This runs once per (window, shard) cell next to the ~16 µs
+// partial encode, so it must be allocation-free — the ledger reuses its
+// slice across Reset cycles exactly like the serve loop does.
+// BENCH_PR10.json gates ns/op; allocs/op must stay 0.
+func BenchmarkAuditLedger(b *testing.B) {
+	rec := audit.New()
+	// Warm the ledger to its steady-state capacity, then Reset: appends
+	// below reuse the slice, so the loop measures the fold + record cost
+	// alone (testing.AllocsPerRun pins the same thing in the unit tests).
+	const cellsPerRun = 4096
+	for i := 0; i < cellsPerRun; i++ {
+		rec.Append(audit.Checkpoint{Stage: audit.StageFleetCollect})
+	}
+	rec.Reset()
+	cell := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var h audit.Hash
+		for rec64 := 0; rec64 < 64; rec64++ {
+			base := uint64(i + rec64)
+			h.U64(base)       // minute
+			h.U64(base >> 1)  // src
+			h.U64(base >> 2)  // dst
+			h.U64(base & 7)   // locality
+			h.F64(float64(i)) // bytes
+			h.F64(1500)       // packets
+		}
+		rec.Record(audit.StageFleetCollect, cell&1023, cell>>10, &h)
+		cell++
+		if cell == cellsPerRun {
+			cell = 0
+			rec.Reset()
+		}
+	}
+}
+
+// BenchmarkAuditBlackBox measures one structured breadcrumb into the
+// crash ring: the cost every frame send, cell merge, and stage
+// transition pays when -audit is on. The ring is fixed-size, so the
+// steady state is a mutex hold plus one slot write — zero allocations.
+func BenchmarkAuditBlackBox(b *testing.B) {
+	bb := audit.NewBlackBox(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb.Record(audit.EvCellMerge, audit.StageFleetCollect, int64(i&1023), int64(i>>10))
+	}
+}

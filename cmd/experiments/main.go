@@ -31,6 +31,7 @@ import (
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/obs/export"
 	"fbdcnet/internal/prof"
 	"fbdcnet/internal/telemetry"
@@ -73,6 +74,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress)")
 	manifestPath := flag.String("manifest", "run_manifest.json", "write the run manifest (config, stage timings, counters; distributed runs add the per-agent section) to this file; empty disables")
+	auditFlag := flag.Bool("audit", false, "record the determinism flight recorder: per-cell checkpoint digests into the manifest audit section plus a crash black box (compare manifests with cmd/digestdiff)")
+	auditOut := flag.String("audit-out", "", "with -audit: write the black-box JSON dump to this file on panic, SIGQUIT, or a planned agent kill")
+	auditPerturb := flag.String("audit-perturb", "", "with -audit: plant a ledger-only divergence at fleet-collect cell W:S (testing aid for digestdiff and CI; experiment outputs stay untouched)")
 	traceOut := flag.String("trace-out", "", "write the run timeline (all agents plus the aggregator on one clock) as Chrome trace-event JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress informational diagnostics on stderr (warnings and errors still print)")
 	flag.Parse()
@@ -112,6 +116,25 @@ func main() {
 		cfg.FleetWindows = *windows
 	}
 	cfg.Obs = obs.NewRegistry()
+	if *auditFlag {
+		cfg.Audit = audit.New()
+		bb := audit.NewBlackBox(0)
+		cfg.Audit.SetBlackBox(bb)
+		defer bb.HandlePanic(*auditOut)
+		bb.InstallSignalDump(*auditOut)
+		if *auditPerturb != "" {
+			w, s, err := parsePerturb(*auditPerturb)
+			if err != nil {
+				logger.Error("bad -audit-perturb", "err", err)
+				os.Exit(2)
+			}
+			cfg.Audit.Perturb(w, s)
+			logger.Warn("planted ledger divergence", "window", w, "shard", s)
+		}
+	} else if *auditPerturb != "" {
+		logger.Error("-audit-perturb requires -audit")
+		os.Exit(2)
+	}
 	if *pathsOut != "" && cfg.TraceSample <= 0 {
 		logger.Error("-paths-out needs a positive -trace-sample")
 		os.Exit(2)
@@ -136,16 +159,22 @@ func main() {
 			logger.Info("agent metrics endpoint listening", "agent", *fleetAgentID, "addr", srv.Addr())
 		}
 		runFleetAgent(sys, *fleetAgentID, *fleetAgentCount, *fleetAgentInc,
-			*fleetAgentConnect, *agentFaults, logger)
+			*fleetAgentConnect, *agentFaults, *auditOut, logger)
 		return
 	}
 	if *distributed > 0 {
-		if *metricsAddr != "" {
-			// Agents run -quiet; announce their derived endpoints here.
-			for a := 0; a < *distributed; a++ {
-				if addr := core.AgentMetricsAddr(*metricsAddr, a); addr != "" {
-					logger.Info("agent metrics endpoint", "agent", a, "addr", addr)
-				}
+		// Derive and validate every agent endpoint up front: a collision
+		// or port overflow fails the launch instead of one agent dying
+		// later with "address already in use". Agents run -quiet, so the
+		// resolved table is announced here.
+		addrs, err := core.AgentMetricsAddrs(*metricsAddr, *distributed, *metricsAddr)
+		if err != nil {
+			logger.Error("deriving agent metrics endpoints", "err", err)
+			os.Exit(2)
+		}
+		for a, addr := range addrs {
+			if addr != "" {
+				logger.Info("agent metrics endpoint", "agent", a, "addr", addr)
 			}
 		}
 		gaps, err := sys.CollectFleetDistributed(*distributed,
@@ -196,6 +225,7 @@ func main() {
 	if *manifestPath != "" {
 		m := cfg.Obs.Manifest(cfg.ManifestMeta("experiments"))
 		m.Agents = sys.AgentManifestRecords()
+		m.Audit = cfg.Audit.Section()
 		if err := m.Validate(); err != nil {
 			logger.Warn("manifest fails schema validation", "err", err)
 		}
@@ -249,7 +279,7 @@ func writePaths(path string, sys *core.System) error {
 // re-exec: dial the aggregator, stream this shard range, and exit with
 // core.AgentCrashExitCode when the seed-planned crash point is reached
 // so the parent restarts the next incarnation.
-func runFleetAgent(sys *core.System, id, agents, incarnation int, connect string, faults bool, logger *slog.Logger) {
+func runFleetAgent(sys *core.System, id, agents, incarnation int, connect string, faults bool, auditOut string, logger *slog.Logger) {
 	crashAfter := int64(-1)
 	if faults {
 		if plan := sys.PlanAgentCrash(agents); plan.Agent == id && incarnation == 0 {
@@ -264,6 +294,9 @@ func runFleetAgent(sys *core.System, id, agents, incarnation int, connect string
 	err = sys.RunFleetAgent(id, agents, uint32(incarnation), conn, crashAfter)
 	conn.Close()
 	if errors.Is(err, core.ErrPlannedCrash) {
+		// The planned kill is the black box's flight-recorder moment:
+		// dump the ring before the process dies so the gap is debuggable.
+		sys.Cfg.Audit.BB().Dump(auditOut, "planned-crash")
 		os.Exit(core.AgentCrashExitCode)
 	}
 	if err != nil {
@@ -296,11 +329,34 @@ func fleetAgentArgs(cfg core.Config, agents int, faults bool, metricsAddr string
 		if faults {
 			args = append(args, "-agent-faults")
 		}
+		if cfg.Audit.Enabled() {
+			// -audit propagates so agents ledger and forward their cells;
+			// -audit-perturb deliberately does NOT — the planted divergence
+			// belongs only to the aggregator's authoritative ledger.
+			args = append(args, "-audit")
+		}
 		if maddr := core.AgentMetricsAddr(metricsAddr, id); maddr != "" {
 			args = append(args, "-metrics-addr", maddr)
 		}
 		return args
 	}
+}
+
+// parsePerturb parses an -audit-perturb "W:S" cell spec.
+func parsePerturb(spec string) (window, shard int, err error) {
+	w, s, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("perturb spec %q is not WINDOW:SHARD", spec)
+	}
+	window, err = strconv.Atoi(w)
+	if err != nil || window < 0 {
+		return 0, 0, fmt.Errorf("perturb spec %q: bad window %q", spec, w)
+	}
+	shard, err = strconv.Atoi(s)
+	if err != nil || shard < 0 {
+		return 0, 0, fmt.Errorf("perturb spec %q: bad shard %q", spec, s)
+	}
+	return window, shard, nil
 }
 
 // validScenario rejects unknown -faults values before any work happens.

@@ -33,6 +33,7 @@ import (
 
 	"fbdcnet/internal/core"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/obs/export"
 	"fbdcnet/internal/topology"
 )
@@ -57,6 +58,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "with -single: worker goroutines (0 = GOMAXPROCS)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, / progress); with -spawn, agents serve on the same host at port+1+id")
 	manifestPath := flag.String("manifest", "", "write the run manifest JSON here (aggregator runs include the federated per-agent section)")
+	auditFlag := flag.Bool("audit", false, "record the determinism flight recorder: per-cell checkpoint digests into the manifest audit section plus a crash black box (compare manifests with cmd/digestdiff)")
+	auditOut := flag.String("audit-out", "", "with -audit: write the black-box JSON dump to this file on panic, SIGQUIT, or a planned agent kill")
+	auditPerturb := flag.String("audit-perturb", "", "with -audit: plant a ledger-only divergence at fleet-collect cell W:S (testing aid for digestdiff and CI; experiment outputs stay untouched)")
 	traceOut := flag.String("trace-out", "", "write the unified run timeline here as Chrome trace-event JSON (open in Perfetto)")
 	quiet := flag.Bool("quiet", false, "suppress informational diagnostics on stderr")
 	flag.Parse()
@@ -84,6 +88,25 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Taggers = *parallel
 	cfg.Obs = obs.NewRegistry()
+	if *auditFlag {
+		cfg.Audit = audit.New()
+		bb := audit.NewBlackBox(0)
+		cfg.Audit.SetBlackBox(bb)
+		defer bb.HandlePanic(*auditOut)
+		bb.InstallSignalDump(*auditOut)
+		if *auditPerturb != "" {
+			w, s, err := parsePerturb(*auditPerturb)
+			if err != nil {
+				logger.Error("bad -audit-perturb", "err", err)
+				os.Exit(2)
+			}
+			cfg.Audit.Perturb(w, s)
+			logger.Warn("planted ledger divergence", "window", w, "shard", s)
+		}
+	} else if *auditPerturb != "" {
+		logger.Error("-audit-perturb requires -audit")
+		os.Exit(2)
+	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		logger.Error("building system", "err", err)
@@ -102,7 +125,7 @@ func main() {
 
 	switch {
 	case *agentMode:
-		runAgent(sys, *agentID, *agents, *incarnation, *connect, *agentFaults, logger)
+		runAgent(sys, *agentID, *agents, *incarnation, *connect, *agentFaults, *auditOut, logger)
 	case *single:
 		printDigest(sys, logger)
 	default:
@@ -120,6 +143,7 @@ func writeObsArtifacts(sys *core.System, manifestPath, traceOut string, logger *
 	if manifestPath != "" {
 		m := sys.Cfg.Obs.Manifest(sys.Cfg.ManifestMeta("fbflowd"))
 		m.Agents = sys.AgentManifestRecords()
+		m.Audit = sys.Cfg.Audit.Section()
 		if err := m.Validate(); err != nil {
 			logger.Error("manifest failed schema validation", "err", err)
 			os.Exit(1)
@@ -141,7 +165,7 @@ func writeObsArtifacts(sys *core.System, manifestPath, traceOut string, logger *
 }
 
 // runAgent dials the aggregator and streams this agent's shard range.
-func runAgent(sys *core.System, id, agents, incarnation int, connect string, faults bool, logger *slog.Logger) {
+func runAgent(sys *core.System, id, agents, incarnation int, connect string, faults bool, auditOut string, logger *slog.Logger) {
 	if connect == "" {
 		logger.Error("-agent needs -connect")
 		os.Exit(2)
@@ -162,6 +186,9 @@ func runAgent(sys *core.System, id, agents, incarnation int, connect string, fau
 	conn.Close()
 	if errors.Is(err, core.ErrPlannedCrash) {
 		logger.Info("agent reached planned crash point", "agent", id, "task", crashAfter)
+		// The planned kill is the black box's flight-recorder moment:
+		// dump the ring before the process dies so the gap is debuggable.
+		sys.Cfg.Audit.BB().Dump(auditOut, "planned-crash")
 		os.Exit(core.AgentCrashExitCode)
 	}
 	if err != nil {
@@ -191,16 +218,31 @@ func runAggregator(sys *core.System, listen string, agents int, spawnLocal, faul
 		if faults {
 			args = append(args, "-agent-faults")
 		}
+		if sys.Cfg.Audit.Enabled() {
+			// -audit propagates so agents ledger and forward their cells;
+			// -audit-perturb deliberately does NOT — the planted divergence
+			// belongs only to the aggregator's authoritative ledger.
+			args = append(args, "-audit")
+		}
 		if addr := core.AgentMetricsAddr(metricsAddr, a); addr != "" {
 			args = append(args, "-metrics-addr", addr)
 		}
 		return args
 	}
-	if spawnLocal && metricsAddr != "" {
-		// Spawned agents run -quiet, so announce their derived endpoints
-		// here (a port-0 base makes each agent pick its own free port).
-		for a := 0; a < agents; a++ {
-			if addr := core.AgentMetricsAddr(metricsAddr, a); addr != "" {
+	if spawnLocal {
+		// Derive and validate the full per-agent endpoint table up front:
+		// a collision with the aggregator's own endpoint or a port
+		// overflow fails the launch here instead of one agent dying later
+		// with an opaque bind error. Spawned agents run -quiet, so this is
+		// also where their endpoints are announced (a port-0 base makes
+		// each agent pick its own free port).
+		addrs, err := core.AgentMetricsAddrs(metricsAddr, agents, metricsAddr)
+		if err != nil {
+			logger.Error("deriving agent metrics endpoints", "err", err)
+			os.Exit(2)
+		}
+		for a, addr := range addrs {
+			if addr != "" {
 				logger.Info("agent metrics endpoint", "agent", a, "addr", addr)
 			}
 		}
@@ -272,6 +314,23 @@ func runAggregator(sys *core.System, listen string, agents int, spawnLocal, faul
 		logger.Warn("coverage gaps recorded", "gaps", len(gaps), "cells", cells)
 	}
 	printDigest(sys, logger)
+}
+
+// parsePerturb parses an -audit-perturb "W:S" cell spec.
+func parsePerturb(spec string) (window, shard int, err error) {
+	w, s, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("perturb spec %q is not WINDOW:SHARD", spec)
+	}
+	window, err = strconv.Atoi(w)
+	if err != nil || window < 0 {
+		return 0, 0, fmt.Errorf("perturb spec %q: bad window %q", spec, w)
+	}
+	shard, err = strconv.Atoi(s)
+	if err != nil || shard < 0 {
+		return 0, 0, fmt.Errorf("perturb spec %q: bad shard %q", spec, s)
+	}
+	return window, shard, nil
 }
 
 // printDigest renders the canonical digest JSON on stdout.

@@ -12,10 +12,15 @@
 // With -trace the arguments are Chrome trace-event JSON files (written
 // via -trace-out) and each is structurally validated instead.
 //
+// With -audit each manifest must additionally carry a decodable audit
+// checkpoint ledger — the gate CI applies to runs launched with -audit,
+// so a run that silently dropped its ledger fails the build.
+//
 // Usage:
 //
 //	manifestcheck run_manifest.json [more.json ...]
 //	manifestcheck -trace run_trace.json [more.json ...]
+//	manifestcheck -audit run_manifest.json [more.json ...]
 //
 // Exit status is 0 when every file validates, 1 otherwise.
 package main
@@ -59,6 +64,7 @@ func checkMemCeiling(m *obs.Manifest) error {
 
 func main() {
 	trace := flag.Bool("trace", false, "arguments are Chrome trace-event JSON files; validate their structure instead of the manifest schema")
+	auditReq := flag.Bool("audit", false, "require a valid audit checkpoint ledger in each manifest (fails manifests written without -audit)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-trace] FILE.json [...]")
@@ -95,6 +101,16 @@ func main() {
 		if err := checkMemCeiling(&m); err != nil {
 			fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
 			bad++
+			continue
+		}
+		if *auditReq {
+			cps, err := m.Audit.Decode()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "manifestcheck: %s: %v\n", path, err)
+				bad++
+				continue
+			}
+			fmt.Printf("manifestcheck: %s ok (audit: %d checkpoints, %d holes)\n", path, len(cps), m.Audit.Holes)
 			continue
 		}
 		fmt.Printf("manifestcheck: %s ok\n", path)

@@ -19,6 +19,7 @@ import (
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/services"
 	"fbdcnet/internal/topology"
@@ -113,6 +114,16 @@ type Config struct {
 	// enabling metrics cannot perturb any experiment output. Nil disables
 	// collection entirely (every obs method on nil is a no-op).
 	Obs *obs.Registry
+
+	// Audit, when non-nil, is the determinism flight recorder: every
+	// pipeline stage folds a streaming content hash of its canonical
+	// output into a per-cell checkpoint ledger (see internal/obs/audit).
+	// Auditing holds the same contract as Obs: it observes but never
+	// participates — the canonical digest is byte-identical with audit
+	// on or off, and the ledger itself is identical at any worker or
+	// agent count. Nil disables recording entirely (every audit method
+	// on nil is a no-op).
+	Audit *audit.Recorder
 }
 
 // Workers resolves Parallelism to a concrete worker count.
@@ -364,6 +375,7 @@ func (s *System) generateTrace(role topology.Role, seconds int) *TraceBundle {
 		}
 	}
 	s.foldTrace(b, tr.G.Batches())
+	s.auditTrace(b)
 	return b
 }
 

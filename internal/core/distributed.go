@@ -18,6 +18,7 @@ import (
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/fbwire"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/rng"
 	"fbdcnet/internal/services"
 )
@@ -205,11 +206,19 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 	type cellBuf struct {
 		p   *fbflow.Partial
 		obs []byte
+		// Parked audit checkpoints for this cell, already appended to the
+		// agent's local ledger; they precede the PARTIAL on the wire so
+		// the aggregator has parked them by the time its frontier merges
+		// the cell. Best-effort like the obs delta.
+		audF, audM       fbwire.AuditCell
+		hasAudF, hasAudM bool
 	}
 	type job struct {
 		seq uint64
 		b   *cellBuf
 	}
+	aud := s.Cfg.Audit
+	bb := aud.BB()
 	free := make(chan *cellBuf, 3)
 	free <- &cellBuf{p: newPartial()}
 	free <- &cellBuf{p: newPartial()}
@@ -220,11 +229,20 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 		for j := range jobs {
 			window, shard := agentTask(rg, j.seq)
 			var err error
-			if len(j.b.obs) > 0 {
+			if j.b.hasAudM {
+				err = w.WriteAudit(j.b.audM)
+				bb.Record(audit.EvFrameTx, "audit-matrix", fbwire.TypeAudit, int64(j.seq))
+			}
+			if err == nil && j.b.hasAudF {
+				err = w.WriteAudit(j.b.audF)
+				bb.Record(audit.EvFrameTx, "audit-fleet", fbwire.TypeAudit, int64(j.seq))
+			}
+			if err == nil && len(j.b.obs) > 0 {
 				err = w.WriteObs(fbwire.ObsCell, j.seq, j.b.obs)
 			}
 			if err == nil {
 				err = w.WritePartial(fbwire.PartialHeader{Seq: j.seq, Window: uint32(window), Shard: uint32(shard)}, j.b.p)
+				bb.Record(audit.EvFrameTx, "partial", fbwire.TypePartial, int64(j.seq))
 			}
 			j.b.p.Reset()
 			free <- j.b
@@ -264,12 +282,34 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 		}
 		window, shard := agentTask(rg, t)
 		task := fleetTask{window: window, shard: shard, lo: shard * fleetShardHosts, hi: min((shard+1)*fleetShardHosts, s.Topo.NumHosts())}
+		var fh, mh *audit.Hash
+		var fhv, mhv audit.Hash
+		if aud.Enabled() {
+			fh = &fhv
+			if s.Cfg.FleetMatrix {
+				mh = &mhv
+			}
+		}
 		if s.Cfg.FleetMatrix {
 			task.lo = shard * fleetMatrixShardRacks
 			task.hi = min(task.lo+fleetMatrixShardRacks, len(s.Topo.Racks))
-			s.collectMatrixShard(tagger, mprog, task, mat, b.p, sh)
+			s.collectMatrixShard(tagger, mprog, task, mat, b.p, sh, fh, mh)
 		} else {
-			s.collectShard(tagger, prog, task, b.p, sh)
+			s.collectShard(tagger, prog, task, b.p, sh, fh)
+		}
+		b.hasAudF, b.hasAudM = false, false
+		if aud.Enabled() {
+			// Append to the agent's local ledger and forward exactly what
+			// was logged (any planted perturbation belongs to the
+			// aggregator, which owns the authoritative ledger).
+			if mh != nil {
+				cp, _ := aud.Cell(audit.StageMatrixSynth, window, shard, mh)
+				b.audM = fbwire.AuditCell{Stage: fbwire.AuditMatrixSynth, Seq: t, Window: uint32(window), Shard: uint32(shard), Sum: cp.Sum, Count: cp.Count}
+				b.hasAudM = true
+			}
+			cp, _ := aud.Cell(audit.StageFleetCollect, window, shard, fh)
+			b.audF = fbwire.AuditCell{Stage: fbwire.AuditFleetCell, Seq: t, Window: uint32(window), Shard: uint32(shard), Sum: cp.Sum, Count: cp.Count}
+			b.hasAudF = true
 		}
 		if reg.Enabled() {
 			sh.Observe(s.obsIDs.fleetShardUs, time.Since(t0).Microseconds())
@@ -291,6 +331,11 @@ func (s *System) RunFleetAgent(agentID, agents int, incarnation uint32, conn io.
 	endSpan()
 	if reg.Enabled() {
 		reg.SetGauge(fmt.Sprintf("fbdcnet_agent_%d_tx_bytes", agentID), float64(w.BytesWritten()))
+		if aud.Enabled() {
+			// Stamp the black-box depth into the federated report so the
+			// per-agent manifest section shows each process's ring.
+			reg.SetGauge("fbdcnet_blackbox_events", float64(bb.Total()))
+		}
 		if err := w.WriteObs(fbwire.ObsFinal, 0, reg.AppendReport(nil, uint32(agentID), incarnation)); err != nil {
 			return fmt.Errorf("core: agent %d obs report: %w", agentID, err)
 		}
@@ -352,6 +397,21 @@ type fleetAggregator struct {
 	agentLabel []string // preformatted agent-id labels for series names
 	stallCell  int      // frontier cell an open stall span is blaming, -1 if none
 	stallStart time.Time
+
+	// Checkpoint side-channel (nil when auditing is off): agent AUDIT
+	// frames park per cell like obs deltas and append to the
+	// authoritative ledger exactly when the frontier consumes the cell.
+	// A merged cell whose audit frame never arrived becomes a ledger
+	// hole — a hole means "no trusted hash", never "hash of nothing".
+	parkedAud []auditSlot
+	audDrops  int64
+}
+
+// auditSlot parks up to two checkpoints for one cell: the fleet-collect
+// record hash and, in matrix mode, the matrix-synth hash.
+type auditSlot struct {
+	f, m       fbwire.AuditCell
+	hasF, hasM bool
 }
 
 // ServeFleetAggregator accepts agent connections on ln and merges their
@@ -387,6 +447,9 @@ func (s *System) ServeFleetAggregator(ln net.Listener, agents int, reconnectWait
 	ag.gapped = make([]bool, ag.cells)
 	ag.merged = make([]bool, ag.cells)
 	ag.parkedObs = make([][]byte, ag.cells)
+	if s.Cfg.Audit.Enabled() {
+		ag.parkedAud = make([]auditSlot, ag.cells)
+	}
 	ag.reports = make([]*obs.AgentReport, agents)
 	ag.agentLabel = make([]string, agents)
 	ag.stallCell = -1
@@ -442,6 +505,7 @@ func (s *System) ServeFleetAggregator(ln net.Listener, agents int, reconnectWait
 		}
 		reg.SetGauge("fbdcnet_fleet_gap_cells", float64(gapCells))
 		reg.SetGauge("fbdcnet_fleet_obs_dropped_frames", float64(ag.obsDrops))
+		reg.SetGauge("fbdcnet_fleet_audit_dropped_frames", float64(ag.audDrops))
 		s.storeAgentObs(ag)
 	}
 	return ag.ds, ag.gaps, nil
@@ -773,6 +837,33 @@ func (ag *fleetAggregator) handleConn(conn net.Conn, winProg *obs.Progress) {
 				ag.reports[a] = rep
 				ag.mu.Unlock()
 			}
+		case fbwire.TypeAudit:
+			// Checkpoints are best-effort like obs: a frame the aggregator
+			// cannot trust (undecodable, wrong seq, mislabeled cell) is
+			// dropped and counted; its cell will land in the ledger as an
+			// explicit hole when the frontier reaches it.
+			c, err := fbwire.ParseAudit(f.Payload)
+			if err != nil {
+				ag.dropAudit(a)
+				continue
+			}
+			ag.mu.Lock()
+			window, shard := agentTask(rg, c.Seq)
+			if ag.parkedAud == nil || c.Seq != ag.received[a] ||
+				int(c.Window) != window || int(c.Shard) != shard {
+				ag.dropAuditLocked(a)
+				ag.mu.Unlock()
+				continue
+			}
+			cell := window*ag.spw + shard
+			slot := &ag.parkedAud[cell]
+			if c.Stage == fbwire.AuditMatrixSynth {
+				slot.m, slot.hasM = c, true
+			} else {
+				slot.f, slot.hasF = c, true
+			}
+			ag.s.Cfg.Audit.BB().Record(audit.EvFrameRx, "audit", fbwire.TypeAudit, int64(cell))
+			ag.mu.Unlock()
 		case fbwire.TypePartial:
 			ph, err := fbwire.DecodePartial(f.Payload, p)
 			if err != nil {
@@ -833,6 +924,19 @@ func (ag *fleetAggregator) dropObsLocked(a int) {
 	ag.s.Cfg.Obs.Count(obs.Series("fbdcnet_fleet_obs_drops_total", "agent", ag.agentLabel[a]), 1)
 }
 
+// dropAudit counts one dropped audit frame from agent a.
+func (ag *fleetAggregator) dropAudit(a int) {
+	ag.mu.Lock()
+	ag.dropAuditLocked(a)
+	ag.mu.Unlock()
+}
+
+// dropAuditLocked counts one dropped audit frame. Caller holds ag.mu.
+func (ag *fleetAggregator) dropAuditLocked(a int) {
+	ag.audDrops++
+	ag.s.Cfg.Obs.Count(obs.Series("fbdcnet_fleet_audit_drops_total", "agent", ag.agentLabel[a]), 1)
+}
+
 // getObsBufLocked pops a recycled delta buffer (nil when the free list
 // is empty — append grows it). Caller holds ag.mu.
 func (ag *fleetAggregator) getObsBufLocked() []byte {
@@ -872,12 +976,43 @@ func (ag *fleetAggregator) advanceLocked(winProg *obs.Progress) {
 			ag.pool.Put(q)
 			ag.merged[ag.next] = true
 		}
+		if ag.parkedAud != nil {
+			ag.appendAuditLocked(ag.next, q != nil)
+		}
 		ag.next++
 		moved = true
 	}
 	if moved && ag.spw > 0 {
 		winProg.Set(int64(ag.next / ag.spw))
 	}
+}
+
+// appendAuditLocked lands cell's parked checkpoints in the
+// authoritative ledger as the frontier consumes it: matrix-synth first
+// (it precedes the draw), then fleet-collect. A gapped cell — or a
+// merged cell whose audit frame was lost — becomes an explicit hole;
+// holes carry no hash, so a crashed arm's ledger prefix still compares
+// byte-for-byte against a clean run's. Caller holds ag.mu.
+func (ag *fleetAggregator) appendAuditLocked(cell int, mergedCell bool) {
+	aud := ag.s.Cfg.Audit
+	bb := aud.BB()
+	window, shard := cell/ag.spw, cell%ag.spw
+	slot := &ag.parkedAud[cell]
+	if ag.s.Cfg.FleetMatrix {
+		if mergedCell && slot.hasM {
+			aud.Append(audit.Checkpoint{Stage: audit.StageMatrixSynth, Window: window, Shard: shard, Sum: slot.m.Sum, Count: slot.m.Count})
+		} else {
+			aud.Hole(audit.StageMatrixSynth, window, shard)
+		}
+	}
+	if mergedCell && slot.hasF {
+		aud.Append(audit.Checkpoint{Stage: audit.StageFleetCollect, Window: window, Shard: shard, Sum: slot.f.Sum, Count: slot.f.Count})
+		bb.Record(audit.EvCellMerge, audit.StageFleetCollect, int64(window), int64(shard))
+	} else {
+		aud.Hole(audit.StageFleetCollect, window, shard)
+		bb.Record(audit.EvCellHole, audit.StageFleetCollect, int64(window), int64(shard))
+	}
+	*slot = auditSlot{}
 }
 
 // markGaps accounts agent tasks [from, to) as coverage gaps, grouped
@@ -1044,6 +1179,54 @@ func AgentMetricsAddr(base string, a int) string {
 	return net.JoinHostPort(host, strconv.Itoa(p+1+a))
 }
 
+// AgentMetricsAddrs resolves the full per-agent metrics address table
+// up front — base port + 1 + index for each of the `agents` processes —
+// so spawn mode can detect port collisions and overflows before any
+// child hits an opaque bind error. avoid lists addresses already taken
+// in this run (the aggregator's own metrics endpoint, the dataset
+// listener when it is TCP): a derived address that lands on one of them
+// is reported with both claimants named. Port 0 (kernel-assigned) and
+// an empty base disable the check and derive like AgentMetricsAddr.
+func AgentMetricsAddrs(base string, agents int, avoid ...string) ([]string, error) {
+	addrs := make([]string, agents)
+	if base == "" {
+		return addrs, nil
+	}
+	host, port, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: agent metrics base %q: %w", base, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 0 {
+		return nil, fmt.Errorf("core: agent metrics base %q: port %q is not a port number", base, port)
+	}
+	if p == 0 {
+		for a := range addrs {
+			addrs[a] = net.JoinHostPort(host, "0")
+		}
+		return addrs, nil
+	}
+	taken := make(map[string]string, len(avoid)+agents)
+	for _, av := range avoid {
+		if av != "" {
+			taken[av] = "reserved by the run"
+		}
+	}
+	for a := range addrs {
+		derived := p + 1 + a
+		if derived > 65535 {
+			return nil, fmt.Errorf("core: agent %d metrics port %d overflows 65535 (base %q + 1 + %d); pick a lower base port", a, derived, base, a)
+		}
+		addr := net.JoinHostPort(host, strconv.Itoa(derived))
+		if who, clash := taken[addr]; clash {
+			return nil, fmt.Errorf("core: agent %d metrics address %s collides with %s; move -metrics-addr so base+1..base+%d stay free", a, addr, who, agents)
+		}
+		taken[addr] = fmt.Sprintf("agent %d", a)
+		addrs[a] = addr
+	}
+	return addrs, nil
+}
+
 // ParseListenSpec splits an address spec into (network, address):
 // "unix:/path" and "tcp:host:port" are explicit; a bare path is a unix
 // socket, anything else with a colon is TCP.
@@ -1126,9 +1309,16 @@ func (s *System) fleetReferenceSkipping(skip map[int]bool) *fbflow.Dataset {
 	// folded per kept cell, so a registry-carrying oracle run is also the
 	// counter reference for federation under gaps.
 	reg := s.Cfg.Obs
+	aud := s.Cfg.Audit
 	sh := reg.NewShard()
 	for i, t := range tasks {
 		if skip[i] {
+			// Audit parity with the distributed crash arm: a skipped cell
+			// is an explicit ledger hole, never a hash.
+			if s.Cfg.FleetMatrix {
+				aud.Hole(audit.StageMatrixSynth, t.window, t.shard)
+			}
+			aud.Hole(audit.StageFleetCollect, t.window, t.shard)
 			continue
 		}
 		p.Reset()
@@ -1136,10 +1326,24 @@ func (s *System) fleetReferenceSkipping(skip map[int]bool) *fbflow.Dataset {
 		if reg.Enabled() {
 			t0 = time.Now()
 		}
+		var fh, mh *audit.Hash
+		var fhv, mhv audit.Hash
+		if aud.Enabled() {
+			fh = &fhv
+			if s.Cfg.FleetMatrix {
+				mh = &mhv
+			}
+		}
 		if s.Cfg.FleetMatrix {
-			s.collectMatrixShard(tagger, mprog, t, mat, p, sh)
+			s.collectMatrixShard(tagger, mprog, t, mat, p, sh, fh, mh)
 		} else {
-			s.collectShard(tagger, prog, t, p, sh)
+			s.collectShard(tagger, prog, t, p, sh, fh)
+		}
+		if aud.Enabled() {
+			if mh != nil {
+				aud.Record(audit.StageMatrixSynth, t.window, t.shard, mh)
+			}
+			aud.Record(audit.StageFleetCollect, t.window, t.shard, fh)
 		}
 		if reg.Enabled() {
 			sh.Observe(s.obsIDs.fleetShardUs, time.Since(t0).Microseconds())

@@ -7,6 +7,7 @@ import (
 
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/rng"
 	"fbdcnet/internal/services"
@@ -91,6 +92,10 @@ func (s *System) collectFleet() *fbflow.Dataset {
 	reg := s.Cfg.Obs
 	sp := reg.StartSpan("fleet-collect")
 	defer sp.End()
+	aud := s.Cfg.Audit
+	bb := aud.BB()
+	bb.Record(audit.EvStageEnter, audit.StageFleetCollect, 0, 0)
+	defer bb.Record(audit.EvStageExit, audit.StageFleetCollect, 0, 0)
 
 	tasks := s.fleetTasks()
 	tagger := fbflow.NewTagger(s.Topo)
@@ -138,6 +143,17 @@ func (s *System) collectFleet() *fbflow.Dataset {
 		}}
 		obsPool = sync.Pool{New: func() any { return reg.NewShard() }}
 	)
+	// Parked checkpoint values (no pointers: the arrays are written once
+	// per task by its worker and read at the frontier under mu, exactly
+	// like done[]). parkedAudM exists only in matrix mode, where each cell
+	// carries a second matrix-synth checkpoint.
+	var parkedAudF, parkedAudM []audit.Checkpoint
+	if aud.Enabled() {
+		parkedAudF = make([]audit.Checkpoint, len(tasks))
+		if s.Cfg.FleetMatrix {
+			parkedAudM = make([]audit.Checkpoint, len(tasks))
+		}
+	}
 	runParallelWorkers(workers, len(tasks), func(w, i int) {
 		var t0 time.Time
 		if reg.Enabled() {
@@ -145,10 +161,25 @@ func (s *System) collectFleet() *fbflow.Dataset {
 		}
 		p := pool.Get().(*fbflow.Partial)
 		sh := obsPool.Get().(*obs.Shard)
+		var fh, mh *audit.Hash
+		var fhv, mhv audit.Hash
+		if aud.Enabled() {
+			fh = &fhv
+			if s.Cfg.FleetMatrix {
+				mh = &mhv
+			}
+		}
 		if s.Cfg.FleetMatrix {
-			s.collectMatrixShard(tagger, mprog, tasks[i], mats[w], p, sh)
+			s.collectMatrixShard(tagger, mprog, tasks[i], mats[w], p, sh, fh, mh)
 		} else {
-			s.collectShard(tagger, prog, tasks[i], p, sh)
+			s.collectShard(tagger, prog, tasks[i], p, sh, fh)
+		}
+		if aud.Enabled() {
+			t := tasks[i]
+			parkedAudF[i] = audit.Checkpoint{Stage: audit.StageFleetCollect, Window: t.window, Shard: t.shard, Sum: fhv.Sum(), Count: fhv.Count()}
+			if parkedAudM != nil {
+				parkedAudM[i] = audit.Checkpoint{Stage: audit.StageMatrixSynth, Window: t.window, Shard: t.shard, Sum: mhv.Sum(), Count: mhv.Count()}
+			}
 		}
 		if reg.Enabled() {
 			d := time.Since(t0)
@@ -166,6 +197,13 @@ func (s *System) collectFleet() *fbflow.Dataset {
 			pool.Put(q)
 			qs.Fold()
 			obsPool.Put(qs)
+			if aud.Enabled() {
+				if parkedAudM != nil {
+					aud.Append(parkedAudM[next])
+				}
+				aud.Append(parkedAudF[next])
+				bb.Record(audit.EvCellMerge, audit.StageFleetCollect, int64(tasks[next].window), int64(tasks[next].shard))
+			}
 			next++
 		}
 		if reg.Enabled() && next > mergeStart && shardsPerWindow > 0 {
@@ -213,7 +251,7 @@ func (s *System) collectFleet() *fbflow.Dataset {
 // nothing. The rng stream is keyed by (seed, window, shard) exactly like
 // sampling mode — a distinct seed fold keeps the two modes' streams
 // decorrelated.
-func (s *System) collectMatrixShard(tagger *fbflow.Tagger, prog *services.MatrixProgram, t fleetTask, m *services.DemandMatrix, into *fbflow.Partial, sh *obs.Shard) {
+func (s *System) collectMatrixShard(tagger *fbflow.Tagger, prog *services.MatrixProgram, t fleetTask, m *services.DemandMatrix, into *fbflow.Partial, sh *obs.Shard, fh, mh *audit.Hash) {
 	r := rng.NewKeyed(s.Cfg.Seed^0x3a721c, uint64(t.window), uint64(t.shard))
 	load := DiurnalFactor(float64(t.window) / float64(s.Cfg.FleetWindows))
 	minute := int64(t.window)
@@ -221,11 +259,20 @@ func (s *System) collectMatrixShard(tagger *fbflow.Tagger, prog *services.Matrix
 	m.Reset()
 	prog.Synth(r, t.lo, t.hi, s.Cfg.FleetWindowSec, load, m)
 	sh.Add(ids.fleetMatrixCells, int64(m.Cells()))
+	if mh.Enabled() {
+		// Checkpoint the synthesized matrix before the draw: cells iterate
+		// in insertion order, which Synth fixes per (seed, window, shard).
+		m.EachCell(func(srcRack, dstRack int32, bytes float64) {
+			mh.U64(uint64(uint32(srcRack))<<32 | uint64(uint32(dstRack)))
+			mh.F64(bytes)
+		})
+	}
 	prog.DrawFlows(r, m, func(src, dst topology.HostID, bytes float64) {
 		sh.Inc(ids.fleetAttempts)
 		if rec, ok := tagger.Flow(minute, s.Topo.Addr(src), s.Topo.Addr(dst), bytes); ok {
 			into.Add(rec)
 			sh.Inc(ids.fleetRecords)
+			rec.FoldAudit(fh)
 		}
 	})
 }
@@ -236,7 +283,7 @@ func (s *System) collectMatrixShard(tagger *fbflow.Tagger, prog *services.Matrix
 // configuration time, not at scheduling time. The obs shard counts
 // offered versus sampled flows; a nil shard (observability disabled)
 // costs two predicted branches per flow.
-func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram, t fleetTask, into *fbflow.Partial, sh *obs.Shard) {
+func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram, t fleetTask, into *fbflow.Partial, sh *obs.Shard, fh *audit.Hash) {
 	r := rng.NewKeyed(s.Cfg.Seed^0xf1ee7, uint64(t.window), uint64(t.shard))
 	load := DiurnalFactor(float64(t.window) / float64(s.Cfg.FleetWindows))
 	minute := int64(t.window)
@@ -247,6 +294,7 @@ func (s *System) collectShard(tagger *fbflow.Tagger, prog *services.FleetProgram
 		if rec, ok := tagger.Flow(minute, srcAddr, s.Topo.Addr(dst), bytes); ok {
 			into.Add(rec)
 			sh.Inc(ids.fleetRecords)
+			rec.FoldAudit(fh)
 		}
 	}
 	for src := topology.HostID(t.lo); src < topology.HostID(t.hi); src++ {

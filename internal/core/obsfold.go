@@ -6,6 +6,7 @@ import (
 	"fbdcnet/internal/analysis"
 	"fbdcnet/internal/netsim"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/telemetry"
 	"fbdcnet/internal/topology"
 )
@@ -158,6 +159,7 @@ func (s *System) foldTableStats(stats []analysis.TableStats) {
 // foldFabricStats folds one simulated-fabric run: the switch-level packet
 // accounting plus the fault layer's reroute/retransmission counters.
 func (s *System) foldFabricStats(fab *netsim.Fabric) {
+	s.Cfg.Audit.BB().Record(audit.EvFault, "fabric-faults", fab.Faults().FaultEvents, 0)
 	r := s.Cfg.Obs
 	if r == nil {
 		return
@@ -233,6 +235,8 @@ func (c Config) ManifestMeta(tool string) obs.RunMeta {
 			"fault_scenario":    c.FaultScenario,
 			"trace_sample":      c.TraceSample,
 			"queue_interval_us": int64(c.QueueInterval / netsim.Microsecond),
+			"sketch_mode":       c.SketchMode,
+			"audit":             c.Audit.Enabled(),
 		},
 	}
 }

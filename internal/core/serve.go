@@ -9,6 +9,7 @@ import (
 
 	"fbdcnet/internal/fbflow"
 	"fbdcnet/internal/obs"
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/services"
 	"fbdcnet/internal/sketch"
 	"fbdcnet/internal/topology"
@@ -210,6 +211,14 @@ func (s *System) collectOneWindow(w int, tagger *fbflow.Tagger, pool *sync.Pool)
 		prog = services.NewFleetProgram(s.Pick, s.Cfg.Params)
 	}
 
+	aud := s.Cfg.Audit
+	var parkedAudF, parkedAudM []audit.Checkpoint
+	if aud.Enabled() {
+		parkedAudF = make([]audit.Checkpoint, len(tasks))
+		if s.Cfg.FleetMatrix {
+			parkedAudM = make([]audit.Checkpoint, len(tasks))
+		}
+	}
 	var (
 		mu        sync.Mutex
 		parked    = make([]*fbflow.Partial, len(tasks))
@@ -220,10 +229,25 @@ func (s *System) collectOneWindow(w int, tagger *fbflow.Tagger, pool *sync.Pool)
 	runParallelWorkers(workers, len(tasks), func(wk, i int) {
 		p := pool.Get().(*fbflow.Partial)
 		sh := reg.NewShard()
+		var fh, mh *audit.Hash
+		var fhv, mhv audit.Hash
+		if aud.Enabled() {
+			fh = &fhv
+			if s.Cfg.FleetMatrix {
+				mh = &mhv
+			}
+		}
 		if s.Cfg.FleetMatrix {
-			s.collectMatrixShard(tagger, mprog, tasks[i], mats[wk], p, sh)
+			s.collectMatrixShard(tagger, mprog, tasks[i], mats[wk], p, sh, fh, mh)
 		} else {
-			s.collectShard(tagger, prog, tasks[i], p, sh)
+			s.collectShard(tagger, prog, tasks[i], p, sh, fh)
+		}
+		if aud.Enabled() {
+			t := tasks[i]
+			parkedAudF[i] = audit.Checkpoint{Stage: audit.StageFleetCollect, Window: t.window, Shard: t.shard, Sum: fhv.Sum(), Count: fhv.Count()}
+			if parkedAudM != nil {
+				parkedAudM[i] = audit.Checkpoint{Stage: audit.StageMatrixSynth, Window: t.window, Shard: t.shard, Sum: mhv.Sum(), Count: mhv.Count()}
+			}
 		}
 		mu.Lock()
 		parked[i], parkedObs[i], done[i] = p, sh, true
@@ -234,6 +258,12 @@ func (s *System) collectOneWindow(w int, tagger *fbflow.Tagger, pool *sync.Pool)
 			q.Reset()
 			pool.Put(q)
 			qs.Fold()
+			if aud.Enabled() {
+				if parkedAudM != nil {
+					aud.Append(parkedAudM[next])
+				}
+				aud.Append(parkedAudF[next])
+			}
 			next++
 		}
 		mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/topology"
 )
 
@@ -93,9 +94,16 @@ func WriteSuite(w io.Writer, sys *System, only string) int {
 	ran := 0
 	for _, e := range secs {
 		sp := sys.Cfg.Obs.StartSpan("suite:" + e.Name)
+		bb := sys.Cfg.Audit.BB()
+		bb.Record(audit.EvStageEnter, "suite:"+e.Name, 0, 0)
 		start := time.Now()
 		out := e.Run(sys)
 		sp.End()
+		bb.Record(audit.EvStageExit, "suite:"+e.Name, 0, 0)
+		// The rendered section text IS the canonical output the run digest
+		// hashes, so one string checkpoint per section localizes a suite
+		// divergence without re-deriving any experiment.
+		sys.Cfg.Audit.RecordOutput("suite:"+e.Name, out)
 		fmt.Fprintf(w, "=== %s (%.1fs) ===\n%s\n", e.Name, time.Since(start).Seconds(), out)
 		ran++
 		prog.Set(int64(ran))

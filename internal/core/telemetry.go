@@ -181,6 +181,7 @@ func (s *System) runTelemetry() *TelemetryResult {
 	}
 	res.Hotspots = telemetry.RankHotspots(byPort, 5)
 	s.foldTelemetry(res)
+	s.auditTelemetry(res)
 	if res.Agg.Sampled == 0 {
 		slog.Warn("telemetry: sampling selected zero flows; the telemetry section will be empty",
 			"trace_sample", tcfg.Rate)

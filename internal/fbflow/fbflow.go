@@ -18,6 +18,7 @@ package fbflow
 import (
 	"sync"
 
+	"fbdcnet/internal/obs/audit"
 	"fbdcnet/internal/packet"
 	"fbdcnet/internal/rng"
 	"fbdcnet/internal/topology"
@@ -46,6 +47,25 @@ type Record struct {
 	Locality               topology.Locality
 	Bytes                  float64 // estimated on-wire bytes (weight applied)
 	Packets                float64 // estimated packets
+}
+
+// FoldAudit folds the record's canonical content into a determinism
+// checkpoint hash: the identifying coordinates plus the estimated
+// volumes, enough that any divergence in sampling, tagging, or
+// accumulation order flips the cell's sum. The derived topology fields
+// (rack, cluster, DC, roles) are pure functions of Src/Dst and fold
+// implicitly through them. No-op on a nil hash — the audit-off fast
+// path of the fleet emit loop.
+func (r Record) FoldAudit(h *audit.Hash) {
+	if !h.Enabled() {
+		return
+	}
+	h.I64(r.Minute)
+	h.U64(uint64(r.Src))
+	h.U64(uint64(r.Dst))
+	h.U64(uint64(r.Locality))
+	h.F64(r.Bytes)
+	h.F64(r.Packets)
 }
 
 // Tagger annotates observations with topology metadata — the tagger stage

@@ -15,7 +15,11 @@
 // carrying that cell's metric delta (bound to the same seq), and one
 // final OBS frame with the agent's report precedes FIN. OBS frames are
 // optional and opaque at this layer — an aggregator that cannot decode
-// one drops it without touching the dataset protocol.
+// one drops it without touching the dataset protocol. With the
+// determinism flight recorder on, one AUDIT frame per checkpoint stage
+// (two in matrix mode) precedes each PARTIAL under the same seq and the
+// same best-effort rules: a dropped AUDIT frame becomes an explicit
+// ledger hole, never a dataset error.
 //
 // PARTIAL frames carry the agent-local task sequence number and the
 // Reader enforces strict monotonicity, so a duplicated or replayed frame
@@ -48,6 +52,7 @@ const (
 	TypePartial = 0x03
 	TypeFin     = 0x04
 	TypeObs     = 0x05
+	TypeAudit   = 0x06
 )
 
 // Obs payload kinds. ObsCell carries one cell's metric delta and
@@ -191,6 +196,68 @@ func ParseObs(payload []byte) (ObsHeader, []byte, error) {
 	return h, payload[obsHeaderLen:], nil
 }
 
+// Audit stage ids on the wire. AuditFleetCell is the cell's collected
+// record stream; AuditMatrixSynth is the synthesized demand matrix that
+// preceded the draw (matrix mode only).
+const (
+	AuditFleetCell   = 0x01
+	AuditMatrixSynth = 0x02
+)
+
+// auditWireLen is the fixed AUDIT payload size after the type byte.
+const auditWireLen = 1 + 8 + 4 + 4 + 8 + 8
+
+// AuditCell is one cell's determinism checkpoint: the sealed content
+// hash and folded item count of (stage, window, shard), bound to the
+// PARTIAL seq it precedes. Like OBS frames, AUDIT frames are
+// best-effort: an aggregator that cannot decode one drops it (the cell
+// becomes an explicit ledger hole) without touching the dataset
+// protocol.
+type AuditCell struct {
+	Stage  byte
+	Seq    uint64
+	Window uint32
+	Shard  uint32
+	Sum    uint64
+	Count  int64
+}
+
+// WriteAudit sends one cell checkpoint. The encode reuses the writer's
+// buffer, so the steady state allocates nothing.
+func (w *Writer) WriteAudit(c AuditCell) error {
+	b := w.begin(TypeAudit)
+	b = append(b, c.Stage)
+	b = binary.LittleEndian.AppendUint64(b, c.Seq)
+	b = binary.LittleEndian.AppendUint32(b, c.Window)
+	b = binary.LittleEndian.AppendUint32(b, c.Shard)
+	b = binary.LittleEndian.AppendUint64(b, c.Sum)
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.Count))
+	w.buf = b
+	return w.flushFrame()
+}
+
+// ParseAudit decodes an AUDIT payload.
+func ParseAudit(payload []byte) (AuditCell, error) {
+	if len(payload) != auditWireLen {
+		return AuditCell{}, fmt.Errorf("fbwire: audit payload is %d bytes, want %d", len(payload), auditWireLen)
+	}
+	c := AuditCell{
+		Stage:  payload[0],
+		Seq:    binary.LittleEndian.Uint64(payload[1:]),
+		Window: binary.LittleEndian.Uint32(payload[9:]),
+		Shard:  binary.LittleEndian.Uint32(payload[13:]),
+		Sum:    binary.LittleEndian.Uint64(payload[17:]),
+		Count:  int64(binary.LittleEndian.Uint64(payload[25:])),
+	}
+	if c.Stage != AuditFleetCell && c.Stage != AuditMatrixSynth {
+		return AuditCell{}, fmt.Errorf("fbwire: unknown audit stage %#x", c.Stage)
+	}
+	if c.Count < 0 {
+		return AuditCell{}, fmt.Errorf("fbwire: audit count %d is negative", c.Count)
+	}
+	return c, nil
+}
+
 // WriteFin sends the closing FIN frame carrying the number of PARTIAL
 // frames this incarnation sent.
 func (w *Writer) WriteFin(sent uint64) error {
@@ -256,7 +323,7 @@ func (r *Reader) Next() (Frame, error) {
 	r.read += int64(4 + n)
 	f := Frame{Type: r.buf[0], Payload: r.buf[1:]}
 	switch f.Type {
-	case TypeHello, TypeWelcome, TypePartial, TypeFin, TypeObs:
+	case TypeHello, TypeWelcome, TypePartial, TypeFin, TypeObs, TypeAudit:
 	default:
 		return Frame{}, fmt.Errorf("fbwire: unknown frame type %#x", f.Type)
 	}

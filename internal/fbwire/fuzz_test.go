@@ -174,3 +174,79 @@ func FuzzObsFrame(f *testing.F) {
 		}
 	})
 }
+
+// auditFrameBytes frames one AUDIT frame as the agent's Writer emits it.
+func auditFrameBytes(tb testing.TB, c AuditCell) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAudit(c); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzAuditFrame drives the checkpoint side-channel decode path with
+// arbitrary bytes. The invariants: never panic, malformed payloads error
+// out (best-effort semantics — a dropped frame becomes a ledger hole,
+// never a dataset error), parsed cells echo valid stage ids and
+// non-negative counts, and AUDIT frames never perturb the strict PARTIAL
+// sequence check.
+func FuzzAuditFrame(f *testing.F) {
+	// A realistic cell pair: matrix synth then fleet cell under one seq.
+	f.Add(append(
+		auditFrameBytes(f, AuditCell{Stage: AuditMatrixSynth, Seq: 0, Window: 0, Shard: 1, Sum: 0xabcdef, Count: 128}),
+		auditFrameBytes(f, AuditCell{Stage: AuditFleetCell, Seq: 0, Window: 0, Shard: 1, Sum: 0x123456, Count: 7200})...))
+	// AUDIT interleaved before its PARTIAL, as on the real wire.
+	f.Add(append(
+		auditFrameBytes(f, AuditCell{Stage: AuditFleetCell, Seq: 0, Window: 0, Shard: 0, Sum: 1, Count: 6}),
+		sessionBytes(f, 1, false)...))
+	// Truncated, bogus stage, negative count.
+	whole := auditFrameBytes(f, AuditCell{Stage: AuditFleetCell, Seq: 3, Window: 1, Shard: 2, Sum: 9, Count: 12})
+	f.Add(whole[:len(whole)-5])
+	bogus := append([]byte{}, whole...)
+	bogus[5] = 0x7f // stage byte inside the frame
+	f.Add(bogus)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		frames := 0
+		var lastSeq uint64
+		seenSeq := false
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				return
+			}
+			switch fr.Type {
+			case TypeAudit:
+				c, err := ParseAudit(fr.Payload)
+				if err != nil {
+					break
+				}
+				if c.Stage != AuditFleetCell && c.Stage != AuditMatrixSynth {
+					t.Fatalf("ParseAudit admitted stage %#x", c.Stage)
+				}
+				if c.Count < 0 {
+					t.Fatalf("ParseAudit admitted negative count %d", c.Count)
+				}
+			case TypePartial:
+				if h, err := DecodePartial(fr.Payload, fbflow.NewPartial()); err == nil {
+					// AUDIT frames between partials must not reset or advance
+					// the strict seq ordering of the dataset stream.
+					if seenSeq && h.Seq <= lastSeq {
+						t.Fatalf("audit frames perturbed partial seq: %d after %d", h.Seq, lastSeq)
+					}
+					seenSeq, lastSeq = true, h.Seq
+				}
+			case TypeHello, TypeWelcome, TypeFin, TypeObs:
+			default:
+				t.Fatalf("reader returned unknown frame type %#x", fr.Type)
+			}
+			frames++
+			if frames > 1<<20 {
+				t.Fatal("reader produced implausibly many frames")
+			}
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// EventKind classifies one black-box event.
+type EventKind uint8
+
+// Black-box event kinds: the structured breadcrumbs a crashed process
+// leaves behind.
+const (
+	EvStageEnter EventKind = iota + 1
+	EvStageExit
+	EvCellMerge // A=window, B=shard
+	EvCellHole  // A=window, B=shard
+	EvFault     // A=fault transition count
+	EvFrameRx   // A=frame type, B=seq/cell
+	EvFrameTx   // A=frame type, B=seq/cell
+	EvCrash     // A=signal number or 0 for panic
+)
+
+var kindNames = [...]string{
+	EvStageEnter: "stage-enter",
+	EvStageExit:  "stage-exit",
+	EvCellMerge:  "cell-merge",
+	EvCellHole:   "cell-hole",
+	EvFault:      "fault",
+	EvFrameRx:    "frame-rx",
+	EvFrameTx:    "frame-tx",
+	EvCrash:      "crash",
+}
+
+// String names the kind for dumps.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// Event is one ring entry. Name must be a constant or pre-formatted
+// string on hot paths — Record never formats.
+type Event struct {
+	Ns   int64
+	Kind EventKind
+	Name string
+	A, B int64
+}
+
+// DefaultBlackBoxEvents is the ring size processes use unless
+// configured otherwise: large enough to cover the last few windows of
+// cell traffic, small enough to dump in full on a crash.
+const DefaultBlackBoxEvents = 1024
+
+// BlackBox is a fixed-size, allocation-free ring of recent structured
+// events, dumped on panic, SIGQUIT, or a planned agent kill. All
+// methods are safe on a nil receiver and safe for concurrent use (one
+// short mutex hold per record — the ring exists for post-mortems, not
+// throughput, and the race detector must stay quiet).
+type BlackBox struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64
+}
+
+// NewBlackBox returns a ring holding the last `size` events
+// (DefaultBlackBoxEvents when size <= 0).
+func NewBlackBox(size int) *BlackBox {
+	if size <= 0 {
+		size = DefaultBlackBoxEvents
+	}
+	return &BlackBox{ring: make([]Event, 0, size)}
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+func (b *BlackBox) Record(k EventKind, name string, a, v int64) {
+	if b == nil {
+		return
+	}
+	e := Event{Ns: time.Now().UnixNano(), Kind: k, Name: name, A: a, B: v}
+	b.mu.Lock()
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.total%uint64(cap(b.ring))] = e
+	}
+	b.total++
+	b.mu.Unlock()
+}
+
+// Total returns the number of events recorded over the process
+// lifetime (not just those still in the ring).
+func (b *BlackBox) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Events returns the retained events oldest-first.
+func (b *BlackBox) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.ring)
+	out := make([]Event, 0, n)
+	if b.total > uint64(n) {
+		// Ring has wrapped: oldest entry sits at the write cursor.
+		at := int(b.total % uint64(n))
+		out = append(out, b.ring[at:]...)
+		out = append(out, b.ring[:at]...)
+	} else {
+		out = append(out, b.ring...)
+	}
+	return out
+}
+
+// blackBoxDump is the JSON crash-dump layout.
+type blackBoxDump struct {
+	PID     int     `json:"pid"`
+	Reason  string  `json:"reason"`
+	Total   uint64  `json:"total_events"`
+	Dumped  int     `json:"dumped_events"`
+	Events  []Event `json:"events"`
+	WhenUTC string  `json:"when_utc"`
+}
+
+// eventJSON is the per-event JSON form (kind by name, not number).
+type eventJSON struct {
+	Ns   int64  `json:"ns"`
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+// MarshalJSON renders the event with its kind named.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{Ns: e.Ns, Kind: e.Kind.String(), Name: e.Name, A: e.A, B: e.B})
+}
+
+// DumpText writes a human-readable tail of the ring to w (the stderr
+// leg of a crash dump).
+func (b *BlackBox) DumpText(w io.Writer, reason string) {
+	if b == nil {
+		return
+	}
+	evs := b.Events()
+	fmt.Fprintf(w, "audit black box: %s (pid %d, %d of %d events retained)\n", reason, os.Getpid(), len(evs), b.Total())
+	for _, e := range evs {
+		fmt.Fprintf(w, "  %d %-12s %-24s a=%d b=%d\n", e.Ns, e.Kind.String(), e.Name, e.A, e.B)
+	}
+}
+
+// DumpJSON writes the full dump as JSON to path. An empty path skips
+// the file leg.
+func (b *BlackBox) DumpJSON(path, reason string) error {
+	if b == nil || path == "" {
+		return nil
+	}
+	evs := b.Events()
+	d := blackBoxDump{
+		PID:     os.Getpid(),
+		Reason:  reason,
+		Total:   b.Total(),
+		Dumped:  len(evs),
+		Events:  evs,
+		WhenUTC: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Dump writes both legs of a crash dump: human-readable to stderr,
+// JSON to path (skipped when empty).
+func (b *BlackBox) Dump(path, reason string) {
+	if b == nil {
+		return
+	}
+	b.DumpText(os.Stderr, reason)
+	if err := b.DumpJSON(path, reason); err != nil {
+		fmt.Fprintf(os.Stderr, "audit black box: writing %s: %v\n", path, err)
+	}
+}
+
+// HandlePanic is the deferred panic leg of the black box: on a panic it
+// records an EvCrash event, dumps the ring, and re-panics so the
+// runtime still prints the stack and exits non-zero. Use as
+// `defer bb.HandlePanic(path)` at the top of main.
+func (b *BlackBox) HandlePanic(path string) {
+	if r := recover(); r != nil {
+		b.Record(EvCrash, "panic", 0, 0)
+		b.Dump(path, fmt.Sprintf("panic: %v", r))
+		panic(r)
+	}
+}
+
+// InstallSignalDump dumps the ring on SIGQUIT without exiting (the
+// classic "what is this process doing" probe, matching the Go runtime's
+// own SIGQUIT stack dump which follows from the default handler being
+// replaced here only for the dump; the process keeps running).
+func (b *BlackBox) InstallSignalDump(path string) {
+	if b == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for sig := range ch {
+			b.Record(EvCrash, "signal", int64(syscall.SIGQUIT), 0)
+			b.Dump(path, fmt.Sprintf("signal %v", sig))
+		}
+	}()
+}

@@ -1,0 +1,189 @@
+package audit
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// SectionVersion is bumped whenever the audit section layout changes
+// incompatibly; the manifest schema pins it.
+const SectionVersion = 1
+
+// SectionCheckpoint is one checkpoint's manifest form. Hash is the
+// sealed sum as 16 lowercase hex digits ("" for holes), so the section
+// is byte-comparable across runs without float round-tripping.
+type SectionCheckpoint struct {
+	Stage  string `json:"stage"`
+	Window int    `json:"window"`
+	Shard  int    `json:"shard"`
+	Hash   string `json:"hash"`
+	Count  int64  `json:"count"`
+	Hole   bool   `json:"hole,omitempty"`
+}
+
+// Section is the manifest's `audit` object: the canonically sorted
+// checkpoint ledger plus its cell and hole counts.
+type Section struct {
+	Version     int                 `json:"version"`
+	Cells       int                 `json:"cells"`
+	Holes       int                 `json:"holes"`
+	Checkpoints []SectionCheckpoint `json:"checkpoints"`
+}
+
+// Section renders the ledger in manifest form (nil on a nil recorder,
+// so manifests of audit-off runs omit the section entirely).
+func (r *Recorder) Section() *Section {
+	if r == nil {
+		return nil
+	}
+	cps := r.Checkpoints()
+	sec := &Section{Version: SectionVersion, Cells: len(cps), Checkpoints: make([]SectionCheckpoint, 0, len(cps))}
+	for _, cp := range cps {
+		sc := SectionCheckpoint{Stage: cp.Stage, Window: cp.Window, Shard: cp.Shard, Count: cp.Count, Hole: cp.Hole}
+		if !cp.Hole {
+			sc.Hash = fmt.Sprintf("%016x", cp.Sum)
+		} else {
+			sec.Holes++
+		}
+		sec.Checkpoints = append(sec.Checkpoints, sc)
+	}
+	return sec
+}
+
+// Decode converts a parsed manifest section back into checkpoints,
+// validating hex hashes and hole invariants. The result is re-sorted
+// canonically, so a hand-edited section still diffs in frontier order.
+func (s *Section) Decode() ([]Checkpoint, error) {
+	if s == nil {
+		return nil, fmt.Errorf("audit: manifest has no audit section")
+	}
+	if s.Version != SectionVersion {
+		return nil, fmt.Errorf("audit: section version %d, want %d", s.Version, SectionVersion)
+	}
+	cps := make([]Checkpoint, 0, len(s.Checkpoints))
+	for i, sc := range s.Checkpoints {
+		cp := Checkpoint{Stage: sc.Stage, Window: sc.Window, Shard: sc.Shard, Count: sc.Count, Hole: sc.Hole}
+		if sc.Stage == "" {
+			return nil, fmt.Errorf("audit: checkpoint %d has no stage", i)
+		}
+		switch {
+		case sc.Hole:
+			if sc.Hash != "" {
+				return nil, fmt.Errorf("audit: hole checkpoint %d (%s w%d s%d) carries a hash", i, sc.Stage, sc.Window, sc.Shard)
+			}
+		default:
+			if len(sc.Hash) != 16 {
+				return nil, fmt.Errorf("audit: checkpoint %d (%s w%d s%d) hash %q is not 16 hex digits", i, sc.Stage, sc.Window, sc.Shard, sc.Hash)
+			}
+			sum, err := strconv.ParseUint(sc.Hash, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("audit: checkpoint %d (%s w%d s%d) hash %q: %v", i, sc.Stage, sc.Window, sc.Shard, sc.Hash, err)
+			}
+			cp.Sum = sum
+		}
+		cps = append(cps, cp)
+	}
+	Sort(cps)
+	return cps, nil
+}
+
+// Divergence describes the first canonical-order disagreement between
+// two ledgers plus its blast radius.
+type Divergence struct {
+	Index   int        // position in canonical order
+	Kind    string     // "hash", "count", "hole", "missing-in-a", "missing-in-b"
+	A, B    Checkpoint // the entries at the divergence (zero value on the missing side)
+	Tainted int        // total disagreeing checkpoints, the first included
+	Total   int        // checkpoints in the longer ledger
+}
+
+// String renders the divergence the way a human debugs it.
+func (d Divergence) String() string {
+	cp := d.A
+	if d.Kind == "missing-in-a" {
+		cp = d.B
+	}
+	at := fmt.Sprintf("stage %s", cp.Stage)
+	if cp.Window != NonCell {
+		at = fmt.Sprintf("window %d, shard %d, stage %s", cp.Window, cp.Shard, cp.Stage)
+	}
+	switch d.Kind {
+	case "hash":
+		return fmt.Sprintf("%s: hash %016x != %016x (counts %d/%d); %d of %d downstream checkpoints tainted",
+			at, d.A.Sum, d.B.Sum, d.A.Count, d.B.Count, d.Tainted, d.Total)
+	case "count":
+		return fmt.Sprintf("%s: count %d != %d (hash %016x agrees); %d of %d checkpoints tainted",
+			at, d.A.Count, d.B.Count, d.A.Sum, d.Tainted, d.Total)
+	case "hole":
+		holeIn := "A"
+		if d.B.Hole {
+			holeIn = "B"
+		}
+		return fmt.Sprintf("%s: hole in run %s only (coverage gap vs computed cell); %d of %d checkpoints tainted",
+			at, holeIn, d.Tainted, d.Total)
+	case "missing-in-a", "missing-in-b":
+		run := "A"
+		if d.Kind == "missing-in-a" {
+			run = "B"
+		}
+		return fmt.Sprintf("%s: checkpoint present only in run %s; %d of %d checkpoints tainted",
+			at, run, d.Tainted, d.Total)
+	}
+	return fmt.Sprintf("%s: %s", at, d.Kind)
+}
+
+// entryKind classifies one pairwise comparison at an aligned key.
+func entryKind(a, b Checkpoint) string {
+	switch {
+	case a.Hole != b.Hole:
+		return "hole"
+	case a.Hole:
+		return "" // two holes agree by definition
+	case a.Sum != b.Sum:
+		return "hash"
+	case a.Count != b.Count:
+		return "count"
+	}
+	return ""
+}
+
+// Diff compares two ledgers in canonical (frontier) order and returns
+// the first divergence, or ok=false when they are identical. Inputs
+// may be unsorted; they are copied and canonicalized.
+func Diff(a, b []Checkpoint) (Divergence, bool) {
+	as := append([]Checkpoint(nil), a...)
+	bs := append([]Checkpoint(nil), b...)
+	Sort(as)
+	Sort(bs)
+	var first *Divergence
+	tainted := 0
+	i, j := 0, 0
+	note := func(d Divergence) {
+		tainted++
+		if first == nil {
+			d.Index = i + j - 1 // position at which the walk noted it
+			first = &d
+		}
+	}
+	for i < len(as) || j < len(bs) {
+		switch {
+		case j >= len(bs) || (i < len(as) && Less(as[i], bs[j])):
+			i++
+			note(Divergence{Kind: "missing-in-b", A: as[i-1]})
+		case i >= len(as) || Less(bs[j], as[i]):
+			j++
+			note(Divergence{Kind: "missing-in-a", B: bs[j-1]})
+		default:
+			i, j = i+1, j+1
+			if k := entryKind(as[i-1], bs[j-1]); k != "" {
+				note(Divergence{Kind: k, A: as[i-1], B: bs[j-1]})
+			}
+		}
+	}
+	if first == nil {
+		return Divergence{}, false
+	}
+	first.Tainted = tainted
+	first.Total = max(len(as), len(bs))
+	return *first, true
+}

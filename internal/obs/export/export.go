@@ -80,6 +80,16 @@ func ChromeTrace(procs []Proc) ([]byte, error) {
 		}
 	}
 	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if len(procs) == 0 {
+		// A run with no agents and no spans still produces a loadable
+		// trace: one metadata event naming an empty process track, so
+		// Perfetto opens it instead of rejecting an empty array (and
+		// Validate holds for every trace this package emits).
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: 0,
+			Args: map[string]any{"name": "empty-run"},
+		})
+	}
 	for _, p := range procs {
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 			Name: "process_name", Ph: "M", PID: p.PID,

@@ -126,3 +126,44 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestChromeTraceEmptyRunStillValidates(t *testing.T) {
+	// A zero-agent, zero-span run (nil registry, no reports) must still
+	// produce a loadable trace, not an empty traceEvents array.
+	procs := FromRun(nil, nil)
+	if len(procs) != 0 {
+		t.Fatalf("FromRun(nil, nil) = %d procs, want 0", len(procs))
+	}
+	data, err := ChromeTrace(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("empty-run trace rejected: %v", err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 1 {
+		t.Fatalf("empty-run trace has %d events, want 1 placeholder", len(tf.TraceEvents))
+	}
+	if ph := tf.TraceEvents[0]["ph"]; ph != "M" {
+		t.Fatalf("placeholder phase = %v, want M", ph)
+	}
+}
+
+func TestChromeTraceZeroSpanProcValidates(t *testing.T) {
+	// An agent that restarted before recording any span contributes a
+	// track with zero events; the trace must still validate.
+	procs := []Proc{{PID: 3, Name: "agent-2"}}
+	data, err := ChromeTrace(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("zero-span proc trace rejected: %v", err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"fbdcnet/internal/obs/audit"
 )
 
 // ManifestSchemaVersion is bumped whenever the manifest layout changes
@@ -92,6 +94,11 @@ type Manifest struct {
 	// aggregator: one record per fleet agent, built from the AgentReports
 	// federated over fbwire.
 	Agents []AgentRecord `json:"agents,omitempty"`
+
+	// Audit is the determinism flight recorder's checkpoint ledger,
+	// present only when the run enabled -audit. cmd/digestdiff compares
+	// two of these to name the first divergent cell.
+	Audit *audit.Section `json:"audit,omitempty"`
 }
 
 // GitRev returns the VCS revision stamped into the binary, or "" when

@@ -74,6 +74,15 @@ func (m *DemandMatrix) Reset() {
 // Cells reports the number of non-zero (src rack, dst rack) entries.
 func (m *DemandMatrix) Cells() int { return m.cells.Len() }
 
+// EachCell visits every demand cell in insertion order — deterministic
+// for a fixed rng stream, which is what lets the determinism flight
+// recorder hash a synthesized matrix as canonical output.
+func (m *DemandMatrix) EachCell(f func(srcRack, dstRack int32, bytes float64)) {
+	m.cells.Range(func(k uint64, v *float64) {
+		f(int32(k>>32), int32(uint32(k)), *v)
+	})
+}
+
 // add accumulates bytes from srcRack to dstRack.
 func (m *DemandMatrix) add(srcRack, dstRack int32, bytes float64) {
 	*m.cells.Slot(packPair(srcRack, dstRack)) += bytes
